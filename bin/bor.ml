@@ -1,0 +1,207 @@
+(* bor: command-line front end to the BRISC toolchain.
+
+     bor asm FILE.s          assemble and print a listing
+     bor run FILE.s          assemble and run on the functional simulator
+     bor time FILE.s         assemble and run on the timing simulator
+     bor cc FILE.c           compile minic and print the assembly
+     bor ccrun FILE.c        compile minic and run functionally
+     bor cctime FILE.c       compile minic and run on the timing simulator
+
+   Compilation options: --framework none|full|cbs|brr, --interval N,
+   --fulldup, --edges, --empty-payload. *)
+
+type cc_options = {
+  mutable framework : string;
+  mutable interval : int;
+  mutable fulldup : bool;
+  mutable edges : bool;
+  mutable yieldpoints : bool;
+  mutable empty_payload : bool;
+  mutable output : string option;
+  mutable trace : int;  (* print the first N executed instructions *)
+  mutable dot : bool;
+}
+
+let usage () =
+  prerr_endline
+    "usage: bor {asm|run|time|cc|ccrun|cctime} FILE [-o OUT.bor] [--trace N] [--framework \
+     none|full|cbs|brr] [--interval N] [--fulldup] [--edges] [--yieldpoints] \
+     [--empty-payload]\nFILE may be assembly (.s), minic (.c for cc*) or a \
+     BOR1 object image";
+  exit 2
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Accept both assembly source and BOR1 object images. *)
+let assemble path =
+  let contents = read_file path in
+  if Bor_isa.Objfile.is_object_file contents then
+    match Bor_isa.Objfile.load contents with
+    | Ok p -> p
+    | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      exit 1
+  else
+    match Bor_isa.Asm.assemble contents with
+    | Ok p -> p
+    | Error e ->
+      Format.eprintf "%s: %a@." path Bor_isa.Asm.pp_error e;
+      exit 1
+
+let driver_config opts =
+  let check =
+    match opts.framework with
+    | "cbs" -> Some (Bor_minic.Instrument.Counter opts.interval)
+    | "brr" ->
+      Some (Bor_minic.Instrument.Brr (Bor_core.Freq.of_period opts.interval))
+    | "none" | "full" -> None
+    | other ->
+      Printf.eprintf "unknown framework %s\n" other;
+      exit 2
+  in
+  let framework =
+    match (opts.framework, check) with
+    | "none", _ -> Bor_minic.Instrument.No_instrumentation
+    | "full", _ -> Bor_minic.Instrument.Full
+    | _, Some check ->
+      Bor_minic.Instrument.Sampled
+        ( check,
+          if opts.fulldup then Bor_minic.Instrument.Full_duplication
+          else Bor_minic.Instrument.No_duplication )
+    | _, None -> assert false
+  in
+  Bor_minic.Driver.config
+    ~placement:
+      (if opts.edges then Bor_minic.Instrument.Cond_edges
+       else if opts.yieldpoints then Bor_minic.Instrument.Yieldpoints
+       else Bor_minic.Instrument.Method_entry)
+    ~payload:
+      (if opts.empty_payload then Bor_minic.Instrument.Empty_payload
+       else Bor_minic.Instrument.Profile_count)
+    framework
+
+let compile opts path =
+  match Bor_minic.Driver.compile ~cfg:(driver_config opts) (read_file path) with
+  | Ok c -> c
+  | Error e ->
+    Printf.eprintf "%s: %s\n" path e;
+    exit 1
+
+let run_functional ?(trace = 0) (program : Bor_isa.Program.t) =
+  let m = Bor_sim.Machine.create program in
+  for _ = 1 to trace do
+    if not (Bor_sim.Machine.halted m) then begin
+      let pc = Bor_sim.Machine.pc m in
+      (match Bor_isa.Program.instr_at program pc with
+      | Some i -> Printf.printf "  0x%05x  %s\n" pc (Bor_isa.Instr.to_string i)
+      | None -> Printf.printf "  0x%05x  <illegal-encoded>\n" pc);
+      Bor_sim.Machine.step m
+    end
+  done;
+  (match Bor_sim.Machine.run m with
+  | Ok _ ->
+    Printf.printf "halted after %d instructions\n"
+      (Bor_sim.Machine.stats m).instructions
+  | Error e ->
+    Printf.eprintf "%s\n" e;
+    exit 1);
+  let st = Bor_sim.Machine.stats m in
+  Printf.printf
+    "a0 = %d\nloads %d, stores %d, cond branches %d (%d taken)\n\
+     branch-on-random %d executed, %d taken\n"
+    (Bor_sim.Machine.reg m (Bor_isa.Reg.a 0))
+    st.loads st.stores st.cond_branches st.cond_taken st.brr_executed
+    st.brr_taken
+
+let run_timing (program : Bor_isa.Program.t) =
+  let t = Bor_uarch.Pipeline.create program in
+  match Bor_uarch.Pipeline.run t with
+  | Error e ->
+    Printf.eprintf "%s\n" e;
+    exit 1
+  | Ok st -> Format.printf "%a@." Bor_uarch.Pipeline.pp_stats st
+
+let () =
+  let args = Array.to_list Sys.argv in
+  match args with
+  | _ :: cmd :: path :: rest ->
+    let opts =
+      {
+        framework = "none";
+        interval = 1024;
+        fulldup = false;
+        edges = false;
+        yieldpoints = false;
+        empty_payload = false;
+        output = None;
+        trace = 0;
+        dot = false;
+      }
+    in
+    let rec parse = function
+      | [] -> ()
+      | "--framework" :: v :: r ->
+        opts.framework <- v;
+        parse r
+      | "--interval" :: v :: r ->
+        opts.interval <- int_of_string v;
+        parse r
+      | "--fulldup" :: r ->
+        opts.fulldup <- true;
+        parse r
+      | "--edges" :: r ->
+        opts.edges <- true;
+        parse r
+      | "--yieldpoints" :: r ->
+        opts.yieldpoints <- true;
+        parse r
+      | "--empty-payload" :: r ->
+        opts.empty_payload <- true;
+        parse r
+      | "-o" :: v :: r ->
+        opts.output <- Some v;
+        parse r
+      | "--trace" :: v :: r ->
+        opts.trace <- int_of_string v;
+        parse r
+      | "--dot" :: r ->
+        opts.dot <- true;
+        parse r
+      | _ -> usage ()
+    in
+    parse rest;
+    (match cmd with
+    | "asm" -> (
+      let p = assemble path in
+      match opts.output with
+      | Some out ->
+        Bor_isa.Objfile.write_file out p;
+        Printf.printf "wrote %s (%d instructions)\n" out
+          (Bor_isa.Program.instr_count p)
+      | None -> Format.printf "%a" Bor_isa.Program.pp_listing p)
+    | "run" -> run_functional ~trace:opts.trace (assemble path)
+    | "time" -> run_timing (assemble path)
+    | "cc" when opts.dot -> (
+      match Bor_minic.Driver.dot ~cfg:(driver_config opts) (read_file path) with
+      | Ok d -> print_string d
+      | Error e ->
+        Printf.eprintf "%s: %s\n" path e;
+        exit 1)
+    | "cc" -> (
+      let c = compile opts path in
+      match opts.output with
+      | Some out ->
+        Bor_isa.Objfile.write_file out c.program;
+        Printf.printf "wrote %s (%d instructions, %d sites)\n" out
+          (Bor_isa.Program.instr_count c.program)
+          (List.length c.sites)
+      | None -> print_string c.asm)
+    | "ccrun" -> run_functional ~trace:opts.trace (compile opts path).program
+    | "cctime" -> run_timing (compile opts path).program
+    | _ -> usage ())
+  | _ -> usage ()

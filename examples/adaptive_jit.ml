@@ -1,0 +1,97 @@
+(* Adaptive re-encoding of branch-on-random frequencies at run time —
+   the mechanism behind the paper's convergent profiling (§7): "because
+   each branch-on-random instruction encodes its own frequency, it is
+   possible to efficiently implement convergent profiling, by modifying
+   the sampling frequency as information is collected."
+
+   A JIT here is simulated by pausing the functional machine every
+   200k instructions and patching the 4-bit frequency field of each
+   site's brr: sites whose profile has enough samples are slowed down
+   (halved rate), unknown sites keep sampling fast.
+
+     dune exec examples/adaptive_jit.exe *)
+
+let source = Bor_workload.Apps.source "lusearch"
+
+let () =
+  let cfg =
+    Bor_minic.Driver.config
+      Bor_minic.Instrument.(
+        Sampled (Brr (Bor_core.Freq.of_field 0), No_duplication))
+  in
+  let compiled = Bor_minic.Driver.compile_exn ~cfg source in
+  (* In the brr framework, each site's branch-on-random sits exactly at
+     the site address. *)
+  let site_pcs =
+    List.filter_map
+      (fun (addr, id) -> Some (id, addr))
+      compiled.program.sites
+  in
+  let machine = Bor_sim.Machine.create compiled.program in
+  let fields = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Bor_minic.Instrument.site_info) ->
+      Hashtbl.replace fields s.id 0)
+    compiled.sites;
+  let last_counts = Hashtbl.create 16 in
+  let target = 256 (* samples at a rate before annealing *) in
+  let retunes = ref 0 in
+  let retune () =
+    List.iter
+      (fun (id, pc) ->
+        let count =
+          List.assoc id (Bor_minic.Driver.read_profile compiled machine)
+        in
+        let last =
+          Option.value ~default:0 (Hashtbl.find_opt last_counts id)
+        in
+        if count - last >= target then begin
+          let field = min 11 (Hashtbl.find fields id + 1) in
+          Hashtbl.replace fields id field;
+          Hashtbl.replace last_counts id count;
+          Bor_sim.Machine.patch_brr_freq machine ~pc
+            (Bor_core.Freq.of_field field);
+          incr retunes
+        end)
+      site_pcs
+  in
+  (* Drive the machine in 200k-instruction slices, retuning between. *)
+  let slices = ref 0 in
+  while not (Bor_sim.Machine.halted machine) do
+    let start = (Bor_sim.Machine.stats machine).instructions in
+    while
+      (not (Bor_sim.Machine.halted machine))
+      && (Bor_sim.Machine.stats machine).instructions - start < 200_000
+    do
+      Bor_sim.Machine.step machine
+    done;
+    incr slices;
+    retune ()
+  done;
+  let st = Bor_sim.Machine.stats machine in
+  Printf.printf
+    "ran %d instructions in %d slices; %d frequency re-encodings\n"
+    st.instructions !slices !retunes;
+  Printf.printf "final per-site rates and samples:\n";
+  List.iter
+    (fun (s : Bor_minic.Instrument.site_info) ->
+      let samples =
+        List.assoc s.id (Bor_minic.Driver.read_profile compiled machine)
+      in
+      Printf.printf "  %-14s field %2d (1/%-5d) %7d samples\n" s.in_func
+        (Hashtbl.find fields s.id)
+        (Bor_core.Freq.period (Bor_core.Freq.of_field (Hashtbl.find fields s.id)))
+        samples)
+    compiled.sites;
+  (* Compare total sampling work against never annealing (all sites at
+     the initial 50%). *)
+  let flat = Bor_sim.Machine.create compiled.program in
+  (match Bor_sim.Machine.run flat with Ok _ -> () | Error e -> failwith e);
+  let total m c =
+    List.fold_left (fun a (_, n) -> a + n) 0 (Bor_minic.Driver.read_profile c m)
+  in
+  Printf.printf
+    "\nadaptive total samples: %d; flat 50%% sampling would take: %d\n"
+    (total machine compiled) (total flat compiled);
+  Printf.printf
+    "(every hot site was still characterised with hundreds of samples)\n"

@@ -1,0 +1,131 @@
+(* Method-invocation profiling end to end, the paper's Jikes use case:
+   compile a minic program under several instrumentation frameworks,
+   compare the sampled profiles against ground truth, and measure the
+   run-time overhead of each framework on the timing simulator.
+
+   This program also demonstrates the paper's resonance pathology in
+   the wild: its hot loop performs a fixed cycle of sampling checks per
+   iteration, and a counter interval that divides that cycle makes the
+   deterministic counter sample the same (payload-free) check forever,
+   collapsing the profile. An off-cycle interval recovers, and
+   branch-on-random is immune at any interval -- "users do not even
+   need to think about it in the first place".
+
+     dune exec examples/profile_methods.exe *)
+
+let source =
+  {|
+// A small "application": histogram words of a pseudo-random stream.
+int table[512];
+int rng;
+
+int next_random() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+int hash(int w) { return (w * 2654435761) & 511; }
+
+int record(int w) {
+  int h = hash(w);
+  table[h] = table[h] + 1;
+  return table[h];
+}
+
+int hot_path(int w) { return record(w & 1023); }
+int cold_path(int w) { return record(w); }
+
+int main() {
+  int i;
+  int acc = 0;
+  rng = 7;
+  for (i = 0; i < 40000; i = i + 1) {
+    int w = next_random();
+    if ((w & 7) == 0) acc = acc + cold_path(w);
+    else acc = acc + hot_path(w);
+  }
+  return acc;
+}
+|}
+
+let profile_with name framework =
+  let cfg = Bor_minic.Driver.config framework in
+  let compiled = Bor_minic.Driver.compile_exn ~cfg source in
+  (* Ground truth: the functional simulator announces every site visit
+     without perturbing the program. *)
+  let machine = Bor_sim.Machine.create compiled.program in
+  let full = Bor_sampling.Profile.create () in
+  Bor_sim.Machine.on_site machine (fun id ->
+      Bor_sampling.Profile.record full id);
+  (match Bor_sim.Machine.run machine with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  (* The instrumentation's own view: the __prof array it maintained. *)
+  let sampled = Bor_sampling.Profile.create () in
+  List.iter
+    (fun (id, n) -> Bor_sampling.Profile.record_many sampled id n)
+    (Bor_minic.Driver.read_profile compiled machine);
+  let accuracy = Bor_sampling.Profile.accuracy ~full ~sampled in
+  (* Overhead: cycles on the timing simulator vs the plain build. *)
+  let cycles =
+    let t = Bor_uarch.Pipeline.create compiled.program in
+    match Bor_uarch.Pipeline.run t with
+    | Ok st -> st.cycles
+    | Error e -> failwith e
+  in
+  (name, compiled, full, accuracy, cycles)
+
+let () =
+  let interval = 64 in
+  let plain =
+    profile_with "none" Bor_minic.Instrument.No_instrumentation
+  in
+  let _, _, _, _, base_cycles = plain in
+  let variants =
+    [
+      profile_with "full" Bor_minic.Instrument.Full;
+      profile_with "counter (1/64)"
+        Bor_minic.Instrument.(Sampled (Counter interval, Full_duplication));
+      profile_with "counter (1/61)"
+        Bor_minic.Instrument.(Sampled (Counter 61, Full_duplication));
+      profile_with "brr (1/64)"
+        Bor_minic.Instrument.(
+          Sampled (Brr (Bor_core.Freq.of_period interval), Full_duplication));
+    ]
+  in
+  Printf.printf "baseline: %d cycles\n\n" base_cycles;
+  Bor_util.Table.print
+    ~headers:[ "framework"; "samples"; "accuracy"; "overhead" ]
+    (List.map
+       (fun (name, (compiled : Bor_minic.Driver.compiled), _, accuracy, cycles)
+       ->
+         let samples =
+           List.fold_left (fun a (_, c) -> a + c) 0
+             (let m = Bor_sim.Machine.create compiled.program in
+              ignore (Bor_sim.Machine.run m);
+              Bor_minic.Driver.read_profile compiled m)
+         in
+         [
+           name;
+           string_of_int samples;
+           Bor_util.Table.pct accuracy;
+           Bor_util.Table.pct
+             (Float.of_int (cycles - base_cycles)
+             /. Float.of_int base_cycles);
+         ])
+       variants);
+  Printf.printf
+    "\nthe 1/64 counter resonates with this program's check cycle: nearly\n\
+     every sample lands on a payload-free backedge check. 1/61 breaks the\n\
+     resonance; branch-on-random never had it.\n";
+  (* Show the hottest methods from the ground truth. *)
+  let _, compiled, full, _, _ = List.nth variants 3 in
+  Printf.printf "\nhottest methods (ground truth):\n";
+  List.iter
+    (fun (id, count) ->
+      let info =
+        List.find (fun (s : Bor_minic.Instrument.site_info) -> s.id = id)
+          compiled.sites
+      in
+      Printf.printf "  %-14s %d invocations\n" info.in_func count)
+    (Bor_sampling.Profile.top full 4)

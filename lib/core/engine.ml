@@ -1,0 +1,43 @@
+type t = { lfsr : Bor_lfsr.Lfsr.t; prob : Bor_lfsr.Prob.t }
+
+(* Default seed: a dense bit pattern. Starting from sparse states (such
+   as 1) the first few thousand outputs are visibly biased -- the bias
+   is only asymptotically zero, so a sensible implementation resets the
+   register to a mixed state. *)
+let default_seed = 0xB5AD5
+
+let create ?(width = 20) ?taps ?(select = Bor_lfsr.Bit_select.Spaced)
+    ?(seed = default_seed) () =
+  let taps =
+    match taps with Some t -> t | None -> Bor_lfsr.Taps.maximal width
+  in
+  let width = taps.Bor_lfsr.Taps.width in
+  if width < 16 then
+    invalid_arg "Engine.create: the 4-bit field needs at least 16 bits";
+  let seed = seed land Bor_util.Bits.mask width in
+  let seed = if seed = 0 then default_seed land Bor_util.Bits.mask width else seed in
+  {
+    lfsr = Bor_lfsr.Lfsr.create ~seed taps;
+    prob = Bor_lfsr.Prob.create ~width select;
+  }
+
+let would_take t f =
+  Bor_lfsr.Prob.taken t.prob ~state:(Bor_lfsr.Lfsr.peek t.lfsr)
+    ~k:(Freq.and_width f)
+
+let decide t f =
+  let taken = would_take t f in
+  ignore (Bor_lfsr.Lfsr.step t.lfsr);
+  taken
+
+let decide_recorded t f =
+  let taken = would_take t f in
+  let out = Bor_lfsr.Lfsr.shifted_out_bit t.lfsr (Bor_lfsr.Lfsr.peek t.lfsr) in
+  ignore (Bor_lfsr.Lfsr.step t.lfsr);
+  (taken, out)
+
+let undo t ~shifted_out =
+  Bor_lfsr.Lfsr.shift_back t.lfsr ~recovered_msb:shifted_out
+
+let lfsr t = t.lfsr
+let copy t = { t with lfsr = Bor_lfsr.Lfsr.copy t.lfsr }

@@ -1,0 +1,625 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Err of error
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Err { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Line splitting and tokenisation                                     *)
+
+let strip_comment line =
+  let buf = Buffer.create (String.length line) in
+  let in_string = ref false in
+  (try
+     String.iter
+       (fun c ->
+         if c = '"' then in_string := not !in_string;
+         if c = ';' && not !in_string then raise Exit;
+         Buffer.add_char buf c)
+       line
+   with Exit -> ());
+  Buffer.contents buf
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+let trim = String.trim
+
+(* Split an operand field on top-level commas (commas inside quotes or
+   parentheses do not split). *)
+let split_operands s =
+  let parts = ref [] and buf = Buffer.create 16 in
+  let depth = ref 0 and in_string = ref false and in_char = ref false in
+  let flush () =
+    let p = trim (Buffer.contents buf) in
+    Buffer.clear buf;
+    if p <> "" then parts := p :: !parts
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' when not !in_char ->
+        in_string := not !in_string;
+        Buffer.add_char buf c
+      | '\'' when not !in_string ->
+        in_char := not !in_char;
+        Buffer.add_char buf c
+      | '(' when not (!in_string || !in_char) ->
+        incr depth;
+        Buffer.add_char buf c
+      | ')' when not (!in_string || !in_char) ->
+        decr depth;
+        Buffer.add_char buf c
+      | ',' when (not (!in_string || !in_char)) && !depth = 0 -> flush ()
+      | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !parts
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '.'
+
+(* ------------------------------------------------------------------ *)
+(* Literals                                                            *)
+
+let char_escape line = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> fail line "unknown escape '\\%c'" c
+
+let parse_char line s =
+  (* s includes the surrounding quotes *)
+  match String.length s with
+  | 3 when s.[0] = '\'' && s.[2] = '\'' -> Char.code s.[1]
+  | 4 when s.[0] = '\'' && s.[1] = '\\' && s.[3] = '\'' ->
+    Char.code (char_escape line s.[2])
+  | _ -> fail line "malformed character literal %s" s
+
+let parse_int_opt line s =
+  if s = "" then None
+  else if s.[0] = '\'' then Some (parse_char line s)
+  else
+    match int_of_string_opt s with
+    | Some v -> Some v
+    | None -> None
+
+let parse_string line s =
+  let n = String.length s in
+  if n < 2 || s.[0] <> '"' || s.[n - 1] <> '"' then
+    fail line "malformed string literal";
+  let buf = Buffer.create n in
+  let i = ref 1 in
+  while !i < n - 1 do
+    (if s.[!i] = '\\' && !i + 1 < n - 1 then begin
+       Buffer.add_char buf (char_escape line s.[!i + 1]);
+       incr i
+     end
+     else Buffer.add_char buf s.[!i]);
+    incr i
+  done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Operands                                                            *)
+
+type operand =
+  | Oreg of Reg.t
+  | Oimm of int
+  | Omem of int * Reg.t
+  | Omem_sym of string * int * Reg.t  (** sym+off(reg) *)
+  | Ofreq of Bor_core.Freq.t
+  | Osym of string
+
+let parse_operand line s =
+  match Reg.of_name s with
+  | Some r -> Oreg r
+  | None -> (
+    match parse_int_opt line s with
+    | Some v -> Oimm v
+    | None ->
+      if s.[0] = '#' then
+        match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+        | Some f when f >= 0 && f <= 15 -> Ofreq (Bor_core.Freq.of_field f)
+        | Some _ | None -> fail line "bad raw frequency %s (need #0..#15)" s
+      else if String.contains s '/' then begin
+        match String.split_on_char '/' s with
+        | [ "1"; den ] -> (
+          match int_of_string_opt den with
+          | Some d -> (
+            try Ofreq (Bor_core.Freq.of_period d)
+            with Invalid_argument _ ->
+              fail line "frequency %s: denominator must be 2^k, k in 1..16" s)
+          | None -> fail line "bad frequency %s" s)
+        | _ -> fail line "bad frequency %s (expected 1/2^k)" s
+      end
+      else if String.contains s '(' then begin
+        (* off(reg) *)
+        let open_p = String.index s '(' in
+        let close_p =
+          try String.index s ')'
+          with Not_found -> fail line "missing ')' in %s" s
+        in
+        let off_str = trim (String.sub s 0 open_p) in
+        let reg_str = trim (String.sub s (open_p + 1) (close_p - open_p - 1)) in
+        let base =
+          match Reg.of_name reg_str with
+          | Some r -> r
+          | None -> fail line "bad base register %s" reg_str
+        in
+        if off_str = "" then Omem (0, base)
+        else
+          match parse_int_opt line off_str with
+          | Some v -> Omem (v, base)
+          | None ->
+            (* Symbolic displacement: sym or sym+int / sym-int. *)
+            let sym, extra =
+              match String.index_opt off_str '+' with
+              | Some i ->
+                ( String.sub off_str 0 i,
+                  String.sub off_str (i + 1) (String.length off_str - i - 1)
+                )
+              | None -> (
+                match String.index_opt off_str '-' with
+                | Some i when i > 0 ->
+                  ( String.sub off_str 0 i,
+                    String.sub off_str i (String.length off_str - i) )
+                | Some _ | None -> (off_str, "0"))
+            in
+            let sym = trim sym and extra = trim extra in
+            if sym = "" || not (is_ident_start sym.[0]) then
+              fail line "bad offset %s" off_str;
+            let extra =
+              match int_of_string_opt extra with
+              | Some v -> v
+              | None -> fail line "bad offset %s" off_str
+            in
+            Omem_sym (sym, extra, base)
+      end
+      else if is_ident_start s.[0] then Osym s
+      else fail line "cannot parse operand %s" s)
+
+(* ------------------------------------------------------------------ *)
+(* Statements (post pseudo-expansion instruction templates)            *)
+
+type tmpl =
+  | Fixed of Instr.t
+  | Branch_to of Instr.cond * Reg.t * Reg.t * string
+  | Jal_to of Reg.t * string
+  | Brr_to of Bor_core.Freq.t * string
+  | Brra_to of string
+  | Lui_hi of Reg.t * string
+  | Addi_lo of Reg.t * Reg.t * string
+  | Mem_sym of Instr.width * bool * Reg.t * Reg.t * string * int
+      (** load?, data reg, base reg (gp), symbol, extra offset: the
+          gp-relative small-data form [lw rd, sym+off(gp)] *)
+
+type data_item =
+  | Dword of int
+  | Dword_sym of string
+  | Dbyte of int
+  | Dspace of int
+  | Dascii of string
+  | Dalign of int
+
+type section = Text | Data
+
+type st = {
+  mutable section : section;
+  mutable text : (int * tmpl) list; (* line, template; reversed *)
+  mutable text_words : int;
+  mutable data : (int * data_item) list; (* reversed *)
+  mutable data_bytes : int;
+  mutable labels : (string * int) list; (* name -> address *)
+  mutable sites : (int * int) list;
+  text_base : int;
+  data_base : int;
+}
+
+let here st =
+  match st.section with
+  | Text -> st.text_base + (4 * st.text_words)
+  | Data -> st.data_base + st.data_bytes
+
+let define_label st line name =
+  if List.mem_assoc name st.labels then fail line "duplicate label %s" name;
+  st.labels <- (name, here st) :: st.labels
+
+let emit st line tmpl =
+  if st.section <> Text then fail line "instruction outside .text";
+  st.text <- (line, tmpl) :: st.text;
+  st.text_words <- st.text_words + 1
+
+let emit_data st line item =
+  if st.section <> Data then fail line "data directive outside .data";
+  let size = function
+    | Dword _ | Dword_sym _ -> 4
+    | Dbyte _ -> 1
+    | Dspace n -> n
+    | Dascii s -> String.length s
+    | Dalign a ->
+      let rem = st.data_bytes mod a in
+      if rem = 0 then 0 else a - rem
+  in
+  st.data <- (line, item) :: st.data;
+  st.data_bytes <- st.data_bytes + size item
+
+(* hi/lo split with the usual rounding so the low part is signed 12. *)
+let hi_lo v =
+  let v = Bor_util.Bits.to_u32 v in
+  let hi = (v + 0x800) lsr 12 land 0xFFFFF in
+  let lo = Bor_util.Bits.sign_extend (v land 0xFFF) ~width:12 in
+  (hi, lo)
+
+(* ------------------------------------------------------------------ *)
+(* Mnemonics                                                           *)
+
+let alu_of_mnemonic = function
+  | "add" -> Some Instr.Add
+  | "sub" -> Some Instr.Sub
+  | "and" -> Some Instr.And
+  | "or" -> Some Instr.Or
+  | "xor" -> Some Instr.Xor
+  | "sll" -> Some Instr.Sll
+  | "srl" -> Some Instr.Srl
+  | "sra" -> Some Instr.Sra
+  | "slt" -> Some Instr.Slt
+  | "sltu" -> Some Instr.Sltu
+  | "mul" -> Some Instr.Mul
+  | _ -> None
+
+let alui_of_mnemonic = function
+  | "addi" -> Some Instr.Add
+  | "andi" -> Some Instr.And
+  | "ori" -> Some Instr.Or
+  | "xori" -> Some Instr.Xor
+  | "slli" -> Some Instr.Sll
+  | "srli" -> Some Instr.Srl
+  | "srai" -> Some Instr.Sra
+  | "slti" -> Some Instr.Slt
+  | "sltiu" -> Some Instr.Sltu
+  | _ -> None
+
+let cond_of_mnemonic = function
+  | "beq" -> Some Instr.Eq
+  | "bne" -> Some Instr.Ne
+  | "blt" -> Some Instr.Lt
+  | "bge" -> Some Instr.Ge
+  | "bltu" -> Some Instr.Ltu
+  | "bgeu" -> Some Instr.Geu
+  | _ -> None
+
+let expect_reg line = function
+  | Oreg r -> r
+  | _ -> fail line "expected a register"
+
+let expect_imm line = function
+  | Oimm v -> v
+  | _ -> fail line "expected an immediate"
+
+let expect_sym line = function
+  | Osym s -> s
+  | _ -> fail line "expected a label"
+
+let expect_freq line = function
+  | Ofreq f -> f
+  | _ -> fail line "expected a frequency (1/2^k or #field)"
+
+let instruction st line m ops =
+  let arity n =
+    if List.length ops <> n then
+      fail line "%s expects %d operand(s), got %d" m n (List.length ops)
+  in
+  let op i = List.nth ops i in
+  match (alu_of_mnemonic m, alui_of_mnemonic m, cond_of_mnemonic m) with
+  | Some aop, _, _ ->
+    arity 3;
+    emit st line
+      (Fixed
+         (Instr.Alu
+            (aop, expect_reg line (op 0), expect_reg line (op 1),
+             expect_reg line (op 2))))
+  | None, Some aop, _ ->
+    arity 3;
+    emit st line
+      (Fixed
+         (Instr.Alui
+            (aop, expect_reg line (op 0), expect_reg line (op 1),
+             expect_imm line (op 2))))
+  | None, None, Some c ->
+    arity 3;
+    emit st line
+      (Branch_to
+         (c, expect_reg line (op 0), expect_reg line (op 1),
+          expect_sym line (op 2)))
+  | None, None, None -> (
+    match m with
+    | "lui" ->
+      arity 2;
+      emit st line (Fixed (Instr.Lui (expect_reg line (op 0), expect_imm line (op 1))))
+    | "lw" | "lb" | "sw" | "sb" ->
+      arity 2;
+      let data = expect_reg line (op 0) in
+      let w = if m.[1] = 'w' then Instr.Word else Instr.Byte in
+      let load = m.[0] = 'l' in
+      (match op 1 with
+      | Omem (off, rb) ->
+        if load then emit st line (Fixed (Instr.Load (w, data, rb, off)))
+        else emit st line (Fixed (Instr.Store (w, data, rb, off)))
+      | Omem_sym (sym, extra, rb) ->
+        if not (Reg.equal rb Reg.gp) then
+          fail line "symbolic displacement requires the gp base register";
+        emit st line (Mem_sym (w, load, data, rb, sym, extra))
+      | Oreg _ | Oimm _ | Ofreq _ | Osym _ ->
+        fail line "expected off(reg)")
+    | "jal" -> (
+      match ops with
+      | [ Osym s ] -> emit st line (Jal_to (Reg.ra, s))
+      | [ Oreg rd; Osym s ] -> emit st line (Jal_to (rd, s))
+      | _ -> fail line "jal expects [rd,] label")
+    | "jalr" -> (
+      match ops with
+      | [ Oreg rs1 ] -> emit st line (Fixed (Instr.Jalr (Reg.zero, rs1, 0)))
+      | [ Oreg rd; Oreg rs1; Oimm imm ] ->
+        emit st line (Fixed (Instr.Jalr (rd, rs1, imm)))
+      | _ -> fail line "jalr expects rs1 | rd, rs1, imm")
+    | "brr" ->
+      arity 2;
+      emit st line (Brr_to (expect_freq line (op 0), expect_sym line (op 1)))
+    | "brra" ->
+      arity 1;
+      emit st line (Brra_to (expect_sym line (op 0)))
+    | "rdlfsr" ->
+      arity 1;
+      emit st line (Fixed (Instr.Rdlfsr (expect_reg line (op 0))))
+    | "marker" ->
+      arity 1;
+      emit st line (Fixed (Instr.Marker (expect_imm line (op 0))))
+    | "halt" ->
+      arity 0;
+      emit st line (Fixed Instr.Halt)
+    | "nop" ->
+      arity 0;
+      emit st line (Fixed Instr.Nop)
+    (* Pseudo-instructions *)
+    | "j" ->
+      arity 1;
+      emit st line (Jal_to (Reg.zero, expect_sym line (op 0)))
+    | "call" ->
+      arity 1;
+      emit st line (Jal_to (Reg.ra, expect_sym line (op 0)))
+    | "ret" ->
+      arity 0;
+      emit st line (Fixed (Instr.Jalr (Reg.zero, Reg.ra, 0)))
+    | "mv" ->
+      arity 2;
+      emit st line
+        (Fixed
+           (Instr.Alui (Instr.Add, expect_reg line (op 0),
+              expect_reg line (op 1), 0)))
+    | "not" ->
+      arity 2;
+      emit st line
+        (Fixed
+           (Instr.Alui (Instr.Xor, expect_reg line (op 0),
+              expect_reg line (op 1), -1)))
+    | "neg" ->
+      arity 2;
+      emit st line
+        (Fixed
+           (Instr.Alu (Instr.Sub, expect_reg line (op 0), Reg.zero,
+              expect_reg line (op 1))))
+    | "li" ->
+      arity 2;
+      let rd = expect_reg line (op 0) and v = expect_imm line (op 1) in
+      if Bor_util.Bits.fits_signed v ~width:12 then
+        emit st line (Fixed (Instr.Alui (Instr.Add, rd, Reg.zero, v)))
+      else begin
+        let hi, lo = hi_lo v in
+        emit st line (Fixed (Instr.Lui (rd, hi)));
+        if lo <> 0 then
+          emit st line (Fixed (Instr.Alui (Instr.Add, rd, rd, lo)))
+      end
+    | "la" ->
+      arity 2;
+      let rd = expect_reg line (op 0) and s = expect_sym line (op 1) in
+      emit st line (Lui_hi (rd, s));
+      emit st line (Addi_lo (rd, rd, s))
+    | "bgt" | "ble" | "bgtu" | "bleu" ->
+      arity 3;
+      (* Swapped-operand conveniences: bgt a,b = blt b,a etc. *)
+      let c =
+        match m with
+        | "bgt" -> Instr.Lt
+        | "ble" -> Instr.Ge
+        | "bgtu" -> Instr.Ltu
+        | _ -> Instr.Geu
+      in
+      emit st line
+        (Branch_to (c, expect_reg line (op 1), expect_reg line (op 0),
+           expect_sym line (op 2)))
+    | "beqz" ->
+      arity 2;
+      emit st line
+        (Branch_to (Instr.Eq, expect_reg line (op 0), Reg.zero,
+           expect_sym line (op 1)))
+    | "bnez" ->
+      arity 2;
+      emit st line
+        (Branch_to (Instr.Ne, expect_reg line (op 0), Reg.zero,
+           expect_sym line (op 1)))
+    | _ -> fail line "unknown mnemonic %s" m)
+
+let directive st line d ops raw_field =
+  match d with
+  | ".text" -> st.section <- Text
+  | ".data" -> st.section <- Data
+  | ".globl" | ".global" -> () (* accepted, unused *)
+  | ".word" ->
+    List.iter
+      (fun o ->
+        match o with
+        | Oimm v -> emit_data st line (Dword v)
+        | Osym s -> emit_data st line (Dword_sym s)
+        | _ -> fail line ".word expects integers or symbols")
+      ops
+  | ".byte" ->
+    List.iter
+      (fun o -> emit_data st line (Dbyte (expect_imm line o)))
+      ops
+  | ".space" ->
+    let n = expect_imm line (List.hd ops) in
+    if n < 0 then fail line ".space expects a non-negative size";
+    emit_data st line (Dspace n)
+  | ".align" ->
+    let a = expect_imm line (List.hd ops) in
+    if a <= 0 then fail line ".align expects a positive alignment";
+    emit_data st line (Dalign a)
+  | ".ascii" -> emit_data st line (Dascii (parse_string line (trim raw_field)))
+  | "site" ->
+    if st.section <> Text then fail line "site directive outside .text";
+    let id = expect_imm line (List.hd ops) in
+    st.sites <- (here st, id) :: st.sites
+  | _ -> fail line "unknown directive %s" d
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+
+let parse_line st lineno raw =
+  let s = trim (strip_comment raw) in
+  if s = "" then ()
+  else begin
+    (* optional leading label *)
+    let s =
+      match String.index_opt s ':' with
+      | Some i
+        when String.for_all
+               (fun c -> (not (is_space c)) && c <> '"' && c <> '\'')
+               (String.sub s 0 i) ->
+        define_label st lineno (String.sub s 0 i);
+        trim (String.sub s (i + 1) (String.length s - i - 1))
+      | _ -> s
+    in
+    if s = "" then ()
+    else begin
+      let mnem, rest =
+        match String.index_opt s ' ' with
+        | None -> (
+          match String.index_opt s '\t' with
+          | None -> (s, "")
+          | Some i ->
+            (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1)))
+        | Some i ->
+          (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+      in
+      let mnem = String.lowercase_ascii mnem in
+      if mnem = ".ascii" then directive st lineno mnem [] rest
+      else
+        let ops = List.map (parse_operand lineno) (split_operands rest) in
+        if mnem.[0] = '.' || mnem = "site" then
+          directive st lineno mnem ops rest
+        else instruction st lineno mnem ops
+    end
+  end
+
+let resolve st =
+  let lookup line name =
+    match List.assoc_opt name st.labels with
+    | Some a -> a
+    | None -> fail line "undefined symbol %s" name
+  in
+  let text = Array.make st.text_words Instr.Nop in
+  let items = List.rev st.text in
+  List.iteri
+    (fun idx (line, tmpl) ->
+      let addr = st.text_base + (4 * idx) in
+      let rel name =
+        let target = lookup line name in
+        let delta = target - addr in
+        if delta land 3 <> 0 then fail line "misaligned branch target %s" name;
+        delta asr 2
+      in
+      let ins =
+        match tmpl with
+        | Fixed i -> i
+        | Branch_to (c, r1, r2, s) -> Instr.Branch (c, r1, r2, rel s)
+        | Jal_to (rd, s) -> Instr.Jal (rd, rel s)
+        | Brr_to (f, s) -> Instr.Brr (f, rel s)
+        | Brra_to s -> Instr.Brr_always (rel s)
+        | Lui_hi (rd, s) -> Instr.Lui (rd, fst (hi_lo (lookup line s)))
+        | Addi_lo (rd, rs, s) ->
+          Instr.Alui (Instr.Add, rd, rs, snd (hi_lo (lookup line s)))
+        | Mem_sym (w, load, data, base, sym, extra) ->
+          let off = lookup line sym - st.data_base + extra in
+          if load then Instr.Load (w, data, base, off)
+          else Instr.Store (w, data, base, off)
+      in
+      (* Validate field widths now for a located error message. *)
+      (match Encoding.encode ins with
+      | Ok _ -> ()
+      | Error e -> fail line "%s" e);
+      text.(idx) <- ins)
+    items;
+  let data = Bytes.make st.data_bytes '\000' in
+  let cursor = ref 0 in
+  let put_word line v =
+    if !cursor + 4 > st.data_bytes then fail line "data overflow";
+    Bytes.set_int32_le data !cursor (Int32.of_int v);
+    cursor := !cursor + 4
+  in
+  List.iter
+    (fun (line, item) ->
+      match item with
+      | Dword v -> put_word line v
+      | Dword_sym s -> put_word line (lookup line s)
+      | Dbyte v ->
+        Bytes.set data !cursor (Char.chr (v land 0xFF));
+        incr cursor
+      | Dspace n -> cursor := !cursor + n
+      | Dascii s ->
+        Bytes.blit_string s 0 data !cursor (String.length s);
+        cursor := !cursor + String.length s
+      | Dalign a ->
+        let rem = !cursor mod a in
+        if rem <> 0 then cursor := !cursor + (a - rem))
+    (List.rev st.data);
+  let entry =
+    match List.assoc_opt "main" st.labels with
+    | Some a -> a
+    | None -> st.text_base
+  in
+  Program.make ~text_base:st.text_base ~data_base:st.data_base ~entry
+    ~symbols:st.labels ~sites:st.sites ~data text
+
+let assemble ?(text_base = Program.default_text_base)
+    ?(data_base = Program.default_data_base) source =
+  let st =
+    {
+      section = Text;
+      text = [];
+      text_words = 0;
+      data = [];
+      data_bytes = 0;
+      labels = [];
+      sites = [];
+      text_base;
+      data_base;
+    }
+  in
+  try
+    List.iteri
+      (fun i raw -> parse_line st (i + 1) raw)
+      (String.split_on_char '\n' source);
+    Ok (resolve st)
+  with Err e -> Error e
+
+let assemble_exn ?text_base ?data_base source =
+  match assemble ?text_base ?data_base source with
+  | Ok p -> p
+  | Error e -> failwith (Format.asprintf "assembly failed: %a" pp_error e)

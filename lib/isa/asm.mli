@@ -1,0 +1,44 @@
+(** Two-pass assembler for BRISC assembly.
+
+    Syntax overview (one statement per line, [;] starts a comment):
+    {v
+            .text
+    main:   addi  sp, sp, -16
+            lw    t0, 0(gp)
+            beq   t0, zero, done
+            brr   1/1024, sample       ; branch-on-random, p = 2^-10
+            brr   #9, sample           ; same, raw 4-bit field
+    sample: marker 1
+            brra  main                 ; 100%-taken branch-on-random
+    done:   halt
+            .data
+    var:    .word 1, 2, 3
+    buf:    .space 64
+    msg:    .ascii "hi\n"
+    v}
+
+    Pseudo-instructions: [j lbl], [call lbl], [ret], [mv rd, rs],
+    [li rd, imm], [la rd, sym], [beqz rs, lbl], [bnez rs, lbl],
+    [bgt]/[ble]/[bgtu]/[bleu] (operand-swapped branches),
+    [not rd, rs], [neg rd, rs].
+
+    Memory operands take [off(reg)] with a numeric offset, or the
+    small-data form [sym(gp)] / [sym+4(gp)] whose displacement the
+    assembler resolves as [sym - data_base] (single-instruction global
+    access; requires the [gp] base).
+
+    The [site N] directive records the {e next} instruction's address in
+    the program's site table, letting compilers mark instrumentation
+    sites for ground-truth profiling. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val assemble :
+  ?text_base:int -> ?data_base:int -> string -> (Program.t, error) result
+(** Assemble a full program. The entry point is the [main] symbol when
+    defined, otherwise the start of the text segment. *)
+
+val assemble_exn : ?text_base:int -> ?data_base:int -> string -> Program.t
+(** Raises [Failure] with a formatted error. *)

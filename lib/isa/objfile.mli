@@ -1,0 +1,22 @@
+(** A simple binary object format for linked BRISC images, so programs
+    can be assembled once and shipped to the simulators (magic
+    ["BOR1"]). The text section stores the binary instruction encodings
+    of {!Encoding}; symbols and the instrumentation site table travel
+    with the image. *)
+
+val magic : string
+
+val save : Program.t -> string
+(** Serialise to bytes.
+    @raise Invalid_argument if an instruction cannot be encoded (the
+    assembler already guarantees it can). *)
+
+val load : string -> (Program.t, string) result
+(** Parse an image produced by {!save}; checks the magic, bounds and
+    instruction decodings. *)
+
+val write_file : string -> Program.t -> unit
+val read_file : string -> (Program.t, string) result
+
+val is_object_file : string -> bool
+(** True when the string (or file contents) begins with {!magic}. *)

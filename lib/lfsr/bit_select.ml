@@ -1,0 +1,27 @@
+type t = Contiguous | Spaced | Custom of (int -> int list)
+
+(* 0, 2, 5, 9, 14, ...: gaps grow by one, matching the paper's
+   "bits 0, 2, 5, and 9 to compute a 6.25% probability". *)
+let paper_example k = List.init k (fun j -> j * (j + 3) / 2)
+
+let spread ~width ~k =
+  if k = 1 then [ 0 ]
+  else
+    List.init k (fun j -> j * (width - 1) / (k - 1))
+
+let positions t ~width ~k =
+  if k < 1 || k > width then invalid_arg "Bit_select.positions: bad k";
+  let ps =
+    match t with
+    | Contiguous -> List.init k (fun j -> j)
+    | Spaced -> spread ~width ~k
+    | Custom f -> f k
+  in
+  if List.length ps <> k then
+    invalid_arg "Bit_select.positions: wrong count from custom selector";
+  if List.exists (fun p -> p < 0 || p >= width) ps then
+    invalid_arg "Bit_select.positions: position out of range";
+  let sorted = List.sort_uniq compare ps in
+  if List.length sorted <> k then
+    invalid_arg "Bit_select.positions: duplicate positions";
+  ps

@@ -1,0 +1,27 @@
+(** Selection of which LFSR bits feed each AND gate of the probability
+    tree (paper Section 3.3 and Figure 7).
+
+    ANDing [k] (nearly) independent bits yields a signal that is 1 with
+    probability [(1/2)^k]. Adjacent bits of an LFSR are strongly
+    correlated between consecutive values — the paper's example: ANDing
+    two adjacent bits makes the conditional take-probability 50% right
+    after a take — so production designs spread the chosen bits out. *)
+
+type t =
+  | Contiguous
+      (** bits [0 .. k-1]; the naive layout the paper warns about,
+          retained for the sensitivity experiments *)
+  | Spaced
+      (** [k] bits spread evenly across the full register, the paper's
+          mitigation ("ANDing non-contiguous bits with varied spacing") *)
+  | Custom of (int -> int list)
+      (** [f k] must return [k] distinct in-range positions *)
+
+val positions : t -> width:int -> k:int -> int list
+(** [positions t ~width ~k] is the [k] register bits ANDed for
+    probability [(1/2)^k]. Raises [Invalid_argument] when [k] is not in
+    [1, width] or a custom function misbehaves. *)
+
+val paper_example : int -> int list
+(** The spacing the paper quotes for 6.25%: bits 0, 2, 5 and 9 — and its
+    triangular-gap extension for other [k] (caller must check width). *)

@@ -1,0 +1,70 @@
+type t = { width : int; exponents : int list }
+
+let make ~width exponents =
+  let rec descending = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> a > b && descending rest
+  in
+  (match exponents with
+  | w :: _ when w = width -> ()
+  | _ -> invalid_arg "Taps.make: first exponent must equal the width");
+  if not (descending exponents) then
+    invalid_arg "Taps.make: exponents must be strictly descending";
+  if List.exists (fun e -> e < 1 || e > width) exponents then
+    invalid_arg "Taps.make: exponent out of range";
+  { width; exponents }
+
+(* Primitive polynomials over GF(2), one per width (Xilinx XAPP052). *)
+let table =
+  [
+    (2, [ 2; 1 ]);
+    (3, [ 3; 2 ]);
+    (4, [ 4; 3 ]);
+    (5, [ 5; 3 ]);
+    (6, [ 6; 5 ]);
+    (7, [ 7; 6 ]);
+    (8, [ 8; 6; 5; 4 ]);
+    (9, [ 9; 5 ]);
+    (10, [ 10; 7 ]);
+    (11, [ 11; 9 ]);
+    (12, [ 12; 6; 4; 1 ]);
+    (13, [ 13; 4; 3; 1 ]);
+    (14, [ 14; 5; 3; 1 ]);
+    (15, [ 15; 14 ]);
+    (16, [ 16; 15; 13; 4 ]);
+    (17, [ 17; 14 ]);
+    (18, [ 18; 11 ]);
+    (19, [ 19; 6; 2; 1 ]);
+    (20, [ 20; 17 ]);
+    (21, [ 21; 19 ]);
+    (22, [ 22; 21 ]);
+    (23, [ 23; 18 ]);
+    (24, [ 24; 23; 22; 17 ]);
+    (25, [ 25; 22 ]);
+    (26, [ 26; 6; 2; 1 ]);
+    (27, [ 27; 5; 2; 1 ]);
+    (28, [ 28; 25 ]);
+    (29, [ 29; 27 ]);
+    (30, [ 30; 6; 4; 1 ]);
+    (31, [ 31; 28 ]);
+    (32, [ 32; 22; 2; 1 ]);
+  ]
+
+let maximal w =
+  match List.assoc_opt w table with
+  | Some exps -> make ~width:w exps
+  | None -> invalid_arg "Taps.maximal: width must be in [2, 32]"
+
+let paper_32bit =
+  List.map
+    (make ~width:32)
+    [
+      [ 32; 31; 30; 10 ];
+      [ 32; 19; 18; 13 ];
+      [ 32; 31; 30; 29; 28; 22 ];
+      [ 32; 22; 16; 15; 12; 11 ];
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "(%s)"
+    (String.concat ", " (List.map string_of_int t.exponents))

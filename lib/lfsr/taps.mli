@@ -1,0 +1,27 @@
+(** Feedback-polynomial tap tables for maximal-length Fibonacci LFSRs.
+
+    A tap set is given in the conventional polynomial notation: the list
+    of exponents of the feedback polynomial, highest first and always
+    including the register width (e.g. [[4; 3]] denotes
+    [x^4 + x^3 + 1], the polynomial behind the paper's Figure 6
+    example). {!Lfsr} converts these to shift-direction-specific bit
+    positions. *)
+
+type t = { width : int; exponents : int list }
+
+val make : width:int -> int list -> t
+(** [make ~width exps] checks that [exps] is sorted descending, starts
+    with [width], and that every exponent lies in [1, width]. Raises
+    [Invalid_argument] otherwise. *)
+
+val maximal : int -> t
+(** [maximal w] is a tap set producing a maximal-length ([2{^w} - 1])
+    sequence, for [w] in [2, 32]. Raises [Invalid_argument] outside that
+    range. *)
+
+val paper_32bit : t list
+(** The four 32-bit configurations compared in the paper's sensitivity
+    analysis: taps (32,31,30,10), (32,19,18,13), (32,31,30,29,28,22) and
+    (32,22,16,15,12,11). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,118 @@
+type config = {
+  placement : Instrument.placement;
+  framework : Instrument.framework;
+  payload : Instrument.payload_kind;
+  roi_markers : bool;
+  optimize : bool;
+}
+
+let plain =
+  {
+    placement = Instrument.Method_entry;
+    framework = Instrument.No_instrumentation;
+    payload = Instrument.Profile_count;
+    roi_markers = true;
+    optimize = true;
+  }
+
+let config ?(placement = Instrument.Method_entry)
+    ?(payload = Instrument.Profile_count) ?(optimize = true) framework =
+  { placement; framework; payload; roi_markers = true; optimize }
+
+type compiled = {
+  program : Bor_isa.Program.t;
+  asm : string;
+  sites : Instrument.site_info list;
+  prof_base : int option;
+}
+
+let patch_blob (program : Bor_isa.Program.t) (name, blob) =
+  match Bor_isa.Program.find_symbol program name with
+  | None -> Error (Printf.sprintf "blob target %s is not a symbol" name)
+  | Some addr ->
+    let off = addr - program.data_base in
+    if off < 0 || off + Bytes.length blob > Bytes.length program.data then
+      Error (Printf.sprintf "blob %s does not fit its array" name)
+    else begin
+      Bytes.blit blob 0 program.data off (Bytes.length blob);
+      Ok ()
+    end
+
+let compile ?(cfg = plain) ?(blobs = []) source =
+  try
+    let ast = Parser.parse source in
+    Typecheck.check ast;
+    let funcs = Lower.program ast in
+    if cfg.optimize then List.iter Optimize.run funcs;
+    let result =
+      Instrument.apply ~payload:cfg.payload cfg.placement cfg.framework funcs
+    in
+    if cfg.optimize then List.iter Optimize.cleanup result.funcs;
+    List.iter Ir.chain_layout result.funcs;
+    let options =
+      {
+        Codegen.counter_interval = result.counter_interval;
+        n_sites = List.length result.sites;
+        roi_markers = cfg.roi_markers;
+      }
+    in
+    let asm = Codegen.program ast.globals result.funcs options in
+    match Bor_isa.Asm.assemble asm with
+    | Error e ->
+      Error
+        (Format.asprintf "internal: generated assembly rejected: %a"
+           Bor_isa.Asm.pp_error e)
+    | Ok program -> (
+      let rec patch = function
+        | [] -> Ok ()
+        | blob :: rest -> (
+          match patch_blob program blob with
+          | Ok () -> patch rest
+          | Error _ as e -> e)
+      in
+      match patch blobs with
+      | Error e -> Error e
+      | Ok () ->
+        let prof_base =
+          if result.sites = [] then None
+          else Bor_isa.Program.find_symbol program Instrument.prof_array
+        in
+        Ok { program; asm; sites = result.sites; prof_base })
+  with
+  | Parser.Error { line; message } ->
+    Error (Printf.sprintf "parse error, line %d: %s" line message)
+  | Typecheck.Error { line; message } ->
+    Error (Printf.sprintf "type error, line %d: %s" line message)
+
+let compile_exn ?cfg ?blobs source =
+  match compile ?cfg ?blobs source with
+  | Ok c -> c
+  | Error e -> failwith e
+
+let dot ?(cfg = plain) source =
+  try
+    let ast = Parser.parse source in
+    Typecheck.check ast;
+    let funcs = Lower.program ast in
+    if cfg.optimize then List.iter Optimize.run funcs;
+    let result =
+      Instrument.apply ~payload:cfg.payload cfg.placement cfg.framework funcs
+    in
+    if cfg.optimize then List.iter Optimize.cleanup result.funcs;
+    List.iter Ir.chain_layout result.funcs;
+    Ok (String.concat "\n" (List.map Ir.to_dot result.funcs))
+  with
+  | Parser.Error { line; message } ->
+    Error (Printf.sprintf "parse error, line %d: %s" line message)
+  | Typecheck.Error { line; message } ->
+    Error (Printf.sprintf "type error, line %d: %s" line message)
+
+let read_profile compiled machine =
+  match compiled.prof_base with
+  | None -> []
+  | Some base ->
+    let mem = Bor_sim.Machine.memory machine in
+    List.map
+      (fun (s : Instrument.site_info) ->
+        (s.id, Bor_sim.Memory.read_word mem (base + (4 * s.id))))
+      compiled.sites

@@ -1,0 +1,53 @@
+(** End-to-end minic compilation: parse, typecheck, lower, instrument
+    (Arnold–Ryder), allocate, generate assembly, assemble. *)
+
+type config = {
+  placement : Instrument.placement;
+  framework : Instrument.framework;
+  payload : Instrument.payload_kind;
+  roi_markers : bool;
+  optimize : bool;  (** run {!Optimize} passes (default true) *)
+}
+
+val plain : config
+(** No instrumentation, ROI markers on. *)
+
+val config :
+  ?placement:Instrument.placement ->
+  ?payload:Instrument.payload_kind ->
+  ?optimize:bool ->
+  Instrument.framework ->
+  config
+(** Defaults: [Method_entry] placement, [Profile_count] payload,
+    optimisations on. *)
+
+type compiled = {
+  program : Bor_isa.Program.t;
+  asm : string;  (** the generated assembly, for inspection *)
+  sites : Instrument.site_info list;
+  prof_base : int option;
+      (** data address of the [__prof] array, when sites exist *)
+}
+
+val compile :
+  ?cfg:config ->
+  ?blobs:(string * Bytes.t) list ->
+  string ->
+  (compiled, string) result
+(** [blobs] patches named global char arrays with raw contents after
+    assembly (used to install the generated text corpus); each blob must
+    fit the declared array. *)
+
+val compile_exn :
+  ?cfg:config -> ?blobs:(string * Bytes.t) list -> string -> compiled
+
+val dot :
+  ?cfg:config -> string -> (string, string) result
+(** Compile a source and render every function's (instrumented,
+    optimised) CFG as one Graphviz document — a debugging view of what
+    the Arnold–Ryder transforms did. *)
+
+val read_profile :
+  compiled -> Bor_sim.Machine.t -> (int * int) list
+(** Read back the instrumentation's own [__prof] counters (site id,
+    count) from a finished machine — the {e sampled} profile. *)

@@ -1,0 +1,257 @@
+type placement = Method_entry | Cond_edges | Yieldpoints
+type payload_kind = Profile_count | Empty_payload
+type check = Counter of int | Brr of Bor_core.Freq.t
+type duplication = No_duplication | Full_duplication
+type framework = No_instrumentation | Full | Sampled of check * duplication
+type site_info = { id : int; in_func : string; kind : string }
+
+type result = {
+  funcs : Ir.func list;
+  sites : site_info list;
+  uses_counter : bool;
+  counter_interval : int option;
+}
+
+let prof_array = "__prof"
+let counter_global = "__sample_count"
+let reset_global = "__sample_reset"
+
+(* The instrumentation payload: __prof[site]++ (gp-relative, three
+   instructions), or nothing when isolating framework overhead. *)
+let payload_kind = ref Profile_count
+
+let payload (f : Ir.func) site =
+  match !payload_kind with
+  | Empty_payload -> []
+  | Profile_count ->
+    let v = Ir.fresh_vreg f in
+    [
+      Ir.Load_global (Bor_isa.Instr.Word, v, prof_array, 4 * site);
+      Ir.Bin (Bor_isa.Instr.Add, v, Ir.Vr v, Ir.Imm 1);
+      Ir.Store_global (Bor_isa.Instr.Word, Ir.Vr v, prof_array, 4 * site);
+    ]
+
+(* ------------------------------------------------------------ Sites *)
+
+(* Mark sites on the plain CFG; returns the site blocks in layout
+   order. *)
+let place_sites placement (f : Ir.func) ~split ~fresh_site =
+  match placement with
+  | Method_entry ->
+    let entry = Ir.block f f.entry in
+    entry.site <- Some (fresh_site "method");
+    [ entry.label ]
+  | Yieldpoints ->
+    let entry = Ir.block f f.entry in
+    entry.site <- Some (fresh_site "method");
+    let backs = ref [] in
+    List.iter
+      (fun l ->
+        let b = Ir.block f l in
+        if b.is_backedge && b.site = None then begin
+          b.site <- Some (fresh_site "backedge");
+          backs := l :: !backs
+        end)
+      f.block_order;
+    entry.label :: List.rev !backs
+  | Cond_edges ->
+    (* Split every conditional edge with a dedicated (site) block. The
+       fall-through edge block is laid out right after the branch, its
+       taken sibling just behind it, so the hot path stays straight.
+       The uninstrumented baseline is left unsplit: the paper compares
+       against the clean binary. *)
+    if not split then []
+    else begin
+      let sites = ref [] in
+      let labels = f.block_order in
+      List.iter
+        (fun l ->
+          let b = Ir.block f l in
+          match b.term with
+          | Ir.Cond (c, x, y, taken, fall) ->
+            let edge_block target =
+              let eb = Ir.fresh_block f (Ir.Jump target) in
+              eb.site <- Some (fresh_site "edge");
+              sites := eb.label :: !sites;
+              eb
+            in
+            let tb = edge_block taken in
+            let fb = edge_block fall in
+            Ir.move_after f ~anchor:b.label fb.label;
+            Ir.move_after f ~anchor:fb.label tb.label;
+            b.term <- Ir.Cond (c, x, y, tb.label, fb.label)
+          | Ir.Jump _ | Ir.Jump_always _ | Ir.Brr_branch _ | Ir.Ret _ -> ())
+        labels;
+      List.rev !sites
+    end
+
+(* --------------------------------------------------- Check insertion *)
+
+(* Detach a block's body and terminator into a fresh continuation block,
+   leaving [b] empty so a check can be installed; preserves incoming
+   edges (the label stays) and moves the backedge flag. *)
+let split_off_rest (f : Ir.func) (b : Ir.block) =
+  let rest = Ir.fresh_block f b.term in
+  rest.body <- b.body;
+  rest.is_backedge <- b.is_backedge;
+  b.body <- [];
+  b.is_backedge <- false;
+  (* The continuation is the common case: keep it on the fall-through
+     path (Figure 8's layout discipline). *)
+  Ir.move_after f ~anchor:b.label rest.label;
+  rest
+
+(* Figure 4, right column: a single branch-on-random to the out-of-line
+   payload, which returns with a 100%-taken branch-on-random. *)
+let insert_brr_check_no_dup (f : Ir.func) freq site_label =
+  let b = Ir.block f site_label in
+  let site = Option.get b.site in
+  let rest = split_off_rest f b in
+  let pb = Ir.fresh_block f (Ir.Jump_always rest.label) in
+  pb.body <- payload f site;
+  b.term <- Ir.Brr_branch (freq, pb.label, rest.label)
+
+(* Figure 4, left column: inline counter check. The uncommon block
+   reloads the counter from the reset value, runs the payload and
+   rejoins the common decrement path. *)
+let insert_counter_check_no_dup (f : Ir.func) site_label =
+  let b = Ir.block f site_label in
+  let site = Option.get b.site in
+  let rest = split_off_rest f b in
+  let c = Ir.fresh_vreg f in
+  (* Common path prefix: decrement and store the counter. *)
+  rest.body <-
+    Ir.Bin (Bor_isa.Instr.Sub, c, Ir.Vr c, Ir.Imm 1)
+    :: Ir.Store_global (Bor_isa.Instr.Word, Ir.Vr c, counter_global, 0)
+    :: rest.body;
+  let uncommon = Ir.fresh_block f (Ir.Jump rest.label) in
+  uncommon.body <-
+    Ir.Load_global (Bor_isa.Instr.Word, c, reset_global, 0) :: payload f site;
+  b.body <- [ Ir.Load_global (Bor_isa.Instr.Word, c, counter_global, 0) ];
+  b.term <- Ir.Cond (Bor_isa.Instr.Eq, Ir.Vr c, Ir.Imm 0, uncommon.label,
+                     rest.label)
+
+(* ---------------------------------------------------- Full duplication *)
+
+(* Install [check] deciding between [taken] (the duplicate) and [fall]
+   (the plain continuation) at the end of block [b], whose body is
+   [tail]. *)
+let install_check (f : Ir.func) check (b : Ir.block) ~taken ~fall ~tail =
+  match check with
+  | Brr freq ->
+    b.body <- tail;
+    b.term <- Ir.Brr_branch (freq, taken, fall)
+  | Counter _ ->
+    let c = Ir.fresh_vreg f in
+    b.body <-
+      tail @ [ Ir.Load_global (Bor_isa.Instr.Word, c, counter_global, 0) ];
+    (* Taken (sample) path: reload from reset, decrement, store, enter
+       the duplicate. Common path: decrement, store, continue plain. *)
+    let dec target =
+      let blk = Ir.fresh_block f (Ir.Jump target) in
+      blk.body <-
+        [ Ir.Bin (Bor_isa.Instr.Sub, c, Ir.Vr c, Ir.Imm 1);
+          Ir.Store_global (Bor_isa.Instr.Word, Ir.Vr c, counter_global, 0) ];
+      blk
+    in
+    let common = dec fall in
+    let sample = dec taken in
+    sample.body <-
+      Ir.Load_global (Bor_isa.Instr.Word, c, reset_global, 0) :: sample.body;
+    b.term <-
+      Ir.Cond (Bor_isa.Instr.Eq, Ir.Vr c, Ir.Imm 0, sample.label, common.label)
+
+(* Figure 11: duplicate the body; the duplicate carries payloads inline;
+   its backedges fall back to the plain copy; checks at the plain copy's
+   method entry and loop backedges select the duplicate. *)
+let full_duplicate (f : Ir.func) check site_labels =
+  let original_labels = f.block_order in
+  (* 1. Duplicate every block. *)
+  let mapping = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      let copy = Ir.fresh_block f (Ir.Ret None) in
+      Hashtbl.replace mapping l copy.label)
+    original_labels;
+  let to_copy l = Hashtbl.find mapping l in
+  List.iter
+    (fun l ->
+      let b = Ir.block f l in
+      let copy = Ir.block f (to_copy l) in
+      copy.body <- b.body;
+      copy.site <- b.site;
+      copy.is_backedge <- b.is_backedge;
+      (* Backedges of the duplicate return to the PLAIN copy; all other
+         edges stay inside the duplicate. *)
+      copy.term <-
+        (if b.is_backedge then b.term else Ir.map_term_labels to_copy b.term))
+    original_labels;
+  (* 2. Payload inline at each duplicated site block. *)
+  List.iter
+    (fun l ->
+      let copy = Ir.block f (to_copy l) in
+      let site = Option.get copy.site in
+      copy.body <- payload f site @ copy.body)
+    site_labels;
+  (* Every path into the duplicate's entry first passes the plain entry
+     (the check block), which already announces the method site — drop
+     the duplicate's announcement (the payload stays). *)
+  (Ir.block f (to_copy f.entry)).site <- None;
+  (* 3. Checks in the plain copy, at entry and at loop backedges. *)
+  let check_at_entry () =
+    let entry = Ir.block f f.entry in
+    let rest = split_off_rest f entry in
+    install_check f check entry ~taken:(to_copy f.entry) ~fall:rest.label
+      ~tail:[]
+  in
+  let check_at_backedge l =
+    let b = Ir.block f l in
+    match b.term with
+    | Ir.Jump header when b.is_backedge ->
+      install_check f check b ~taken:(to_copy header) ~fall:header
+        ~tail:b.body
+    | _ -> ()
+  in
+  check_at_entry ();
+  List.iter check_at_backedge original_labels
+
+(* ------------------------------------------------------------ Driver *)
+
+let apply ?payload:(payload_choice = Profile_count) placement framework funcs
+    =
+  payload_kind := payload_choice;
+  let sites = ref [] in
+  let next = ref 0 in
+  let transform (f : Ir.func) =
+    let fresh_site kind =
+      let id = !next in
+      incr next;
+      sites := { id; in_func = f.name; kind } :: !sites;
+      id
+    in
+    let split = framework <> No_instrumentation in
+    let site_labels = place_sites placement f ~split ~fresh_site in
+    (match framework with
+    | No_instrumentation ->
+      (* Sites are still marked (ground truth), payload never runs. *)
+      ()
+    | Full ->
+      List.iter
+        (fun l ->
+          let b = Ir.block f l in
+          b.body <- payload f (Option.get b.site) @ b.body)
+        site_labels
+    | Sampled (Brr freq, No_duplication) ->
+      List.iter (insert_brr_check_no_dup f freq) site_labels
+    | Sampled (Counter _, No_duplication) ->
+      List.iter (insert_counter_check_no_dup f) site_labels
+    | Sampled (check, Full_duplication) -> full_duplicate f check site_labels);
+    f
+  in
+  let funcs = List.map transform funcs in
+  let uses_counter, counter_interval =
+    match framework with
+    | Sampled (Counter i, _) -> (true, Some i)
+    | Sampled (Brr _, _) | No_instrumentation | Full -> (false, None)
+  in
+  { funcs; sites = List.rev !sites; uses_counter; counter_interval }

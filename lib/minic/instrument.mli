@@ -1,0 +1,81 @@
+(** The Arnold–Ryder instrumentation-sampling framework as CFG
+    transforms (paper Figures 1, 4, 8 and 11), parameterised by the
+    sampling check.
+
+    Placements mark {e instrumentation sites}:
+    - [Method_entry]: one site per function (the paper's method
+      invocation profiling, Section 5.2);
+    - [Cond_edges]: one site per conditional-branch edge (the paper's
+      microbenchmark edge profiling, Section 5.3). Edges are split so
+      each site has a dedicated block;
+    - [Yieldpoints]: method entries plus loop backedges, Jikes RVM's
+      own instrumentation points.
+
+    The default payload increments the site's slot in the global
+    [__prof] word array.
+
+    Frameworks:
+    - [Full]: payload inline at every site — no sampling;
+    - [Sampled (check, No_duplication)]: a check at every site. With
+      [Counter i] this is Figure 4's left column (load, compare-branch,
+      decrement, store inline; reset + payload out of line). With
+      [Brr f] it is the right column: a single branch-on-random, the
+      payload out of line at the end of the function (the Figure 8
+      layout), returning with a 100%-taken branch-on-random;
+    - [Sampled (check, Full_duplication)]: Figure 11 — the whole body is
+      duplicated, the duplicate carries the payloads inline, checks sit
+      at method entry and loop backedges of the plain copy, and the
+      duplicate's backedges fall back to the plain copy so one acyclic
+      pass is instrumented per sample.
+
+    Ground-truth site attributes are present on both copies, so the
+    functional simulator's full profile is unaffected by the framework
+    choice. *)
+
+type placement =
+  | Method_entry
+  | Cond_edges
+  | Yieldpoints
+      (** method entries {e and} loop backedges — the placement Jikes
+          RVM actually instruments (its yieldpoints), matching
+          Arnold–Ryder's original setting *)
+
+type payload_kind =
+  | Profile_count  (** the default payload: [__prof\[site\]++] *)
+  | Empty_payload
+      (** no payload instructions — isolates the {e framework} overhead,
+          the paper's solid curves in Figures 13/14 *)
+
+type check =
+  | Counter of int  (** software counter with this sampling interval *)
+  | Brr of Bor_core.Freq.t
+
+type duplication = No_duplication | Full_duplication
+
+type framework =
+  | No_instrumentation
+  | Full
+  | Sampled of check * duplication
+
+type site_info = {
+  id : int;
+  in_func : string;
+  kind : string;  (** "method" or "edge" *)
+}
+
+type result = {
+  funcs : Ir.func list;
+  sites : site_info list;
+  uses_counter : bool;  (** needs the [__sample_count]/[__sample_reset] globals *)
+  counter_interval : int option;
+}
+
+val prof_array : string
+(** ["__prof"]: the payload's counter array. *)
+
+val counter_global : string
+val reset_global : string
+
+val apply :
+  ?payload:payload_kind -> placement -> framework -> Ir.func list -> result
+(** Transform every function (rewrites the IR in place and returns it). *)

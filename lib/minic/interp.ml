@@ -1,0 +1,199 @@
+exception Runtime_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+
+type result = {
+  return_value : int;
+  globals : (string * int array) list;
+  calls : (string * int) list;
+}
+
+type value = Scalar of int ref | Array of int array
+
+exception Return_exc of int
+exception Break_exc
+exception Continue_exc
+
+type state = {
+  program : Ast.program;
+  globals : (string, value) Hashtbl.t;
+  calls : (string, int ref) Hashtbl.t;
+  mutable fuel : int;
+}
+
+let wrap = Bor_util.Bits.wrap32
+
+let alloc_value : Ast.ty -> value = function
+  | Ast.Tint | Ast.Tchar -> Scalar (ref 0)
+  | Ast.Tarray (_, n) -> Array (Array.make n 0)
+
+let eval_binop (op : Ast.binop) a b =
+  let open Bor_util.Bits in
+  let bool v = if v then 1 else 0 in
+  match op with
+  | Ast.Add -> wrap (a + b)
+  | Ast.Sub -> wrap (a - b)
+  | Ast.Mul -> wrap (a * b)
+  | Ast.Div -> if b = 0 then 0 else wrap (a / b)
+  | Ast.Mod -> if b = 0 then wrap a else wrap (a mod b)
+  | Ast.Band -> a land b
+  | Ast.Bor -> a lor b
+  | Ast.Bxor -> a lxor b
+  | Ast.Shl -> wrap (to_u32 a lsl (b land 31))
+  | Ast.Shr -> wrap (to_u32 a lsr (b land 31))
+  | Ast.Lt -> bool (a < b)
+  | Ast.Le -> bool (a <= b)
+  | Ast.Gt -> bool (a > b)
+  | Ast.Ge -> bool (a >= b)
+  | Ast.Eq -> bool (a = b)
+  | Ast.Ne -> bool (a <> b)
+  | Ast.Land | Ast.Lor -> assert false (* short-circuited by caller *)
+
+let rec lookup st scopes name =
+  match scopes with
+  | [] -> (
+    match Hashtbl.find_opt st.globals name with
+    | Some v -> v
+    | None -> fail "unknown variable %s" name)
+  | scope :: rest -> (
+    match Hashtbl.find_opt scope name with
+    | Some v -> v
+    | None -> lookup st rest name)
+
+let scalar st scopes name =
+  match lookup st scopes name with
+  | Scalar r -> r
+  | Array _ -> fail "%s is an array" name
+
+let array st scopes name =
+  match lookup st scopes name with
+  | Array a -> a
+  | Scalar _ -> fail "%s is not an array" name
+
+let rec eval st scopes (e : Ast.expr) =
+  match e.desc with
+  | Ast.Num v -> wrap v
+  | Ast.Var name -> !(scalar st scopes name)
+  | Ast.Index (name, idx) ->
+    let a = array st scopes name in
+    let i = eval st scopes idx in
+    if i < 0 || i >= Array.length a then
+      fail "index %d out of bounds for %s (line %d)" i name e.eline;
+    a.(i)
+  | Ast.Binop (Ast.Land, a, b) ->
+    if eval st scopes a = 0 then 0 else if eval st scopes b <> 0 then 1 else 0
+  | Ast.Binop (Ast.Lor, a, b) ->
+    if eval st scopes a <> 0 then 1
+    else if eval st scopes b <> 0 then 1
+    else 0
+  | Ast.Binop (op, a, b) ->
+    let va = eval st scopes a in
+    let vb = eval st scopes b in
+    eval_binop op va vb
+  | Ast.Unop (Ast.Neg, a) -> wrap (-eval st scopes a)
+  | Ast.Unop (Ast.Bnot, a) -> wrap (lnot (eval st scopes a))
+  | Ast.Unop (Ast.Lnot, a) -> if eval st scopes a = 0 then 1 else 0
+  | Ast.Call (name, args) ->
+    let vals = List.map (eval st scopes) args in
+    call st name vals
+
+and call st name args =
+  match Ast.find_func st.program name with
+  | None -> fail "undefined function %s" name
+  | Some f ->
+    (match Hashtbl.find_opt st.calls name with
+    | Some r -> incr r
+    | None -> Hashtbl.add st.calls name (ref 1));
+    let scope = Hashtbl.create 8 in
+    List.iter2
+      (fun (_, pname) v -> Hashtbl.replace scope pname (Scalar (ref v)))
+      f.params args;
+    (try
+       exec_block st [ scope ] f.body;
+       0 (* fall off the end: void or implicit 0 *)
+     with Return_exc v -> v)
+
+and exec_block st scopes block =
+  let scope = Hashtbl.create 8 in
+  List.iter (exec st (scope :: scopes)) block
+
+and exec st scopes (s : Ast.stmt) =
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then fail "out of fuel (infinite loop?)";
+  match s.sdesc with
+  | Ast.Decl (ty, name, init) ->
+    let v = alloc_value ty in
+    (match (v, init) with
+    | Scalar r, Some e -> r := eval st scopes e
+    | _, _ -> ());
+    (match scopes with
+    | scope :: _ -> Hashtbl.replace scope name v
+    | [] -> assert false)
+  | Ast.Assign (name, e) -> scalar st scopes name := eval st scopes e
+  | Ast.Index_assign (name, idx, e) ->
+    let a = array st scopes name in
+    let i = eval st scopes idx in
+    if i < 0 || i >= Array.length a then
+      fail "index %d out of bounds for %s (line %d)" i name s.sline;
+    a.(i) <- eval st scopes e
+  | Ast.If (c, t, f) ->
+    if eval st scopes c <> 0 then exec_block st scopes t
+    else exec_block st scopes f
+  | Ast.While (c, body) -> (
+    try
+      while eval st scopes c <> 0 do
+        try exec_block st scopes body with Continue_exc -> ()
+      done
+    with Break_exc -> ())
+  | Ast.For (init, cond, step, body) -> (
+    let scope = Hashtbl.create 4 in
+    let scopes = scope :: scopes in
+    Option.iter (exec st scopes) init;
+    let continue () =
+      match cond with None -> true | Some c -> eval st scopes c <> 0
+    in
+    try
+      while continue () do
+        (try exec_block st scopes body with Continue_exc -> ());
+        Option.iter (exec st scopes) step
+      done
+    with Break_exc -> ())
+  | Ast.Return None -> raise (Return_exc 0)
+  | Ast.Return (Some e) -> raise (Return_exc (eval st scopes e))
+  | Ast.Expr e -> ignore (eval st scopes e)
+  | Ast.Block b -> exec_block st scopes b
+  | Ast.Break -> raise Break_exc
+  | Ast.Continue -> raise Continue_exc
+
+let run ?(fuel = 50_000_000) (p : Ast.program) =
+  let st =
+    {
+      program = p;
+      globals = Hashtbl.create 16;
+      calls = Hashtbl.create 16;
+      fuel;
+    }
+  in
+  List.iter
+    (fun (g : Ast.global) ->
+      let v = alloc_value g.gty in
+      (match (v, g.ginit) with
+      | Scalar r, Some [ x ] -> r := wrap x
+      | Array a, Some xs -> List.iteri (fun i x -> a.(i) <- wrap x) xs
+      | _, _ -> ());
+      Hashtbl.replace st.globals g.gname v)
+    p.globals;
+  let return_value = call st "main" [] in
+  let globals =
+    List.map
+      (fun (g : Ast.global) ->
+        match Hashtbl.find st.globals g.gname with
+        | Scalar r -> (g.gname, [| !r |])
+        | Array a -> (g.gname, a))
+      p.globals
+  in
+  let calls =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) st.calls []
+    |> List.sort compare
+  in
+  { return_value; globals; calls }

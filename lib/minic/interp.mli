@@ -1,0 +1,21 @@
+(** Reference interpreter for minic, used for differential testing of
+    the compiler: a checked program is run both here and compiled on the
+    functional simulator, and results must agree.
+
+    Semantics mirror BRISC: all arithmetic wraps at 32 bits, shifts use
+    the low five bits of the count, comparison results are 0/1, [&&] and
+    [||] short-circuit. *)
+
+exception Runtime_error of string
+
+type result = {
+  return_value : int;  (** value returned by [main] (0 for void) *)
+  globals : (string * int array) list;
+      (** final contents of every global (scalars are 1-element) *)
+  calls : (string * int) list;  (** dynamic call counts per function *)
+}
+
+val run : ?fuel:int -> Ast.program -> result
+(** Execute [main]. [fuel] (default 50 million statements) bounds
+    runaway programs.
+    @raise Runtime_error on out-of-bounds indexing or fuel exhaustion. *)

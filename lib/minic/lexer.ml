@@ -1,0 +1,234 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_INT
+  | KW_CHAR
+  | KW_VOID
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | SHL
+  | SHR
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NEQ
+  | ANDAND
+  | OROR
+  | BANG
+  | TILDE
+  | ASSIGN
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | EOF
+
+exception Error of { line : int; message : string }
+
+let error line fmt =
+  Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+let keyword = function
+  | "int" -> Some KW_INT
+  | "char" -> Some KW_CHAR
+  | "void" -> Some KW_VOID
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident c = is_ident_start c || is_digit c
+
+let char_escape line = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | c -> error line "unknown escape '\\%c'" c
+
+let tokens src =
+  let n = String.length src in
+  let line = ref 1 in
+  let out = ref [] in
+  let push t = out := (t, !line) :: !out in
+  let i = ref 0 in
+  let peek k = if !i + k < n then src.[!i + k] else '\000' in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = '/' then
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if c = '/' && peek 1 = '*' then begin
+      i := !i + 2;
+      let rec skip () =
+        if !i + 1 >= n then error !line "unterminated comment"
+        else if src.[!i] = '*' && peek 1 = '/' then i := !i + 2
+        else begin
+          if src.[!i] = '\n' then incr line;
+          incr i;
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if is_digit c then begin
+      let start = !i in
+      if c = '0' && (peek 1 = 'x' || peek 1 = 'X') then begin
+        i := !i + 2;
+        while !i < n && (is_digit src.[!i] || is_ident src.[!i]) do
+          incr i
+        done
+      end
+      else
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+      let text = String.sub src start (!i - start) in
+      match int_of_string_opt text with
+      | Some v -> push (INT v)
+      | None -> error !line "bad integer literal %s" text
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      match keyword text with
+      | Some kw -> push kw
+      | None -> push (IDENT text)
+    end
+    else if c = '\'' then begin
+      (* character literal as an integer token *)
+      let v, consumed =
+        if peek 1 = '\\' then (Char.code (char_escape !line (peek 2)), 4)
+        else (Char.code (peek 1), 3)
+      in
+      if peek (consumed - 1) <> '\'' then error !line "unterminated char";
+      push (INT v);
+      i := !i + consumed
+    end
+    else begin
+      let two t =
+        push t;
+        i := !i + 2
+      in
+      let one t =
+        push t;
+        incr i
+      in
+      match (c, peek 1) with
+      | '<', '<' -> two SHL
+      | '>', '>' -> two SHR
+      | '<', '=' -> two LE
+      | '>', '=' -> two GE
+      | '=', '=' -> two EQEQ
+      | '!', '=' -> two NEQ
+      | '&', '&' -> two ANDAND
+      | '|', '|' -> two OROR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '&', _ -> one AMP
+      | '|', _ -> one PIPE
+      | '^', _ -> one CARET
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '!', _ -> one BANG
+      | '~', _ -> one TILDE
+      | '=', _ -> one ASSIGN
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | ',', _ -> one COMMA
+      | ';', _ -> one SEMI
+      | _ -> error !line "unexpected character %c" c
+    end
+  done;
+  push EOF;
+  List.rev !out
+
+let describe = function
+  | INT v -> Printf.sprintf "integer %d" v
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | KW_INT -> "'int'"
+  | KW_CHAR -> "'char'"
+  | KW_VOID -> "'void'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_WHILE -> "'while'"
+  | KW_FOR -> "'for'"
+  | KW_RETURN -> "'return'"
+  | KW_BREAK -> "'break'"
+  | KW_CONTINUE -> "'continue'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | AMP -> "'&'"
+  | PIPE -> "'|'"
+  | CARET -> "'^'"
+  | SHL -> "'<<'"
+  | SHR -> "'>>'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EQEQ -> "'=='"
+  | NEQ -> "'!='"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | BANG -> "'!'"
+  | TILDE -> "'~'"
+  | ASSIGN -> "'='"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | EOF -> "end of file"

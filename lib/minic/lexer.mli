@@ -1,0 +1,54 @@
+(** Hand-written lexer for minic (menhir/ocamllex are deliberately not
+    used; see DESIGN.md). *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_INT
+  | KW_CHAR
+  | KW_VOID
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | SHL
+  | SHR
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NEQ
+  | ANDAND
+  | OROR
+  | BANG
+  | TILDE
+  | ASSIGN
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | EOF
+
+exception Error of { line : int; message : string }
+
+val tokens : string -> (token * int) list
+(** Tokenise a whole source file into (token, line) pairs ending with
+    [EOF]. Comments are [//] to end of line and [/* ... */]. *)
+
+val describe : token -> string

@@ -1,0 +1,362 @@
+(* Where 'continue' goes and whether that jump closes the loop (a while
+   loop's continue jumps straight to the header; a for loop's continue
+   jumps to the step block, which is not itself a backedge). *)
+type loop_ctx = {
+  continue_target : Ir.label;
+  continue_is_backedge : bool;
+  break_target : Ir.label;
+}
+
+type storage =
+  | Sreg of Ir.vreg
+  | Sglobal_scalar
+  | Sglobal_array of Ast.ty  (** element type *)
+  | Sframe_array of int * Ast.ty  (** slot, element type *)
+
+type env = {
+  program : Ast.program;
+  f : Ir.func;
+  mutable scopes : (string * storage) list list;
+  mutable current : Ir.block;  (** block receiving new instructions *)
+  mutable loop_stack : loop_ctx list;
+}
+
+let lookup env name =
+  let rec go = function
+    | [] -> invalid_arg ("Lower: unbound " ^ name) (* typechecker prevents *)
+    | scope :: rest -> (
+      match List.assoc_opt name scope with Some s -> s | None -> go rest)
+  in
+  go env.scopes
+
+let declare env name storage =
+  match env.scopes with
+  | scope :: rest -> env.scopes <- ((name, storage) :: scope) :: rest
+  | [] -> assert false
+
+let push_scope env = env.scopes <- [] :: env.scopes
+let pop_scope env = env.scopes <- List.tl env.scopes
+let emit env i = Ir.append_inst env.current i
+
+let elem_width : Ast.ty -> Bor_isa.Instr.width * int = function
+  | Ast.Tchar -> (Bor_isa.Instr.Byte, 1)
+  | Ast.Tint | Ast.Tarray _ -> (Bor_isa.Instr.Word, 4)
+
+(* A fresh block that becomes the current insertion point. *)
+let start_block env term =
+  let b = Ir.fresh_block env.f term in
+  env.current <- b;
+  b
+
+let cond_of_binop : Ast.binop -> Bor_isa.Instr.cond option = function
+  | Ast.Lt -> Some Bor_isa.Instr.Lt
+  | Ast.Ge -> Some Bor_isa.Instr.Ge
+  | Ast.Eq -> Some Bor_isa.Instr.Eq
+  | Ast.Ne -> Some Bor_isa.Instr.Ne
+  | Ast.Le | Ast.Gt -> None (* handled by swapping *)
+  | _ -> None
+
+(* Address of an array element: returns (base operand, byte offset). *)
+let rec array_element env name idx =
+  let base = Ir.fresh_vreg env.f in
+  let elem_ty, storage_sym =
+    match lookup env name with
+    | Sglobal_array ty -> (ty, Ir.Global name)
+    | Sframe_array (slot, ty) -> (ty, Ir.Frame slot)
+    | Sreg _ | Sglobal_scalar -> assert false
+  in
+  emit env (Ir.Addr (base, storage_sym));
+  let width, size = elem_width elem_ty in
+  match lower_expr env idx with
+  | Ir.Imm i -> (width, Ir.Vr base, i * size)
+  | Ir.Vr iv ->
+    let addr = Ir.fresh_vreg env.f in
+    if size = 1 then begin
+      emit env (Ir.Bin (Bor_isa.Instr.Add, addr, Ir.Vr base, Ir.Vr iv));
+      (width, Ir.Vr addr, 0)
+    end
+    else begin
+      let scaled = Ir.fresh_vreg env.f in
+      emit env (Ir.Bin (Bor_isa.Instr.Sll, scaled, Ir.Vr iv, Ir.Imm 2));
+      emit env (Ir.Bin (Bor_isa.Instr.Add, addr, Ir.Vr base, Ir.Vr scaled));
+      (width, Ir.Vr addr, 0)
+    end
+
+and lower_expr env (e : Ast.expr) : Ir.operand =
+  match e.desc with
+  | Ast.Num v -> Ir.Imm v
+  | Ast.Var name -> (
+    match lookup env name with
+    | Sreg v -> Ir.Vr v
+    | Sglobal_scalar ->
+      let d = Ir.fresh_vreg env.f in
+      emit env (Ir.Load_global (Bor_isa.Instr.Word, d, name, 0));
+      Ir.Vr d
+    | Sglobal_array _ | Sframe_array _ -> assert false)
+  | Ast.Index (name, idx) ->
+    let width, base, off = array_element env name idx in
+    let d = Ir.fresh_vreg env.f in
+    emit env (Ir.Load (width, d, base, off));
+    Ir.Vr d
+  | Ast.Binop (Ast.Land, _, _) | Ast.Binop (Ast.Lor, _, _) ->
+    lower_short_circuit env e
+  | Ast.Binop (Ast.Div, a, b) | Ast.Binop (Ast.Mod, a, b) ->
+    (* BRISC has no divide unit: division is a runtime-library call
+       (software shift-subtract division emitted by the code
+       generator). *)
+    let name =
+      match e.desc with Ast.Binop (Ast.Div, _, _) -> "__div" | _ -> "__mod"
+    in
+    let va = lower_expr env a in
+    let vb = lower_expr env b in
+    let d = Ir.fresh_vreg env.f in
+    emit env (Ir.Call (name, [ va; vb ], Some d));
+    Ir.Vr d
+  | Ast.Binop (op, a, b) -> (
+    let va = lower_expr env a in
+    let vb = lower_expr env b in
+    let d = Ir.fresh_vreg env.f in
+    let bin o x y = emit env (Ir.Bin (o, d, x, y)) in
+    let setc c x y = emit env (Ir.Set_cond (c, d, x, y)) in
+    (match op with
+    | Ast.Add -> bin Bor_isa.Instr.Add va vb
+    | Ast.Sub -> bin Bor_isa.Instr.Sub va vb
+    | Ast.Mul -> bin Bor_isa.Instr.Mul va vb
+    | Ast.Band -> bin Bor_isa.Instr.And va vb
+    | Ast.Bor -> bin Bor_isa.Instr.Or va vb
+    | Ast.Bxor -> bin Bor_isa.Instr.Xor va vb
+    | Ast.Shl -> bin Bor_isa.Instr.Sll va vb
+    | Ast.Shr -> bin Bor_isa.Instr.Srl va vb
+    | Ast.Lt -> setc Bor_isa.Instr.Lt va vb
+    | Ast.Ge -> setc Bor_isa.Instr.Ge va vb
+    | Ast.Gt -> setc Bor_isa.Instr.Lt vb va
+    | Ast.Le -> setc Bor_isa.Instr.Ge vb va
+    | Ast.Eq -> setc Bor_isa.Instr.Eq va vb
+    | Ast.Ne -> setc Bor_isa.Instr.Ne va vb
+    | Ast.Div | Ast.Mod | Ast.Land | Ast.Lor -> assert false);
+    Ir.Vr d)
+  | Ast.Unop (Ast.Neg, a) ->
+    let va = lower_expr env a in
+    let d = Ir.fresh_vreg env.f in
+    emit env (Ir.Bin (Bor_isa.Instr.Sub, d, Ir.Imm 0, va));
+    Ir.Vr d
+  | Ast.Unop (Ast.Bnot, a) ->
+    let va = lower_expr env a in
+    let d = Ir.fresh_vreg env.f in
+    emit env (Ir.Bin (Bor_isa.Instr.Xor, d, va, Ir.Imm (-1)));
+    Ir.Vr d
+  | Ast.Unop (Ast.Lnot, a) ->
+    let va = lower_expr env a in
+    let d = Ir.fresh_vreg env.f in
+    emit env (Ir.Set_cond (Bor_isa.Instr.Eq, d, va, Ir.Imm 0));
+    Ir.Vr d
+  | Ast.Call (name, args) ->
+    let vargs = List.map (lower_expr env) args in
+    let d = Ir.fresh_vreg env.f in
+    emit env (Ir.Call (name, vargs, Some d));
+    Ir.Vr d
+
+(* Short-circuit && / || producing a 0/1 value via control flow. *)
+and lower_short_circuit env e =
+  let result = Ir.fresh_vreg env.f in
+  (* Evaluated into blocks: set result in both arms, converge. *)
+  let before = env.current in
+  let set_block value =
+    let b = Ir.fresh_block env.f (Ir.Ret None) in
+    env.current <- b;
+    emit env (Ir.Bin (Bor_isa.Instr.Add, result, Ir.Imm value, Ir.Imm 0));
+    b
+  in
+  let true_b = set_block 1 in
+  let false_b = set_block 0 in
+  let join = Ir.fresh_block env.f (Ir.Ret None) in
+  true_b.term <- Ir.Jump join.label;
+  false_b.term <- Ir.Jump join.label;
+  env.current <- before;
+  lower_cond env e ~then_:true_b.label ~else_:false_b.label;
+  env.current <- join;
+  Ir.Vr result
+
+(* Lower expression [e] as a branch: jump to [then_] when non-zero. The
+   current block's terminator is set; leaves no current block. *)
+and lower_cond env (e : Ast.expr) ~then_ ~else_ =
+  match e.desc with
+  | Ast.Binop (Ast.Land, a, b) ->
+    let mid = Ir.fresh_block env.f (Ir.Ret None) in
+    lower_cond env a ~then_:mid.label ~else_;
+    env.current <- mid;
+    lower_cond env b ~then_ ~else_
+  | Ast.Binop (Ast.Lor, a, b) ->
+    let mid = Ir.fresh_block env.f (Ir.Ret None) in
+    lower_cond env a ~then_ ~else_:mid.label;
+    env.current <- mid;
+    lower_cond env b ~then_ ~else_
+  | Ast.Unop (Ast.Lnot, a) -> lower_cond env a ~then_:else_ ~else_:then_
+  | Ast.Binop (op, a, b) when cond_of_binop op <> None ->
+    let c = Option.get (cond_of_binop op) in
+    let va = lower_expr env a in
+    let vb = lower_expr env b in
+    env.current.term <- Ir.Cond (c, va, vb, then_, else_)
+  | Ast.Binop (Ast.Gt, a, b) ->
+    let va = lower_expr env a in
+    let vb = lower_expr env b in
+    env.current.term <- Ir.Cond (Bor_isa.Instr.Lt, vb, va, then_, else_)
+  | Ast.Binop (Ast.Le, a, b) ->
+    let va = lower_expr env a in
+    let vb = lower_expr env b in
+    env.current.term <- Ir.Cond (Bor_isa.Instr.Ge, vb, va, then_, else_)
+  | _ ->
+    let v = lower_expr env e in
+    env.current.term <- Ir.Cond (Bor_isa.Instr.Ne, v, Ir.Imm 0, then_, else_)
+
+let store_scalar env name (value : Ir.operand) =
+  match lookup env name with
+  | Sreg v -> emit env (Ir.Bin (Bor_isa.Instr.Add, v, value, Ir.Imm 0))
+  | Sglobal_scalar ->
+    emit env (Ir.Store_global (Bor_isa.Instr.Word, value, name, 0))
+  | Sglobal_array _ | Sframe_array _ -> assert false
+
+let rec lower_stmt env (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Decl (ty, name, init) -> (
+    match ty with
+    | Ast.Tint | Ast.Tchar ->
+      (* Evaluate the initialiser before the name becomes visible, to
+         match the interpreter's scoping. *)
+      let value =
+        match init with Some e -> lower_expr env e | None -> Ir.Imm 0
+      in
+      let v = Ir.fresh_vreg env.f in
+      declare env name (Sreg v);
+      emit env (Ir.Bin (Bor_isa.Instr.Add, v, value, Ir.Imm 0))
+    | Ast.Tarray (elem, n) ->
+      let _, size = elem_width elem in
+      let bytes = (size * n + 3) land lnot 3 in
+      let slot = Ir.alloc_frame_slot env.f ~bytes in
+      declare env name (Sframe_array (slot, elem)))
+  | Ast.Assign (name, e) ->
+    let v = lower_expr env e in
+    store_scalar env name v
+  | Ast.Index_assign (name, idx, e) ->
+    let width, base, off = array_element env name idx in
+    let v = lower_expr env e in
+    emit env (Ir.Store (width, v, base, off))
+  | Ast.If (c, then_blk, else_blk) ->
+    let tb = Ir.fresh_block env.f (Ir.Ret None) in
+    let fb = Ir.fresh_block env.f (Ir.Ret None) in
+    let join = Ir.fresh_block env.f (Ir.Ret None) in
+    lower_cond env c ~then_:tb.label ~else_:fb.label;
+    env.current <- tb;
+    lower_block env then_blk;
+    env.current.term <- Ir.Jump join.label;
+    env.current <- fb;
+    lower_block env else_blk;
+    env.current.term <- Ir.Jump join.label;
+    env.current <- join
+  | Ast.While (c, body) ->
+    let header = Ir.fresh_block env.f (Ir.Ret None) in
+    let body_b = Ir.fresh_block env.f (Ir.Ret None) in
+    let exit_b = Ir.fresh_block env.f (Ir.Ret None) in
+    env.current.term <- Ir.Jump header.label;
+    env.current <- header;
+    lower_cond env c ~then_:body_b.label ~else_:exit_b.label;
+    env.loop_stack <-
+      {
+        continue_target = header.label;
+        continue_is_backedge = true;
+        break_target = exit_b.label;
+      }
+      :: env.loop_stack;
+    env.current <- body_b;
+    lower_block env body;
+    env.current.term <- Ir.Jump header.label;
+    env.current.is_backedge <- true;
+    env.loop_stack <- List.tl env.loop_stack;
+    env.current <- exit_b
+  | Ast.For (init, cond, step, body) ->
+    push_scope env;
+    Option.iter (lower_stmt env) init;
+    let header = Ir.fresh_block env.f (Ir.Ret None) in
+    let body_b = Ir.fresh_block env.f (Ir.Ret None) in
+    let step_b = Ir.fresh_block env.f (Ir.Ret None) in
+    let exit_b = Ir.fresh_block env.f (Ir.Ret None) in
+    env.current.term <- Ir.Jump header.label;
+    env.current <- header;
+    (match cond with
+    | Some c -> lower_cond env c ~then_:body_b.label ~else_:exit_b.label
+    | None -> env.current.term <- Ir.Jump body_b.label);
+    env.loop_stack <-
+      {
+        continue_target = step_b.label;
+        continue_is_backedge = false;
+        break_target = exit_b.label;
+      }
+      :: env.loop_stack;
+    env.current <- body_b;
+    lower_block env body;
+    env.current.term <- Ir.Jump step_b.label;
+    env.loop_stack <- List.tl env.loop_stack;
+    env.current <- step_b;
+    Option.iter (lower_stmt env) step;
+    env.current.term <- Ir.Jump header.label;
+    env.current.is_backedge <- true;
+    env.current <- exit_b;
+    pop_scope env
+  | Ast.Return None ->
+    env.current.term <- Ir.Ret None;
+    ignore (start_block env (Ir.Ret None))
+  | Ast.Return (Some e) ->
+    let v = lower_expr env e in
+    env.current.term <- Ir.Ret (Some v);
+    ignore (start_block env (Ir.Ret None))
+  | Ast.Expr e -> ignore (lower_expr env e)
+  | Ast.Block b -> lower_block env b
+  | Ast.Break -> (
+    match env.loop_stack with
+    | ctx :: _ ->
+      env.current.term <- Ir.Jump ctx.break_target;
+      ignore (start_block env (Ir.Ret None))
+    | [] -> assert false)
+  | Ast.Continue -> (
+    match env.loop_stack with
+    | ctx :: _ ->
+      env.current.term <- Ir.Jump ctx.continue_target;
+      if ctx.continue_is_backedge then env.current.is_backedge <- true;
+      ignore (start_block env (Ir.Ret None))
+    | [] -> assert false)
+
+and lower_block env stmts =
+  push_scope env;
+  List.iter (lower_stmt env) stmts;
+  pop_scope env
+
+let func (program : Ast.program) (af : Ast.func) =
+  let f = Ir.create_func ~name:af.fname ~nparams:(List.length af.params) in
+  let entry = Ir.fresh_block f (Ir.Ret None) in
+  assert (entry.label = f.entry);
+  let global_scope =
+    List.map
+      (fun (g : Ast.global) ->
+        match g.gty with
+        | Ast.Tint | Ast.Tchar -> (g.gname, Sglobal_scalar)
+        | Ast.Tarray (elem, _) -> (g.gname, Sglobal_array elem))
+      program.globals
+  in
+  let param_scope =
+    List.mapi (fun i (_, name) -> (name, Sreg i)) af.params
+  in
+  let env =
+    {
+      program;
+      f;
+      scopes = [ param_scope; global_scope ];
+      current = entry;
+      loop_stack = [];
+    }
+  in
+  lower_block env af.body;
+  (* Fall off the end: return 0 / void. *)
+  env.current.term <- Ir.Ret None;
+  f
+
+let program (p : Ast.program) = List.map (func p) p.funcs

@@ -1,0 +1,189 @@
+let wrap = Bor_util.Bits.wrap32
+
+(* ------------------------------------------------- constant folding *)
+
+(* Block-local: a map vreg -> known constant, invalidated at block end
+   (no cross-block dataflow needed for the patterns lowering emits). *)
+let fold_constants (f : Ir.func) =
+  let folded = ref 0 in
+  let fold_block (b : Ir.block) =
+    let known : (Ir.vreg, int) Hashtbl.t = Hashtbl.create 8 in
+    let subst (o : Ir.operand) =
+      match o with
+      | Ir.Vr v -> (
+        match Hashtbl.find_opt known v with
+        | Some c when Bor_util.Bits.fits_signed c ~width:12 -> Ir.Imm c
+        | Some _ | None -> o)
+      | Ir.Imm _ -> o
+    in
+    let rewrite (i : Ir.inst) =
+      match i with
+      | Ir.Bin (op, d, a, b') -> (
+        let a = subst a and b' = subst b' in
+        match (a, b') with
+        | Ir.Imm x, Ir.Imm y ->
+          let v = Bor_isa.Instr.eval_alu op x y in
+          Hashtbl.replace known d v;
+          incr folded;
+          Ir.Bin (Bor_isa.Instr.Add, d, Ir.Imm (wrap v), Ir.Imm 0)
+        | _ ->
+          (match (op, a, b') with
+          | Bor_isa.Instr.Add, Ir.Imm c, _ when b' = Ir.Imm 0 ->
+            Hashtbl.replace known d c
+          | _ -> Hashtbl.remove known d);
+          Ir.Bin (op, d, a, b'))
+      | Ir.Set_cond (c, d, a, b') -> (
+        let a = subst a and b' = subst b' in
+        match (a, b') with
+        | Ir.Imm x, Ir.Imm y ->
+          let v = if Bor_isa.Instr.eval_cond c x y then 1 else 0 in
+          Hashtbl.replace known d v;
+          incr folded;
+          Ir.Bin (Bor_isa.Instr.Add, d, Ir.Imm v, Ir.Imm 0)
+        | _ ->
+          Hashtbl.remove known d;
+          Ir.Set_cond (c, d, a, b'))
+      | Ir.Load (w, d, base, off) ->
+        Hashtbl.remove known d;
+        Ir.Load (w, d, subst base, off)
+      | Ir.Store (w, v, base, off) -> Ir.Store (w, subst v, subst base, off)
+      | Ir.Load_global (w, d, s, off) ->
+        Hashtbl.remove known d;
+        Ir.Load_global (w, d, s, off)
+      | Ir.Store_global (w, v, s, off) ->
+        Ir.Store_global (w, subst v, s, off)
+      | Ir.Addr (d, s) ->
+        Hashtbl.remove known d;
+        Ir.Addr (d, s)
+      | Ir.Call (name, args, ret) ->
+        Option.iter (Hashtbl.remove known) ret;
+        Ir.Call (name, List.map subst args, ret)
+      | Ir.Marker _ -> i
+    in
+    b.body <- List.map rewrite b.body;
+    (* Terminators: fold decided conditions into unconditional jumps. *)
+    b.term <-
+      (match b.term with
+      | Ir.Cond (c, a, b', taken, fall) -> (
+        match (subst a, subst b') with
+        | Ir.Imm x, Ir.Imm y ->
+          incr folded;
+          Ir.Jump (if Bor_isa.Instr.eval_cond c x y then taken else fall)
+        | a, b' -> Ir.Cond (c, a, b', taken, fall))
+      | Ir.Ret (Some o) -> Ir.Ret (Some (subst o))
+      | t -> t)
+  in
+  Ir.iter_blocks f fold_block;
+  !folded
+
+(* --------------------------------------------- dead-code elimination *)
+
+let pure_def (i : Ir.inst) =
+  match i with
+  | Ir.Bin (_, d, _, _) | Ir.Set_cond (_, d, _, _) | Ir.Addr (d, _) ->
+    Some d
+  | Ir.Load _ | Ir.Load_global _ | Ir.Store _ | Ir.Store_global _
+  | Ir.Call _ | Ir.Marker _ ->
+    None
+
+let uses_of (i : Ir.inst) =
+  let op = function Ir.Vr v -> [ v ] | Ir.Imm _ -> [] in
+  match i with
+  | Ir.Bin (_, _, a, b) | Ir.Set_cond (_, _, a, b) -> op a @ op b
+  | Ir.Load (_, _, base, _) -> op base
+  | Ir.Store (_, v, base, _) -> op v @ op base
+  | Ir.Store_global (_, v, _, _) -> op v
+  | Ir.Call (_, args, _) -> List.concat_map op args
+  | Ir.Addr _ | Ir.Load_global _ | Ir.Marker _ -> []
+
+let term_uses_of (t : Ir.term) =
+  let op = function Ir.Vr v -> [ v ] | Ir.Imm _ -> [] in
+  match t with
+  | Ir.Cond (_, a, b, _, _) -> op a @ op b
+  | Ir.Ret (Some o) -> op o
+  | Ir.Jump _ | Ir.Jump_always _ | Ir.Brr_branch _ | Ir.Ret None -> []
+
+let eliminate_dead_code (f : Ir.func) =
+  let removed = ref 0 in
+  let live_out = Regalloc.live_out_sets f in
+  Ir.iter_blocks f (fun b ->
+      let live = Hashtbl.create 16 in
+      List.iter
+        (fun v -> Hashtbl.replace live v ())
+        (List.assoc b.Ir.label live_out);
+      List.iter (fun v -> Hashtbl.replace live v ()) (term_uses_of b.Ir.term);
+      let keep =
+        List.fold_left
+          (fun acc i ->
+            match pure_def i with
+            | Some d when not (Hashtbl.mem live d) ->
+              incr removed;
+              acc
+            | _ ->
+              (match pure_def i with
+              | Some d -> Hashtbl.remove live d
+              | None -> ());
+              List.iter (fun v -> Hashtbl.replace live v ()) (uses_of i);
+              i :: acc)
+          []
+          (List.rev b.Ir.body)
+      in
+      b.body <- keep);
+  !removed
+
+(* ------------------------------------------------------ jump threading *)
+
+let thread_jumps (f : Ir.func) =
+  let target_of l =
+    (* Follow chains of empty forwarding blocks, guarding cycles. *)
+    let rec follow l seen =
+      if List.mem l seen then l
+      else
+        let b = Ir.block f l in
+        match (b.Ir.body, b.Ir.term, b.Ir.site, b.Ir.is_backedge) with
+        | [], Ir.Jump next, None, false -> follow next (l :: seen)
+        | _ -> l
+    in
+    follow l []
+  in
+  let changed = ref 0 in
+  Ir.iter_blocks f (fun b ->
+      let retarget l =
+        let l' = target_of l in
+        if l' <> l then incr changed;
+        l'
+      in
+      b.Ir.term <- Ir.map_term_labels retarget b.Ir.term);
+  !changed
+
+(* ------------------------------------------------- unreachable blocks *)
+
+let remove_unreachable (f : Ir.func) =
+  let reachable = Hashtbl.create 16 in
+  let rec visit l =
+    if not (Hashtbl.mem reachable l) then begin
+      Hashtbl.replace reachable l ();
+      List.iter visit (Ir.successors (Ir.block f l).Ir.term)
+    end
+  in
+  visit f.Ir.entry;
+  let before = List.length f.Ir.block_order in
+  f.Ir.block_order <-
+    List.filter (fun l -> Hashtbl.mem reachable l) f.Ir.block_order;
+  before - List.length f.Ir.block_order
+
+(* -------------------------------------------------------------- driver *)
+
+let run (f : Ir.func) =
+  let rec fixpoint budget =
+    let changed =
+      fold_constants f + eliminate_dead_code f + thread_jumps f
+      + remove_unreachable f
+    in
+    if changed > 0 && budget > 0 then fixpoint (budget - 1)
+  in
+  fixpoint 8
+
+let cleanup (f : Ir.func) =
+  ignore (thread_jumps f);
+  ignore (remove_unreachable f)

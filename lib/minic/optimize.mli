@@ -1,0 +1,35 @@
+(** Lightweight IR optimisations, run before instrumentation (and a
+    structure-preserving cleanup after it).
+
+    - constant folding and block-local constant propagation;
+    - dead-instruction elimination (pure defs whose value is never
+      used, driven by block-level liveness);
+    - jump threading: empty forwarding blocks are bypassed;
+    - unreachable-block elimination.
+
+    Threading and block removal never touch blocks that carry an
+    instrumentation site or close a loop ([is_backedge]) — those are
+    structural anchors for the Arnold–Ryder transforms and for
+    ground-truth profiling. *)
+
+val fold_constants : Ir.func -> int
+(** Returns the number of instructions simplified. *)
+
+val eliminate_dead_code : Ir.func -> int
+(** Remove pure instructions whose destinations are dead. Returns the
+    number removed. *)
+
+val thread_jumps : Ir.func -> int
+(** Retarget edges that point at empty, site-free, non-backedge
+    forwarding blocks. Returns the number of edges retargeted. *)
+
+val remove_unreachable : Ir.func -> int
+(** Drop blocks not reachable from the entry. Returns the number
+    removed. *)
+
+val run : Ir.func -> unit
+(** The full pre-instrumentation pipeline, iterated to a fixpoint. *)
+
+val cleanup : Ir.func -> unit
+(** The post-instrumentation passes (threading + unreachable removal),
+    which preserve sites and check structure. *)

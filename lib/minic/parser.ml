@@ -1,0 +1,380 @@
+exception Error of { line : int; message : string }
+
+let error line fmt =
+  Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+type state = { mutable toks : (Lexer.token * int) list }
+
+let peek st =
+  match st.toks with [] -> (Lexer.EOF, 0) | (t, l) :: _ -> (t, l)
+
+let line st = snd (peek st)
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let got, l = next st in
+  if got <> tok then
+    error l "expected %s but found %s" (Lexer.describe tok)
+      (Lexer.describe got)
+
+let expect_ident st =
+  match next st with
+  | Lexer.IDENT s, _ -> s
+  | t, l -> error l "expected an identifier, found %s" (Lexer.describe t)
+
+(* ------------------------------------------------------------ Expr *)
+
+(* Binding powers, loosest first. *)
+let binop_of_token : Lexer.token -> (Ast.binop * int) option = function
+  | Lexer.OROR -> Some (Ast.Lor, 1)
+  | Lexer.ANDAND -> Some (Ast.Land, 2)
+  | Lexer.PIPE -> Some (Ast.Bor, 3)
+  | Lexer.CARET -> Some (Ast.Bxor, 4)
+  | Lexer.AMP -> Some (Ast.Band, 5)
+  | Lexer.EQEQ -> Some (Ast.Eq, 6)
+  | Lexer.NEQ -> Some (Ast.Ne, 6)
+  | Lexer.LT -> Some (Ast.Lt, 7)
+  | Lexer.LE -> Some (Ast.Le, 7)
+  | Lexer.GT -> Some (Ast.Gt, 7)
+  | Lexer.GE -> Some (Ast.Ge, 7)
+  | Lexer.SHL -> Some (Ast.Shl, 8)
+  | Lexer.SHR -> Some (Ast.Shr, 8)
+  | Lexer.PLUS -> Some (Ast.Add, 9)
+  | Lexer.MINUS -> Some (Ast.Sub, 9)
+  | Lexer.STAR -> Some (Ast.Mul, 10)
+  | Lexer.SLASH -> Some (Ast.Div, 10)
+  | Lexer.PERCENT -> Some (Ast.Mod, 10)
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 0
+
+and parse_binary st min_bp =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match binop_of_token (fst (peek st)) with
+    | Some (op, bp) when bp >= min_bp ->
+      let l = line st in
+      advance st;
+      let rhs = parse_binary st (bp + 1) in
+      lhs := { Ast.desc = Ast.Binop (op, !lhs, rhs); eline = l }
+    | Some _ | None -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let t, l = peek st in
+  match t with
+  | Lexer.MINUS ->
+    advance st;
+    { Ast.desc = Ast.Unop (Ast.Neg, parse_unary st); eline = l }
+  | Lexer.TILDE ->
+    advance st;
+    { Ast.desc = Ast.Unop (Ast.Bnot, parse_unary st); eline = l }
+  | Lexer.BANG ->
+    advance st;
+    { Ast.desc = Ast.Unop (Ast.Lnot, parse_unary st); eline = l }
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let t, l = next st in
+  match t with
+  | Lexer.INT v -> { Ast.desc = Ast.Num v; eline = l }
+  | Lexer.LPAREN ->
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.IDENT name -> (
+    match fst (peek st) with
+    | Lexer.LPAREN ->
+      advance st;
+      let args = parse_args st in
+      { Ast.desc = Ast.Call (name, args); eline = l }
+    | Lexer.LBRACKET ->
+      advance st;
+      let idx = parse_expr st in
+      expect st Lexer.RBRACKET;
+      { Ast.desc = Ast.Index (name, idx); eline = l }
+    | _ -> { Ast.desc = Ast.Var name; eline = l })
+  | t -> error l "expected an expression, found %s" (Lexer.describe t)
+
+and parse_args st =
+  if fst (peek st) = Lexer.RPAREN then begin
+    advance st;
+    []
+  end
+  else
+    let rec go acc =
+      let e = parse_expr st in
+      match next st with
+      | Lexer.COMMA, _ -> go (e :: acc)
+      | Lexer.RPAREN, _ -> List.rev (e :: acc)
+      | t, l -> error l "expected ',' or ')', found %s" (Lexer.describe t)
+    in
+    go []
+
+(* ------------------------------------------------------------ Types *)
+
+let base_type st =
+  match next st with
+  | Lexer.KW_INT, _ -> Ast.Tint
+  | Lexer.KW_CHAR, _ -> Ast.Tchar
+  | t, l -> error l "expected a type, found %s" (Lexer.describe t)
+
+let array_suffix st base l =
+  match fst (peek st) with
+  | Lexer.LBRACKET -> (
+    advance st;
+    match next st with
+    | Lexer.INT n, _ when n > 0 ->
+      expect st Lexer.RBRACKET;
+      Ast.Tarray (base, n)
+    | t, _ -> error l "array size must be a positive literal, found %s"
+                (Lexer.describe t))
+  | _ -> base
+
+(* ------------------------------------------------------------ Stmt *)
+
+let rec parse_stmt st : Ast.stmt =
+  let t, l = peek st in
+  match t with
+  | Lexer.LBRACE -> { Ast.sdesc = Ast.Block (parse_block st); sline = l }
+  | Lexer.KW_INT | Lexer.KW_CHAR ->
+    let s = parse_decl st in
+    expect st Lexer.SEMI;
+    s
+  | Lexer.KW_IF ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let c = parse_expr st in
+    expect st Lexer.RPAREN;
+    let then_ = parse_block_or_stmt st in
+    let else_ =
+      if fst (peek st) = Lexer.KW_ELSE then begin
+        advance st;
+        parse_block_or_stmt st
+      end
+      else []
+    in
+    { Ast.sdesc = Ast.If (c, then_, else_); sline = l }
+  | Lexer.KW_WHILE ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let c = parse_expr st in
+    expect st Lexer.RPAREN;
+    { Ast.sdesc = Ast.While (c, parse_block_or_stmt st); sline = l }
+  | Lexer.KW_FOR ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let init =
+      if fst (peek st) = Lexer.SEMI then None else Some (parse_simple_stmt st)
+    in
+    expect st Lexer.SEMI;
+    let cond =
+      if fst (peek st) = Lexer.SEMI then None else Some (parse_expr st)
+    in
+    expect st Lexer.SEMI;
+    let step =
+      if fst (peek st) = Lexer.RPAREN then None
+      else Some (parse_simple_stmt st)
+    in
+    expect st Lexer.RPAREN;
+    { Ast.sdesc = Ast.For (init, cond, step, parse_block_or_stmt st); sline = l }
+  | Lexer.KW_RETURN ->
+    advance st;
+    let e =
+      if fst (peek st) = Lexer.SEMI then None else Some (parse_expr st)
+    in
+    expect st Lexer.SEMI;
+    { Ast.sdesc = Ast.Return e; sline = l }
+  | Lexer.KW_BREAK ->
+    advance st;
+    expect st Lexer.SEMI;
+    { Ast.sdesc = Ast.Break; sline = l }
+  | Lexer.KW_CONTINUE ->
+    advance st;
+    expect st Lexer.SEMI;
+    { Ast.sdesc = Ast.Continue; sline = l }
+  | _ ->
+    let s = parse_simple_stmt st in
+    expect st Lexer.SEMI;
+    s
+
+(* assignment / expression statement / declaration (no trailing ';') *)
+and parse_simple_stmt st : Ast.stmt =
+  let t, l = peek st in
+  match t with
+  | Lexer.KW_INT | Lexer.KW_CHAR -> parse_decl st
+  | Lexer.IDENT name -> (
+    (* Lookahead to distinguish assignment from expression. *)
+    match st.toks with
+    | _ :: (Lexer.ASSIGN, _) :: _ ->
+      advance st;
+      advance st;
+      { Ast.sdesc = Ast.Assign (name, parse_expr st); sline = l }
+    | _ :: (Lexer.LBRACKET, _) :: _ -> (
+      (* Could be a[i] = e or the expression a[i]. Parse the index, then
+         look for '='. *)
+      advance st;
+      advance st;
+      let idx = parse_expr st in
+      expect st Lexer.RBRACKET;
+      match fst (peek st) with
+      | Lexer.ASSIGN ->
+        advance st;
+        { Ast.sdesc = Ast.Index_assign (name, idx, parse_expr st); sline = l }
+      | _ ->
+        let e = { Ast.desc = Ast.Index (name, idx); eline = l } in
+        { Ast.sdesc = Ast.Expr (finish_expr st e); sline = l })
+    | _ -> { Ast.sdesc = Ast.Expr (parse_expr st); sline = l })
+  | _ -> { Ast.sdesc = Ast.Expr (parse_expr st); sline = l }
+
+(* Continue parsing binary operators after an already-parsed primary. *)
+and finish_expr st lhs =
+  let lhs = ref lhs in
+  let continue = ref true in
+  while !continue do
+    match binop_of_token (fst (peek st)) with
+    | Some (op, bp) ->
+      let l = line st in
+      advance st;
+      let rhs = parse_binary st (bp + 1) in
+      lhs := { Ast.desc = Ast.Binop (op, !lhs, rhs); eline = l }
+    | None -> continue := false
+  done;
+  !lhs
+
+and parse_decl st : Ast.stmt =
+  let l = line st in
+  let base = base_type st in
+  let name = expect_ident st in
+  let ty = array_suffix st base l in
+  let init =
+    if fst (peek st) = Lexer.ASSIGN then begin
+      advance st;
+      Some (parse_expr st)
+    end
+    else None
+  in
+  (match (ty, init) with
+  | Ast.Tarray _, Some _ -> error l "array locals cannot have initialisers"
+  | _ -> ());
+  { Ast.sdesc = Ast.Decl (ty, name, init); sline = l }
+
+and parse_block_or_stmt st : Ast.block =
+  if fst (peek st) = Lexer.LBRACE then parse_block st else [ parse_stmt st ]
+
+and parse_block st : Ast.block =
+  expect st Lexer.LBRACE;
+  let rec go acc =
+    if fst (peek st) = Lexer.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------ Decls *)
+
+let parse_const_expr st =
+  (* Globals initialisers are literal (possibly negated) integers. *)
+  match next st with
+  | Lexer.INT v, _ -> v
+  | Lexer.MINUS, _ -> (
+    match next st with
+    | Lexer.INT v, _ -> -v
+    | t, l -> error l "expected an integer, found %s" (Lexer.describe t))
+  | t, l -> error l "expected an integer, found %s" (Lexer.describe t)
+
+let parse_global_init st =
+  if fst (peek st) <> Lexer.ASSIGN then None
+  else begin
+    advance st;
+    if fst (peek st) = Lexer.LBRACE then begin
+      advance st;
+      let rec go acc =
+        let v = parse_const_expr st in
+        match next st with
+        | Lexer.COMMA, _ -> go (v :: acc)
+        | Lexer.RBRACE, _ -> List.rev (v :: acc)
+        | t, l -> error l "expected ',' or '}', found %s" (Lexer.describe t)
+      in
+      Some (go [])
+    end
+    else Some [ parse_const_expr st ]
+  end
+
+let parse_params st =
+  expect st Lexer.LPAREN;
+  match fst (peek st) with
+  | Lexer.RPAREN ->
+    advance st;
+    []
+  | Lexer.KW_VOID when List.length st.toks > 1 &&
+                       fst (List.nth st.toks 1) = Lexer.RPAREN ->
+    advance st;
+    advance st;
+    []
+  | _ ->
+    let rec go acc =
+      let ty = base_type st in
+      let name = expect_ident st in
+      match next st with
+      | Lexer.COMMA, _ -> go ((ty, name) :: acc)
+      | Lexer.RPAREN, _ -> List.rev ((ty, name) :: acc)
+      | t, l -> error l "expected ',' or ')', found %s" (Lexer.describe t)
+    in
+    go []
+
+let parse st : Ast.program =
+  let globals = ref [] and funcs = ref [] in
+  let rec go () =
+    match peek st with
+    | Lexer.EOF, _ -> ()
+    | (Lexer.KW_INT | Lexer.KW_CHAR | Lexer.KW_VOID), l ->
+      let ret =
+        match fst (peek st) with
+        | Lexer.KW_VOID ->
+          advance st;
+          None
+        | _ -> Some (base_type st)
+      in
+      let name = expect_ident st in
+      if fst (peek st) = Lexer.LPAREN then begin
+        let params = parse_params st in
+        let body = parse_block st in
+        funcs := { Ast.fname = name; ret; params; body; fline = l } :: !funcs
+      end
+      else begin
+        let base =
+          match ret with
+          | Some t -> t
+          | None -> error l "global variables cannot be void"
+        in
+        let ty = array_suffix st base l in
+        let init = parse_global_init st in
+        expect st Lexer.SEMI;
+        (match (ty, init) with
+        | (Ast.Tint | Ast.Tchar), Some vs when List.length vs <> 1 ->
+          error l "scalar global needs exactly one initialiser"
+        | _ -> ());
+        globals :=
+          { Ast.gname = name; gty = ty; ginit = init; gline = l } :: !globals
+      end;
+      go ()
+    | t, l -> error l "expected a declaration, found %s" (Lexer.describe t)
+  in
+  go ();
+  { Ast.globals = List.rev !globals; funcs = List.rev !funcs }
+
+let parse source =
+  try parse { toks = Lexer.tokens source }
+  with Lexer.Error { line; message } -> raise (Error { line; message })

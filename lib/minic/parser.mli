@@ -1,0 +1,17 @@
+(** Recursive-descent parser for minic.
+
+    Grammar sketch:
+    {v
+    program   := (global | func)*
+    global    := type IDENT array? ('=' '{' int,* '}' | '=' int)? ';'
+    func      := (type | 'void') IDENT '(' params ')' block
+    stmt      := decl | assign | if | while | for | return
+               | break ';' | continue ';' | expr ';' | block
+    expr      := precedence-climbing over || && | ^ & == != < <= > >=
+                 << >> + - * with unary - ~ !
+    v} *)
+
+exception Error of { line : int; message : string }
+
+val parse : string -> Ast.program
+(** @raise Error (or {!Lexer.Error}) with a line number on bad input. *)

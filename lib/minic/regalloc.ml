@@ -1,0 +1,258 @@
+type loc = Preg of Bor_isa.Reg.t | Spill of int
+
+type allocation = {
+  locs : loc array;
+  spill_slots : int;
+  used_callee_saved : Bor_isa.Reg.t list;
+}
+
+let scratch = (Bor_isa.Reg.x 29, Bor_isa.Reg.x 30, Bor_isa.Reg.x 31)
+
+module IntSet = Set.Make (Int)
+
+let operand_vregs = function Ir.Vr v -> [ v ] | Ir.Imm _ -> []
+
+let inst_uses = function
+  | Ir.Bin (_, _, a, b) | Ir.Set_cond (_, _, a, b) ->
+    operand_vregs a @ operand_vregs b
+  | Ir.Addr _ | Ir.Marker _ | Ir.Load_global _ -> []
+  | Ir.Load (_, _, base, _) -> operand_vregs base
+  | Ir.Store (_, v, base, _) -> operand_vregs v @ operand_vregs base
+  | Ir.Store_global (_, v, _, _) -> operand_vregs v
+  | Ir.Call (_, args, _) -> List.concat_map operand_vregs args
+
+let inst_def = function
+  | Ir.Bin (_, d, _, _) | Ir.Set_cond (_, d, _, _) | Ir.Addr (d, _)
+  | Ir.Load (_, d, _, _)
+  | Ir.Load_global (_, d, _, _) ->
+    Some d
+  | Ir.Call (_, _, ret) -> ret
+  | Ir.Store _ | Ir.Store_global _ | Ir.Marker _ -> None
+
+let term_uses = function
+  | Ir.Cond (_, a, b, _, _) -> operand_vregs a @ operand_vregs b
+  | Ir.Ret (Some o) -> operand_vregs o
+  | Ir.Jump _ | Ir.Jump_always _ | Ir.Brr_branch _ | Ir.Ret None -> []
+
+(* Per-block upward-exposed uses and defs. *)
+let block_use_def (b : Ir.block) =
+  let use = ref IntSet.empty and def = ref IntSet.empty in
+  let see_use v = if not (IntSet.mem v !def) then use := IntSet.add v !use in
+  List.iter
+    (fun i ->
+      List.iter see_use (inst_uses i);
+      match inst_def i with
+      | Some d -> def := IntSet.add d !def
+      | None -> ())
+    b.body;
+  List.iter see_use (term_uses b.term);
+  (!use, !def)
+
+let liveness (f : Ir.func) =
+  let labels = Array.of_list f.Ir.block_order in
+  let n = Array.length labels in
+  let index = Hashtbl.create n in
+  Array.iteri (fun i l -> Hashtbl.replace index l i) labels;
+  let blocks = Array.map (Ir.block f) labels in
+  let use_def = Array.map block_use_def blocks in
+  let live_in = Array.make n IntSet.empty in
+  let live_out = Array.make n IntSet.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc l -> IntSet.union acc live_in.(Hashtbl.find index l))
+          IntSet.empty
+          (Ir.successors blocks.(i).Ir.term)
+      in
+      let use, def = use_def.(i) in
+      let inn = IntSet.union use (IntSet.diff out def) in
+      if not (IntSet.equal out live_out.(i)) then begin
+        live_out.(i) <- out;
+        changed := true
+      end;
+      if not (IntSet.equal inn live_in.(i)) then begin
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  (blocks, live_in, live_out)
+
+(* Retained for tests and diagnostics: one conservative interval per
+   vreg on the linearised block order, with a crosses-call flag. *)
+let live_intervals (f : Ir.func) =
+  let blocks, live_in, live_out = liveness f in
+  let nv = Ir.vregs_used f in
+  let start = Array.make nv max_int and stop = Array.make nv (-1) in
+  let touch v pos =
+    if pos < start.(v) then start.(v) <- pos;
+    if pos > stop.(v) then stop.(v) <- pos
+  in
+  let call_positions = ref [] in
+  let pos = ref 0 in
+  List.iter (fun p -> touch p 0) f.Ir.params;
+  Array.iteri
+    (fun bi b ->
+      let bstart = !pos in
+      IntSet.iter (fun v -> touch v bstart) live_in.(bi);
+      List.iter
+        (fun i ->
+          incr pos;
+          List.iter (fun v -> touch v !pos) (inst_uses i);
+          (match inst_def i with Some d -> touch d !pos | None -> ());
+          match i with
+          | Ir.Call _ -> call_positions := !pos :: !call_positions
+          | _ -> ())
+        b.Ir.body;
+      incr pos;
+      List.iter (fun v -> touch v !pos) (term_uses b.Ir.term);
+      IntSet.iter (fun v -> touch v !pos) live_out.(bi))
+    blocks;
+  let calls = !call_positions in
+  let crosses v =
+    List.exists (fun c -> start.(v) < c && c < stop.(v)) calls
+  in
+  let out = ref [] in
+  for v = nv - 1 downto 0 do
+    if stop.(v) >= 0 then out := (v, start.(v), stop.(v), crosses v) :: !out
+  done;
+  !out
+
+let live_out_sets (f : Ir.func) =
+  let blocks, _, live_out = liveness f in
+  Array.to_list
+    (Array.mapi
+       (fun i (b : Ir.block) -> (b.Ir.label, IntSet.elements live_out.(i)))
+       blocks)
+
+let caller_pool =
+  List.init 8 (fun i -> Bor_isa.Reg.t_ i)
+  @ List.init 5 (fun i -> Bor_isa.Reg.x (24 + i))
+
+let callee_pool = List.init 8 (fun i -> Bor_isa.Reg.s i)
+
+(* Chaitin-style graph colouring over the precise block-level liveness:
+   two vregs interfere when one is defined while the other is live.
+   Values live across a call are restricted to the callee-saved pool. *)
+let allocate (f : Ir.func) =
+  let nv = Ir.vregs_used f in
+  let blocks, _live_in, live_out = liveness f in
+  let adj = Array.make nv IntSet.empty in
+  let crosses_call = Array.make nv false in
+  let seen = Array.make nv false in
+  let connect a b =
+    if a <> b then begin
+      adj.(a) <- IntSet.add b adj.(a);
+      adj.(b) <- IntSet.add a adj.(b)
+    end
+  in
+  List.iter (fun p -> seen.(p) <- true) f.Ir.params;
+  (* Parameters interfere with each other (they arrive simultaneously in
+     a0..a3). *)
+  List.iter
+    (fun a -> List.iter (fun b -> connect a b) f.Ir.params)
+    f.Ir.params;
+  Array.iteri
+    (fun bi b ->
+      (* Backward walk from live-out. *)
+      let live = ref live_out.(bi) in
+      let at_def d =
+        seen.(d) <- true;
+        IntSet.iter (fun v -> connect d v) !live;
+        live := IntSet.remove d !live
+      in
+      let at_uses i =
+        List.iter
+          (fun v ->
+            seen.(v) <- true;
+            live := IntSet.add v !live)
+          (inst_uses i)
+      in
+      List.iter
+        (fun v -> live := IntSet.add v !live)
+        (term_uses b.Ir.term);
+      List.iter
+        (fun i ->
+          (match inst_def i with Some d -> at_def d | None -> ());
+          (match i with
+          | Ir.Call _ -> IntSet.iter (fun v -> crosses_call.(v) <- true) !live
+          | _ -> ());
+          at_uses i)
+        (List.rev b.Ir.body))
+    blocks;
+  (* Colour: simplify low-degree nodes first, optimistic select. *)
+  let pool v =
+    if crosses_call.(v) then callee_pool else caller_pool @ callee_pool
+  in
+  let k v = List.length (pool v) in
+  let removed = Array.make nv false in
+  let degree =
+    Array.init nv (fun v -> IntSet.cardinal adj.(v))
+  in
+  let stack = ref [] in
+  let nodes = List.filter (fun v -> seen.(v)) (List.init nv Fun.id) in
+  let remaining = ref (List.length nodes) in
+  while !remaining > 0 do
+    let candidate =
+      List.find_opt
+        (fun v -> seen.(v) && (not removed.(v)) && degree.(v) < k v)
+        nodes
+    in
+    let v =
+      match candidate with
+      | Some v -> v
+      | None ->
+        (* Potential spill: pick the highest-degree remaining node. *)
+        List.fold_left
+          (fun best v ->
+            if (not seen.(v)) || removed.(v) then best
+            else
+              match best with
+              | None -> Some v
+              | Some b -> if degree.(v) > degree.(b) then Some v else best)
+          None nodes
+        |> Option.get
+    in
+    removed.(v) <- true;
+    decr remaining;
+    IntSet.iter
+      (fun u -> if not removed.(u) then degree.(u) <- degree.(u) - 1)
+      adj.(v);
+    stack := v :: !stack
+  done;
+  let locs = Array.make nv (Spill 0) in
+  let assigned = Array.make nv None in
+  let spills = ref 0 in
+  let used_callee = ref [] in
+  List.iter
+    (fun v ->
+      let taken =
+        IntSet.fold
+          (fun u acc ->
+            match assigned.(u) with Some r -> r :: acc | None -> acc)
+          adj.(v) []
+      in
+      match
+        List.find_opt
+          (fun r -> not (List.exists (Bor_isa.Reg.equal r) taken))
+          (pool v)
+      with
+      | Some r ->
+        assigned.(v) <- Some r;
+        locs.(v) <- Preg r;
+        if
+          List.exists (Bor_isa.Reg.equal r) callee_pool
+          && not (List.exists (Bor_isa.Reg.equal r) !used_callee)
+        then used_callee := r :: !used_callee
+      | None ->
+        locs.(v) <- Spill !spills;
+        incr spills)
+    !stack;
+  {
+    locs;
+    spill_slots = !spills;
+    used_callee_saved = List.sort Bor_isa.Reg.compare !used_callee;
+  }

@@ -1,0 +1,32 @@
+(** Register allocation over the IR's virtual registers by interference
+    -graph colouring (Chaitin style) on precise block-level liveness.
+
+    Precise interference matters here: Full-Duplication reuses the same
+    vregs in the plain and instrumented copies of a body, so an
+    interval-based allocator would see every temporary as live across
+    the whole function and spill the world. Values live across a call
+    are restricted to the callee-saved pool ([s0]–[s7]); others may use
+    caller-saved ([t0]–[t7], [x24]–[x28]) as well. [x29]–[x31] are
+    reserved as spill/assembly scratch and never allocated. Colouring
+    overflow spills to frame slots. *)
+
+type loc = Preg of Bor_isa.Reg.t | Spill of int  (** spill slot index *)
+
+type allocation = {
+  locs : loc array;  (** indexed by vreg *)
+  spill_slots : int;
+  used_callee_saved : Bor_isa.Reg.t list;  (** to save/restore in the frame *)
+}
+
+val scratch : Bor_isa.Reg.t * Bor_isa.Reg.t * Bor_isa.Reg.t
+(** The three reserved scratch registers (x29, x30, x31). *)
+
+val allocate : Ir.func -> allocation
+
+val live_intervals : Ir.func -> (Ir.vreg * int * int * bool) list
+(** (vreg, start, end, crosses_call): conservative linearised intervals,
+    exposed for tests and diagnostics. *)
+
+val live_out_sets : Ir.func -> (Ir.label * Ir.vreg list) list
+(** Per-block live-out vregs, in layout order — shared with the
+    optimizer's dead-code elimination. *)

@@ -1,0 +1,158 @@
+exception Error of { line : int; message : string }
+
+let error line fmt =
+  Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+type entry = Scalar | Array of int
+
+type env = {
+  program : Ast.program;
+  mutable scopes : (string * entry) list list;
+  current : Ast.func;
+  in_loop : bool;
+}
+
+let lookup env line name =
+  let rec go = function
+    | [] -> error line "unknown variable %s" name
+    | scope :: rest -> (
+      match List.assoc_opt name scope with Some e -> e | None -> go rest)
+  in
+  go env.scopes
+
+let entry_of_ty = function
+  | Ast.Tint | Ast.Tchar -> Scalar
+  | Ast.Tarray (_, n) -> Array n
+
+let declare env line name ty =
+  match env.scopes with
+  | [] -> assert false
+  | scope :: rest ->
+    if List.mem_assoc name scope then
+      error line "redeclaration of %s in the same scope" name;
+    env.scopes <- ((name, entry_of_ty ty) :: scope) :: rest
+
+let rec check_expr env (e : Ast.expr) =
+  match e.desc with
+  | Ast.Num _ -> ()
+  | Ast.Var name -> (
+    match lookup env e.eline name with
+    | Scalar -> ()
+    | Array _ -> error e.eline "%s is an array, not a value" name)
+  | Ast.Index (name, idx) -> (
+    check_expr env idx;
+    match lookup env e.eline name with
+    | Array _ -> ()
+    | Scalar -> error e.eline "%s is not an array" name)
+  | Ast.Binop (_, a, b) ->
+    check_expr env a;
+    check_expr env b
+  | Ast.Unop (_, a) -> check_expr env a
+  | Ast.Call (name, args) -> (
+    List.iter (check_expr env) args;
+    match Ast.find_func env.program name with
+    | None -> error e.eline "call to undefined function %s" name
+    | Some f ->
+      if List.length f.params <> List.length args then
+        error e.eline "%s expects %d argument(s), got %d" name
+          (List.length f.params) (List.length args))
+
+let rec check_stmt env (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Decl (ty, name, init) ->
+    (match (ty, init) with
+    | Ast.Tarray _, Some _ ->
+      error s.sline "array locals cannot have initialisers"
+    | _, Some e -> check_expr env e
+    | _, None -> ());
+    declare env s.sline name ty
+  | Ast.Assign (name, e) -> (
+    check_expr env e;
+    match lookup env s.sline name with
+    | Scalar -> ()
+    | Array _ -> error s.sline "cannot assign to array %s" name)
+  | Ast.Index_assign (name, idx, e) -> (
+    check_expr env idx;
+    check_expr env e;
+    match lookup env s.sline name with
+    | Array _ -> ()
+    | Scalar -> error s.sline "%s is not an array" name)
+  | Ast.If (c, t, f) ->
+    check_expr env c;
+    check_block env t;
+    check_block env f
+  | Ast.While (c, body) ->
+    check_expr env c;
+    check_block { env with in_loop = true } body
+  | Ast.For (init, cond, step, body) ->
+    (* The init declaration scopes over the whole loop. *)
+    env.scopes <- [] :: env.scopes;
+    Option.iter (check_stmt env) init;
+    Option.iter (check_expr env) cond;
+    check_block { env with in_loop = true } body;
+    Option.iter (check_stmt { env with in_loop = true }) step;
+    env.scopes <- List.tl env.scopes
+  | Ast.Return e -> (
+    match (env.current.ret, e) with
+    | None, Some _ ->
+      error s.sline "void function %s returns a value" env.current.fname
+    | Some _, None ->
+      error s.sline "function %s must return a value" env.current.fname
+    | None, None -> ()
+    | Some _, Some e -> check_expr env e)
+  | Ast.Expr e -> check_expr env e
+  | Ast.Block b -> check_block env b
+  | Ast.Break ->
+    if not env.in_loop then error s.sline "break outside a loop"
+  | Ast.Continue ->
+    if not env.in_loop then error s.sline "continue outside a loop"
+
+and check_block env block =
+  env.scopes <- [] :: env.scopes;
+  List.iter (check_stmt env) block;
+  env.scopes <- List.tl env.scopes
+
+let check_func program globals (f : Ast.func) =
+  if List.length f.params > 4 then
+    error f.fline "%s: at most 4 parameters are supported" f.fname;
+  List.iter
+    (fun ((ty : Ast.ty), name) ->
+      match ty with
+      | Ast.Tarray _ -> error f.fline "parameter %s: arrays cannot be passed" name
+      | Ast.Tint | Ast.Tchar -> ignore name)
+    f.params;
+  let param_scope = List.map (fun (_, name) -> (name, Scalar)) f.params in
+  let env =
+    { program; scopes = [ param_scope; globals ]; current = f; in_loop = false }
+  in
+  check_block env f.body
+
+let check (p : Ast.program) =
+  (* Duplicate global / function names. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Ast.global) ->
+      if Hashtbl.mem seen g.gname then
+        error g.gline "duplicate global %s" g.gname;
+      Hashtbl.add seen g.gname ();
+      match (g.gty, g.ginit) with
+      | Ast.Tarray (_, n), Some vs when List.length vs > n ->
+        error g.gline "%s: %d initialisers for %d elements" g.gname
+          (List.length vs) n
+      | _ -> ())
+    p.globals;
+  let fseen = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem fseen f.fname then
+        error f.fline "duplicate function %s" f.fname;
+      Hashtbl.add fseen f.fname ())
+    p.funcs;
+  (match Ast.find_func p "main" with
+  | None -> error 0 "missing main function"
+  | Some m ->
+    if m.params <> [] then error m.fline "main takes no parameters");
+  let globals =
+    List.map (fun (g : Ast.global) -> (g.gname, entry_of_ty g.gty)) p.globals
+  in
+  List.iter (check_func p globals) p.funcs

@@ -1,0 +1,12 @@
+(** Static checks for minic programs.
+
+    Verifies name resolution, arity and scalar/array usage, rejects
+    [break]/[continue] outside loops, requires a [main] function, and
+    enforces the code generator's limits (at most four parameters;
+    parameters are scalars). [int] and [char] values are mutually
+    assignable (both are 32-bit in BRISC); arrays are not values. *)
+
+exception Error of { line : int; message : string }
+
+val check : Ast.program -> unit
+(** @raise Error on the first violation found. *)

@@ -1,0 +1,85 @@
+type t = {
+  engine : Bor_core.Engine.t;
+  initial : Bor_core.Freq.t;
+  floor : Bor_core.Freq.t;
+  window : int;
+  threshold : float;
+  profile : Profile.t;
+  mutable snapshot : Profile.t; (* cumulative profile at last adaptation *)
+  mutable freq : Bor_core.Freq.t;
+  mutable visits : int;
+  mutable samples : int;
+  mutable window_samples : int;
+  mutable adaptations : (int * Bor_core.Freq.t) list;
+}
+
+let create ?engine ?(initial = Bor_core.Freq.of_field 0)
+    ?(floor = Bor_core.Freq.of_field 11) ?(window = 256) ?(threshold = 0.02)
+    () =
+  if window <= 0 then invalid_arg "Convergent.create: window";
+  if Bor_core.Freq.compare initial floor > 0 then
+    invalid_arg "Convergent.create: initial must be at least as fast as floor";
+  let engine =
+    match engine with Some e -> e | None -> Bor_core.Engine.create ()
+  in
+  {
+    engine;
+    initial;
+    floor;
+    window;
+    threshold;
+    profile = Profile.create ();
+    snapshot = Profile.create ();
+    freq = initial;
+    visits = 0;
+    samples = 0;
+    window_samples = 0;
+    adaptations = [];
+  }
+
+(* Largest change of any site's fraction between two profiles. *)
+let max_fraction_shift before after =
+  let worst = ref 0. in
+  let consider id =
+    let d = Float.abs (Profile.fraction before id -. Profile.fraction after id) in
+    if d > !worst then worst := d
+  in
+  Profile.iter before (fun id _ -> consider id);
+  Profile.iter after (fun id _ -> consider id);
+  !worst
+
+let set_freq t field_delta =
+  let field = Bor_core.Freq.to_field t.freq + field_delta in
+  let field = max (Bor_core.Freq.to_field t.initial) field in
+  let field = min (Bor_core.Freq.to_field t.floor) field in
+  let freq = Bor_core.Freq.of_field field in
+  if not (Bor_core.Freq.equal freq t.freq) then begin
+    t.freq <- freq;
+    t.adaptations <- (t.visits, freq) :: t.adaptations
+  end
+
+let adapt t =
+  let shift = max_fraction_shift t.snapshot t.profile in
+  (* Converged: halve the rate (field + 1). Drifting: re-characterise
+     fast by jumping back toward the initial rate. *)
+  if Profile.total t.snapshot = 0 || shift <= t.threshold then set_freq t 1
+  else set_freq t (-2);
+  t.snapshot <- Profile.copy t.profile;
+  t.window_samples <- 0
+
+let visit t site =
+  t.visits <- t.visits + 1;
+  let sample = Bor_core.Engine.decide t.engine t.freq in
+  if sample then begin
+    Profile.record t.profile site;
+    t.samples <- t.samples + 1;
+    t.window_samples <- t.window_samples + 1;
+    if t.window_samples >= t.window then adapt t
+  end;
+  sample
+
+let frequency t = t.freq
+let profile t = t.profile
+let visits t = t.visits
+let samples t = t.samples
+let adaptations t = List.rev t.adaptations

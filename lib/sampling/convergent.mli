@@ -1,0 +1,39 @@
+(** Convergent profiling (paper Section 7, after Calder et al.): start
+    sampling at a high rate; once the collected profile stops changing,
+    anneal the branch-on-random frequency downward — each site's
+    instruction re-encodes its own frequency, so this costs nothing at
+    run time. If low-rate samples drift from the characterised
+    behaviour, snap the rate back up to re-characterise.
+
+    Stability is judged per adaptation window by the maximum change in
+    any site's sample fraction between the cumulative profile before and
+    after the window. *)
+
+type t
+
+val create :
+  ?engine:Bor_core.Engine.t ->
+  ?initial:Bor_core.Freq.t ->
+  ?floor:Bor_core.Freq.t ->
+  ?window:int ->
+  ?threshold:float ->
+  unit ->
+  t
+(** [initial] (default 1/2) is the fastest rate, [floor] (default
+    1/4096) the slowest the annealer may reach. [window] (default 256)
+    is the number of {e samples} per adaptation step; [threshold]
+    (default 0.02) the maximum fraction shift regarded as "converged". *)
+
+val visit : t -> int -> bool
+(** [visit t site] — returns [true] when this visit is sampled (the
+    sample is recorded internally). *)
+
+val frequency : t -> Bor_core.Freq.t
+(** The currently encoded frequency. *)
+
+val profile : t -> Profile.t
+val visits : t -> int
+val samples : t -> int
+
+val adaptations : t -> (int * Bor_core.Freq.t) list
+(** History of (visit number, new frequency), oldest first. *)

@@ -1,0 +1,18 @@
+type stream = (int -> unit) -> unit
+
+let collect (events : stream) sampler =
+  let full = Profile.create () and sampled = Profile.create () in
+  events (fun site ->
+      Profile.record full site;
+      if Sampler.visit sampler then Profile.record sampled site);
+  (full, sampled)
+
+let accuracy_of events sampler =
+  let full, sampled = collect events sampler in
+  Profile.accuracy ~full ~sampled
+
+let accuracy_summary make_sampler events ~seeds =
+  let accuracies =
+    List.map (fun seed -> accuracy_of events (make_sampler seed)) seeds
+  in
+  Bor_util.Stats.summarize accuracies

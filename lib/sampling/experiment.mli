@@ -1,0 +1,22 @@
+(** Drivers for accuracy experiments over site-event streams.
+
+    An event stream is any function that feeds site ids to a callback —
+    synthetic generators ({!Bor_workload}) and the functional simulator
+    (via site hooks) both fit. *)
+
+type stream = (int -> unit) -> unit
+
+val collect : stream -> Sampler.t -> Profile.t * Profile.t
+(** [collect events sampler] runs the stream once, recording every event
+    in the full profile and the sampled subset in the sampled profile.
+    Returns [(full, sampled)]. *)
+
+val accuracy_of : stream -> Sampler.t -> float
+(** Overlap accuracy of the sampler on the stream (Section 4.1). *)
+
+val accuracy_summary :
+  (int -> Sampler.t) -> stream -> seeds:int list -> Bor_util.Stats.summary
+(** [accuracy_summary make_sampler events ~seeds] re-runs the experiment
+    with per-seed samplers (the paper's "initializing the LFSR with
+    different values") and summarises the accuracies, for significance
+    comparisons. *)

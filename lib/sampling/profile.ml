@@ -1,0 +1,50 @@
+type t = { counts : (int, int ref) Hashtbl.t; mutable total : int }
+
+let create () = { counts = Hashtbl.create 128; total = 0 }
+
+let record_many t id n =
+  if n < 0 then invalid_arg "Profile.record_many";
+  (match Hashtbl.find_opt t.counts id with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add t.counts id (ref n));
+  t.total <- t.total + n
+
+let record t id = record_many t id 1
+
+let count t id =
+  match Hashtbl.find_opt t.counts id with Some r -> !r | None -> 0
+
+let total t = t.total
+let distinct_sites t = Hashtbl.length t.counts
+
+let fraction t id =
+  if t.total = 0 then 0. else Float.of_int (count t id) /. Float.of_int t.total
+
+let top t n =
+  let all = Hashtbl.fold (fun id r acc -> (id, !r) :: acc) t.counts [] in
+  let sorted =
+    List.sort (fun (i1, c1) (i2, c2) -> compare (c2, i1) (c1, i2)) all
+  in
+  List.filteri (fun i _ -> i < n) sorted
+
+let accuracy ~full ~sampled =
+  if total sampled = 0 || total full = 0 then 0.
+  else
+    Hashtbl.fold
+      (fun id r acc ->
+        acc +. Float.min (fraction sampled id)
+                 (Float.of_int !r /. Float.of_int full.total))
+      full.counts 0.
+
+let iter t f = Hashtbl.iter (fun id r -> f id !r) t.counts
+
+let copy t =
+  let c = create () in
+  iter t (fun id n -> record_many c id n);
+  c
+
+let clear t =
+  Hashtbl.reset t.counts;
+  t.total <- 0
+
+let merge_into ~dst src = iter src (fun id n -> record_many dst id n)

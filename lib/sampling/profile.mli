@@ -1,0 +1,37 @@
+(** Profiles: per-site sample counts, plus the paper's overlap-percentage
+    accuracy metric (Section 4.1):
+
+    [accuracy = Σ_i min(f_full(i), f_sampled(i))]
+
+    where [f_p(i)] is site [i]'s fraction of all samples in profile
+    [p]. Identical distributions score 1.0. *)
+
+type t
+
+val create : unit -> t
+val record : t -> int -> unit
+(** Count one sample for a site id. *)
+
+val record_many : t -> int -> int -> unit
+(** [record_many t id n] adds [n] samples at once. *)
+
+val count : t -> int -> int
+val total : t -> int
+val distinct_sites : t -> int
+
+val fraction : t -> int -> float
+(** Site's share of all samples (0 when the profile is empty). *)
+
+val top : t -> int -> (int * int) list
+(** The [n] hottest sites, by count, descending. *)
+
+val accuracy : full:t -> sampled:t -> float
+(** Overlap percentage as a ratio in [0, 1]. An empty sampled profile
+    scores 0. *)
+
+val iter : t -> (int -> int -> unit) -> unit
+val copy : t -> t
+val clear : t -> unit
+
+val merge_into : dst:t -> t -> unit
+(** Add every count of the source into [dst]. *)

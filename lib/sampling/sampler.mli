@@ -1,0 +1,36 @@
+(** The three sampling frameworks compared in the paper, as policies
+    over an abstract stream of instrumentation-site visits.
+
+    - {!software_counter}: the Arnold-Ryder counter of Figure 1 — a
+      global counter decremented at every site, sampling (and resetting)
+      when it reaches zero;
+    - {!hardware_counter}: Section 4.1's deterministic variant of
+      branch-on-random, "taken at defined intervals";
+    - {!branch_on_random}: the paper's proposal, backed by an LFSR
+      {!Bor_core.Engine}.
+
+    Each [visit] returns [true] when the instrumentation payload should
+    run at this visit. *)
+
+type t
+
+val software_counter : ?start:int -> reset:int -> unit -> t
+(** [reset] is the sampling interval; [start] (default [reset - 1])
+    is the counter's initial value, settable to vary the phase. *)
+
+val hardware_counter : ?start:int -> interval:int -> unit -> t
+(** [start] defaults to [interval / 2]: the hardware counter free-runs
+    from reset, so its phase is unrelated to the software framework's. *)
+
+val branch_on_random : ?engine:Bor_core.Engine.t -> Bor_core.Freq.t -> t
+(** Default engine: the paper's 20-bit spaced design point, seed 1. *)
+
+val visit : t -> bool
+(** Advance the framework by one site visit; [true] = sample now. *)
+
+val name : t -> string
+(** ["sw count"], ["hw count"] or ["random"], the paper's legend
+    labels. *)
+
+val expected_rate : t -> float
+(** The configured sampling rate (1/interval or the brr probability). *)

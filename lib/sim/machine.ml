@@ -1,0 +1,247 @@
+type brr_mode =
+  | Hardware of Bor_core.Engine.t
+  | Trap_emulated of Bor_core.Engine.t
+  | Fixed_interval
+  | External of (Bor_core.Freq.t -> bool)
+
+type stats = {
+  mutable instructions : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable cond_branches : int;
+  mutable cond_taken : int;
+  mutable brr_executed : int;
+  mutable brr_taken : int;
+  mutable markers : int;
+  mutable traps : int;
+}
+
+(* Pre-decoded text image. In [Trap_emulated] mode branch-on-randoms are
+   stored as their trap-raising binary word. *)
+type slot = Decoded of Bor_isa.Instr.t | Illegal_word of int
+
+type t = {
+  program : Bor_isa.Program.t;
+  code : slot array;
+  mem : Memory.t;
+  regs : int array;
+  mutable pc : int;
+  mutable halted : bool;
+  mode : brr_mode;
+  mutable interval_counter : int; (* Fixed_interval state *)
+  stats : stats;
+  site_index : (int, int) Hashtbl.t; (* text address -> site id *)
+  mutable site_hooks : (int -> unit) list;
+  mutable marker_hooks : (int -> unit) list;
+}
+
+let patch_brr_freq t ~pc freq =
+  let idx = (pc - t.program.text_base) asr 2 in
+  if pc land 3 <> 0 || idx < 0 || idx >= Array.length t.code then
+    invalid_arg "Machine.patch_brr_freq: pc outside text";
+  match t.code.(idx) with
+  | Decoded (Bor_isa.Instr.Brr (_, off)) ->
+    t.code.(idx) <- Decoded (Bor_isa.Instr.Brr (freq, off))
+  | Illegal_word w -> (
+    match Bor_isa.Encoding.decode_illegal_brr w with
+    | Some (_, off) -> (
+      match Bor_isa.Encoding.illegal_brr_word freq ~offset:off with
+      | Ok w' -> t.code.(idx) <- Illegal_word w'
+      | Error e -> invalid_arg ("Machine.patch_brr_freq: " ^ e))
+    | None -> invalid_arg "Machine.patch_brr_freq: not a branch-on-random")
+  | Decoded _ -> invalid_arg "Machine.patch_brr_freq: not a branch-on-random"
+
+exception Fault of { pc : int; message : string }
+
+let fault pc fmt =
+  Printf.ksprintf (fun message -> raise (Fault { pc; message })) fmt
+
+let fresh_stats () =
+  {
+    instructions = 0;
+    loads = 0;
+    stores = 0;
+    cond_branches = 0;
+    cond_taken = 0;
+    brr_executed = 0;
+    brr_taken = 0;
+    markers = 0;
+    traps = 0;
+  }
+
+let build_code (p : Bor_isa.Program.t) mode =
+  let encode_slot (i : Bor_isa.Instr.t) =
+    match (mode, i) with
+    | Trap_emulated _, Bor_isa.Instr.Brr (f, off) -> (
+      match Bor_isa.Encoding.illegal_brr_word f ~offset:off with
+      | Ok w -> Illegal_word w
+      | Error e -> invalid_arg ("Machine.create: " ^ e))
+    | _, i -> Decoded i
+  in
+  Array.map encode_slot p.text
+
+let create ?(mem_size = 8 * 1024 * 1024)
+    ?(brr_mode = Hardware (Bor_core.Engine.create ())) (p : Bor_isa.Program.t)
+    =
+  let mem = Memory.create ~size:mem_size in
+  Memory.load_segment mem ~base:p.data_base p.data;
+  let regs = Array.make Bor_isa.Reg.count 0 in
+  regs.(Bor_isa.Reg.to_int Bor_isa.Reg.sp) <- mem_size - 16;
+  regs.(Bor_isa.Reg.to_int Bor_isa.Reg.gp) <- p.data_base;
+  let site_index = Hashtbl.create 64 in
+  List.iter (fun (addr, id) -> Hashtbl.replace site_index addr id) p.sites;
+  {
+    program = p;
+    code = build_code p brr_mode;
+    mem;
+    regs;
+    pc = p.entry;
+    halted = false;
+    mode = brr_mode;
+    interval_counter = -1;
+    stats = fresh_stats ();
+    site_index;
+    site_hooks = [];
+    marker_hooks = [];
+  }
+
+let program t = t.program
+let pc t = t.pc
+let reg t r = t.regs.(Bor_isa.Reg.to_int r)
+
+let set_reg t r v =
+  let i = Bor_isa.Reg.to_int r in
+  if i <> 0 then t.regs.(i) <- Bor_util.Bits.wrap32 v
+
+let memory t = t.mem
+let stats t = t.stats
+let halted t = t.halted
+let on_site t f = t.site_hooks <- f :: t.site_hooks
+let on_marker t f = t.marker_hooks <- f :: t.marker_hooks
+
+let brr_outcome t freq =
+  match t.mode with
+  | Hardware engine | Trap_emulated engine -> Bor_core.Engine.decide engine freq
+  | External decide -> decide freq
+  | Fixed_interval ->
+    if t.interval_counter < 0 then
+      t.interval_counter <- Bor_core.Freq.period freq - 1;
+    if t.interval_counter = 0 then begin
+      t.interval_counter <- Bor_core.Freq.period freq - 1;
+      true
+    end
+    else begin
+      t.interval_counter <- t.interval_counter - 1;
+      false
+    end
+
+let exec_brr t freq off =
+  t.stats.brr_executed <- t.stats.brr_executed + 1;
+  if brr_outcome t freq then begin
+    t.stats.brr_taken <- t.stats.brr_taken + 1;
+    t.pc <- t.pc + (4 * off)
+  end
+  else t.pc <- t.pc + 4
+
+let step t =
+  if t.halted then ()
+  else begin
+    let pc = t.pc in
+    let idx = (pc - t.program.text_base) asr 2 in
+    if pc land 3 <> 0 || idx < 0 || idx >= Array.length t.code then
+      fault pc "fetch outside text segment";
+    (match Hashtbl.find_opt t.site_index pc with
+    | Some id -> List.iter (fun f -> f id) t.site_hooks
+    | None -> ());
+    let s = t.stats in
+    s.instructions <- s.instructions + 1;
+    let rv r = t.regs.(Bor_isa.Reg.to_int r) in
+    let open Bor_isa.Instr in
+    match t.code.(idx) with
+    | Illegal_word w -> (
+      (* The §3.4 SIGILL path: the O/S vectors to the registered handler,
+         which emulates the branch-on-random in software. *)
+      match Bor_isa.Encoding.decode_illegal_brr w with
+      | Some (freq, off) ->
+        s.traps <- s.traps + 1;
+        exec_brr t freq off
+      | None -> fault pc "illegal instruction 0x%08x" w)
+    | Decoded i -> (
+      match i with
+      | Alu (op, rd, rs1, rs2) ->
+        set_reg t rd (eval_alu op (rv rs1) (rv rs2));
+        t.pc <- pc + 4
+      | Alui (op, rd, rs1, imm) ->
+        set_reg t rd (eval_alu op (rv rs1) imm);
+        t.pc <- pc + 4
+      | Lui (rd, imm) ->
+        set_reg t rd (Bor_util.Bits.wrap32 (imm lsl 12));
+        t.pc <- pc + 4
+      | Load (w, rd, rs1, off) -> (
+        s.loads <- s.loads + 1;
+        let addr = rv rs1 + off in
+        (try
+           match w with
+           | Word -> set_reg t rd (Memory.read_word t.mem addr)
+           | Byte -> set_reg t rd (Memory.read_byte t.mem addr)
+         with Memory.Fault m -> fault pc "%s" m);
+        t.pc <- pc + 4)
+      | Store (w, rsrc, rbase, off) -> (
+        s.stores <- s.stores + 1;
+        let addr = rv rbase + off in
+        (try
+           match w with
+           | Word -> Memory.write_word t.mem addr (rv rsrc)
+           | Byte -> Memory.write_byte t.mem addr (rv rsrc)
+         with Memory.Fault m -> fault pc "%s" m);
+        t.pc <- pc + 4)
+      | Branch (c, rs1, rs2, off) ->
+        s.cond_branches <- s.cond_branches + 1;
+        if eval_cond c (rv rs1) (rv rs2) then begin
+          s.cond_taken <- s.cond_taken + 1;
+          t.pc <- pc + (4 * off)
+        end
+        else t.pc <- pc + 4
+      | Jal (rd, off) ->
+        set_reg t rd (pc + 4);
+        t.pc <- pc + (4 * off)
+      | Jalr (rd, rs1, imm) ->
+        let target = Bor_util.Bits.wrap32 (rv rs1 + imm) in
+        set_reg t rd (pc + 4);
+        t.pc <- target
+      | Brr (freq, off) -> exec_brr t freq off
+      | Brr_always off ->
+        s.brr_executed <- s.brr_executed + 1;
+        s.brr_taken <- s.brr_taken + 1;
+        t.pc <- pc + (4 * off)
+      | Rdlfsr rd ->
+        let v =
+          match t.mode with
+          | Hardware e | Trap_emulated e ->
+            Bor_lfsr.Lfsr.peek (Bor_core.Engine.lfsr e)
+          | Fixed_interval | External _ -> 0
+        in
+        set_reg t rd v;
+        t.pc <- pc + 4
+      | Marker n ->
+        s.markers <- s.markers + 1;
+        List.iter (fun f -> f n) t.marker_hooks;
+        t.pc <- pc + 4
+      | Halt -> t.halted <- true
+      | Nop -> t.pc <- pc + 4)
+  end
+
+let run ?(max_steps = 1_000_000_000) t =
+  let start = t.stats.instructions in
+  try
+    let rec go budget =
+      if t.halted then Ok (t.stats.instructions - start)
+      else if budget = 0 then Error "step budget exhausted"
+      else begin
+        step t;
+        go (budget - 1)
+      end
+    in
+    go max_steps
+  with Fault { pc; message } ->
+    Error (Printf.sprintf "fault at pc 0x%x: %s" pc message)

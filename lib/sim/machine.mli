@@ -1,0 +1,84 @@
+(** Functional (architectural) simulator for BRISC.
+
+    Executes one instruction per [step] with no timing model, collecting
+    architectural statistics and ground-truth site counts. This is the
+    reproduction's analogue of the paper's "golden" functional model:
+    the timing simulator ({!Bor_uarch}) checks its committed state
+    against a machine of this type.
+
+    Branch-on-random behaviour is pluggable ({!brr_mode}):
+    - [Hardware]: the native instruction backed by an LFSR engine;
+    - [Trap_emulated]: the Section 3.4/4.1 scheme — the program image is
+      encoded with invalid opcodes, every branch-on-random raises an
+      illegal-instruction trap, and a registered handler emulates the
+      LFSR in software and redirects the PC;
+    - [Fixed_interval]: the "hardware counter" of Section 4.1 — the
+      branch is taken deterministically every [2^(field+1)]-th visit. *)
+
+type brr_mode =
+  | Hardware of Bor_core.Engine.t
+  | Trap_emulated of Bor_core.Engine.t
+  | Fixed_interval
+  | External of (Bor_core.Freq.t -> bool)
+      (** outcomes dictated by a leading (timing) simulator — the
+          paper's timing-first arrangement, where the timing model
+          "communicat\[es\] its computed outcome to Simics so that both
+          simulators compute the same outcome" (§5.1) *)
+
+type stats = {
+  mutable instructions : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable cond_branches : int;
+  mutable cond_taken : int;
+  mutable brr_executed : int;
+  mutable brr_taken : int;
+  mutable markers : int;
+  mutable traps : int;  (** illegal-instruction traps taken *)
+}
+
+type t
+
+val create : ?mem_size:int -> ?brr_mode:brr_mode -> Bor_isa.Program.t -> t
+(** [create program] loads the image: registers cleared, [sp] at the top
+    of memory, [gp] at the data base, PC at the entry point. Default
+    memory is 8 MiB; default [brr_mode] is [Hardware] with a fresh
+    default engine.
+
+    @raise Invalid_argument if the data segment does not fit. *)
+
+val program : t -> Bor_isa.Program.t
+val pc : t -> int
+val reg : t -> Bor_isa.Reg.t -> int
+val set_reg : t -> Bor_isa.Reg.t -> int -> unit
+val memory : t -> Memory.t
+val stats : t -> stats
+val halted : t -> bool
+
+val on_site : t -> (int -> unit) -> unit
+(** Register a callback fired with the site id whenever the PC passes an
+    address in the program's site table (ground-truth profiling; does
+    not perturb execution). *)
+
+val on_marker : t -> (int -> unit) -> unit
+(** Callback fired with the marker id on every [marker]. *)
+
+val patch_brr_freq : t -> pc:int -> Bor_core.Freq.t -> unit
+(** JIT-style code patching: rewrite the frequency field of the
+    branch-on-random at [pc] — the paper's §7 observation that "each
+    branch-on-random instruction encodes its own frequency" makes
+    convergent profiling a matter of patching a 4-bit immediate. Works
+    in every mode (in [Trap_emulated] the invalid-opcode word is
+    re-encoded).
+    @raise Invalid_argument when [pc] does not hold a branch-on-random. *)
+
+exception Fault of { pc : int; message : string }
+
+val step : t -> unit
+(** Execute one instruction. No-op once halted.
+    @raise Fault on illegal instructions (without a matching trap
+    handler), bad fetches, or memory faults. *)
+
+val run : ?max_steps:int -> t -> (int, string) result
+(** Run to [halt] (or the step budget, default 1e9); returns the number
+    of instructions executed, or a formatted fault. *)

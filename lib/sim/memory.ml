@@ -1,0 +1,40 @@
+type t = Bytes.t
+
+exception Fault of string
+
+let fault fmt = Printf.ksprintf (fun m -> raise (Fault m)) fmt
+
+let create ~size =
+  if size <= 0 then invalid_arg "Memory.create";
+  Bytes.make size '\000'
+
+let size = Bytes.length
+
+let load_segment t ~base seg =
+  let len = Bytes.length seg in
+  if base < 0 || base + len > Bytes.length t then
+    fault "data segment [0x%x, 0x%x) does not fit memory" base (base + len);
+  Bytes.blit seg 0 t base len
+
+let check t addr len align what =
+  if addr < 0 || addr + len > Bytes.length t then
+    fault "%s out of bounds at 0x%x" what addr;
+  if addr land (align - 1) <> 0 then fault "misaligned %s at 0x%x" what addr
+
+let read_word t addr =
+  check t addr 4 4 "word read";
+  Bor_util.Bits.wrap32 (Int32.to_int (Bytes.get_int32_le t addr))
+
+let write_word t addr v =
+  check t addr 4 4 "word write";
+  Bytes.set_int32_le t addr (Int32.of_int v)
+
+let read_byte t addr =
+  check t addr 1 1 "byte read";
+  Char.code (Bytes.get t addr)
+
+let write_byte t addr v =
+  check t addr 1 1 "byte write";
+  Bytes.set t addr (Char.chr (v land 0xFF))
+
+let copy = Bytes.copy

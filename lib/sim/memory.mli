@@ -1,0 +1,27 @@
+(** Flat little-endian byte-addressable data memory for the simulators.
+
+    The text segment is not stored here — instructions are fetched from
+    the program image — but the data segment is copied in at load time
+    and the stack grows down from the top. *)
+
+type t
+
+exception Fault of string
+(** Raised on out-of-bounds or misaligned accesses. *)
+
+val create : size:int -> t
+val size : t -> int
+
+val load_segment : t -> base:int -> Bytes.t -> unit
+(** Copy a program's data segment to [base]. *)
+
+val read_word : t -> int -> int
+(** Aligned 4-byte little-endian read, sign-extended to 32-bit. *)
+
+val write_word : t -> int -> int -> unit
+
+val read_byte : t -> int -> int
+(** Zero-extended byte read. *)
+
+val write_byte : t -> int -> int -> unit
+val copy : t -> t

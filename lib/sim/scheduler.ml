@@ -1,0 +1,119 @@
+type task = {
+  machine : Machine.t;
+  mutable saved_lfsr : int;  (* register image while descheduled *)
+  mutable brr_outcomes : bool list;  (* newest first, for tests *)
+}
+
+type t = {
+  engine : Bor_core.Engine.t;
+  quantum : int;
+  lfsr_context_switch : bool;
+  tasks : task array;
+  mutable current : int;
+  mutable switches : int;
+}
+
+let create ?(quantum = 1000) ?(lfsr_context_switch = true) ?seeds ~engine
+    programs =
+  if quantum <= 0 then invalid_arg "Scheduler.create: quantum";
+  if programs = [] then invalid_arg "Scheduler.create: no programs";
+  let width = Bor_lfsr.Lfsr.width (Bor_core.Engine.lfsr engine) in
+  let default_seed = Bor_lfsr.Lfsr.peek (Bor_core.Engine.lfsr engine) in
+  let seeds =
+    match seeds with
+    | Some s ->
+      if List.length s <> List.length programs then
+        invalid_arg "Scheduler.create: one seed per program";
+      List.map
+        (fun seed ->
+          let v = seed land Bor_util.Bits.mask width in
+          if v = 0 then default_seed else v)
+        s
+    | None -> List.map (fun _ -> default_seed) programs
+  in
+  let t =
+    {
+      engine;
+      quantum;
+      lfsr_context_switch;
+      tasks = [||];
+      current = 0;
+      switches = 0;
+    }
+  in
+  let make_task program seed =
+    let rec task =
+      lazy
+        {
+          machine =
+            Machine.create
+              ~brr_mode:
+                (Machine.External
+                   (fun freq ->
+                     let outcome = Bor_core.Engine.decide t.engine freq in
+                     let tk = Lazy.force task in
+                     tk.brr_outcomes <- outcome :: tk.brr_outcomes;
+                     outcome))
+              program;
+          saved_lfsr = seed;
+          brr_outcomes = [];
+        }
+    in
+    Lazy.force task
+  in
+  let tasks =
+    Array.of_list (List.map2 make_task programs seeds)
+  in
+  let t = { t with tasks } in
+  t
+
+let machines t = Array.to_list (Array.map (fun tk -> tk.machine) t.tasks)
+let switches t = t.switches
+
+let brr_outcomes t i =
+  if i < 0 || i >= Array.length t.tasks then
+    invalid_arg "Scheduler.brr_outcomes";
+  List.rev t.tasks.(i).brr_outcomes
+
+let all_halted t =
+  Array.for_all (fun tk -> Machine.halted tk.machine) t.tasks
+
+(* Install a task's register image into the engine (the O/S restoring
+   the software-visible LFSR, §3.4); park the outgoing task's. *)
+let restore t task =
+  if t.lfsr_context_switch then
+    Bor_lfsr.Lfsr.set_state (Bor_core.Engine.lfsr t.engine) task.saved_lfsr
+
+let park t task =
+  if t.lfsr_context_switch then
+    task.saved_lfsr <- Bor_lfsr.Lfsr.peek (Bor_core.Engine.lfsr t.engine)
+
+let run ?(max_steps = 200_000_000) t =
+  let steps = ref 0 in
+  let result = ref (Ok ()) in
+  (try
+     restore t t.tasks.(t.current);
+     while not (all_halted t) do
+       let task = t.tasks.(t.current) in
+       if not (Machine.halted task.machine) then begin
+         let budget = ref t.quantum in
+         while !budget > 0 && not (Machine.halted task.machine) do
+           Machine.step task.machine;
+           incr steps;
+           decr budget;
+           if !steps > max_steps then begin
+             result := Error "step budget exhausted";
+             raise Exit
+           end
+         done
+       end;
+       park t task;
+       t.current <- (t.current + 1) mod Array.length t.tasks;
+       t.switches <- t.switches + 1;
+       restore t t.tasks.(t.current)
+     done
+   with
+  | Exit -> ()
+  | Machine.Fault { pc; message } ->
+    result := Error (Printf.sprintf "fault at 0x%x: %s" pc message));
+  !result

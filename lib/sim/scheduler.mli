@@ -1,0 +1,32 @@
+(** Cooperative round-robin execution of several programs on one
+    machine — the paper's §3.4 context-switch scenario.
+
+    All programs share a single branch-on-random engine (the one LFSR in
+    the core). With [lfsr_context_switch] on, the "operating system"
+    saves the software-visible register on every switch and restores the
+    incoming task's image, so each task observes exactly the outcome
+    stream it would see running alone. With it off, tasks perturb each
+    other's streams (rates are preserved — it is still the same maximal
+    sequence — but per-task determinism is lost). *)
+
+type t
+
+val create :
+  ?quantum:int ->
+  ?lfsr_context_switch:bool ->
+  ?seeds:int list ->
+  engine:Bor_core.Engine.t ->
+  Bor_isa.Program.t list ->
+  t
+(** [quantum] (default 1000) instructions per time slice. [seeds] gives
+    each task its own initial LFSR image (default: the engine's current
+    state); zero seeds fall back to the engine state. *)
+
+val run : ?max_steps:int -> t -> (unit, string) result
+(** Round-robin until every task halts. *)
+
+val machines : t -> Machine.t list
+val switches : t -> int
+
+val brr_outcomes : t -> int -> bool list
+(** Task [i]'s observed branch-on-random outcomes, oldest first. *)

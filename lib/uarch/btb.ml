@@ -1,0 +1,31 @@
+type t = {
+  tags : int array;
+  targets : int array;
+  mutable lookups : int;
+  mutable hits : int;
+}
+
+let create ~entries =
+  if entries <= 0 || not (Bor_util.Bits.is_power_of_two entries) then
+    invalid_arg "Btb.create";
+  { tags = Array.make entries (-1); targets = Array.make entries 0;
+    lookups = 0; hits = 0 }
+
+let slot t pc = (pc lsr 2) land (Array.length t.tags - 1)
+
+let lookup t ~pc =
+  t.lookups <- t.lookups + 1;
+  let i = slot t pc in
+  if t.tags.(i) = pc then begin
+    t.hits <- t.hits + 1;
+    Some t.targets.(i)
+  end
+  else None
+
+let insert t ~pc ~target =
+  let i = slot t pc in
+  t.tags.(i) <- pc;
+  t.targets.(i) <- target
+
+let hits t = t.hits
+let lookups t = t.lookups

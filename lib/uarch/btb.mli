@@ -1,0 +1,16 @@
+(** Branch target buffer: direct-mapped tagged target store consulted
+    at fetch for predicted-taken conditional branches.
+
+    Branch-on-random never inserts or hits here (paper §3.3 point 7);
+    unconditional direct jumps are resolved by pre-decode and do not
+    need it either. Aliasing between entries is real: a hit with a
+    stale target redirects fetch to the wrong place, discovered at
+    resolution. *)
+
+type t
+
+val create : entries:int -> t
+val lookup : t -> pc:int -> int option
+val insert : t -> pc:int -> target:int -> unit
+val hits : t -> int
+val lookups : t -> int

@@ -1,0 +1,74 @@
+type stats = { mutable accesses : int; mutable misses : int }
+
+type t = {
+  sets : int;
+  assoc : int;
+  line_bytes : int;
+  tags : int array;  (** [set * assoc + way]; -1 = invalid *)
+  lru : int array;  (** smaller = older *)
+  mutable clock : int;
+  stats : stats;
+}
+
+let create ~size ~assoc ~line_bytes =
+  if size <= 0 || assoc <= 0 || line_bytes <= 0 then
+    invalid_arg "Cache.create";
+  let lines = size / line_bytes in
+  if lines mod assoc <> 0 then invalid_arg "Cache.create: geometry";
+  let sets = lines / assoc in
+  if not (Bor_util.Bits.is_power_of_two sets) then
+    invalid_arg "Cache.create: set count must be a power of two";
+  {
+    sets;
+    assoc;
+    line_bytes;
+    tags = Array.make (sets * assoc) (-1);
+    lru = Array.make (sets * assoc) 0;
+    clock = 0;
+    stats = { accesses = 0; misses = 0 };
+  }
+
+let index t addr =
+  let line = addr / t.line_bytes in
+  (line land (t.sets - 1), line / t.sets)
+
+let find t set tag =
+  let base = set * t.assoc in
+  let rec go w =
+    if w = t.assoc then None
+    else if t.tags.(base + w) = tag then Some (base + w)
+    else go (w + 1)
+  in
+  go 0
+
+let probe t addr =
+  let set, tag = index t addr in
+  find t set tag <> None
+
+let access t addr =
+  let set, tag = index t addr in
+  t.clock <- t.clock + 1;
+  t.stats.accesses <- t.stats.accesses + 1;
+  match find t set tag with
+  | Some slot ->
+    t.lru.(slot) <- t.clock;
+    true
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    let base = set * t.assoc in
+    let victim = ref base in
+    for w = 1 to t.assoc - 1 do
+      if t.lru.(base + w) < t.lru.(!victim) then victim := base + w
+    done;
+    t.tags.(!victim) <- tag;
+    t.lru.(!victim) <- t.clock;
+    false
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.accesses <- 0;
+  t.stats.misses <- 0
+
+let sets t = t.sets
+let line_bytes t = t.line_bytes

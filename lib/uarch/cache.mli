@@ -1,0 +1,23 @@
+(** Set-associative cache with true-LRU replacement (tag store only —
+    data lives in the functional model). *)
+
+type t
+
+type stats = { mutable accesses : int; mutable misses : int }
+
+val create : size:int -> assoc:int -> line_bytes:int -> t
+(** [size] must be divisible by [assoc * line_bytes] into a power-of-two
+    set count. *)
+
+val access : t -> int -> bool
+(** [access t addr] touches the line containing [addr]; returns [true]
+    on hit. On a miss, the line is installed (allocate-on-miss) evicting
+    the LRU way. *)
+
+val probe : t -> int -> bool
+(** Hit test without state change. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val sets : t -> int
+val line_bytes : t -> int

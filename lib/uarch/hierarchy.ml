@@ -1,0 +1,35 @@
+type port = I | D
+
+type t = {
+  l1i : Cache.t;
+  l1d : Cache.t;
+  l2 : Cache.t;
+  l1_latency : int;
+  l2_latency : int;
+  mem_latency : int;
+}
+
+let create (c : Config.t) =
+  {
+    l1i = Cache.create ~size:c.l1_size ~assoc:c.l1_assoc ~line_bytes:c.line_bytes;
+    l1d = Cache.create ~size:c.l1_size ~assoc:c.l1_assoc ~line_bytes:c.line_bytes;
+    l2 = Cache.create ~size:c.l2_size ~assoc:c.l2_assoc ~line_bytes:c.line_bytes;
+    l1_latency = c.l1_latency;
+    l2_latency = c.l2_latency;
+    mem_latency = c.mem_latency;
+  }
+
+let access t port addr =
+  let l1 = match port with I -> t.l1i | D -> t.l1d in
+  if Cache.access l1 addr then t.l1_latency
+  else if Cache.access t.l2 addr then t.l2_latency
+  else t.mem_latency
+
+let l1i t = t.l1i
+let l1d t = t.l1d
+let l2 t = t.l2
+
+let reset_stats t =
+  Cache.reset_stats t.l1i;
+  Cache.reset_stats t.l1d;
+  Cache.reset_stats t.l2

@@ -1,0 +1,17 @@
+(** Two-level cache hierarchy: split L1 instruction/data caches over a
+    shared L2, with the paper's latencies (L2 8 cycles, memory 140). *)
+
+type t
+
+type port = I | D
+
+val create : Config.t -> t
+
+val access : t -> port -> int -> int
+(** [access t port addr] returns the load-to-use latency in cycles and
+    updates the cache state (allocations in L1 and L2). *)
+
+val l1i : t -> Cache.t
+val l1d : t -> Cache.t
+val l2 : t -> Cache.t
+val reset_stats : t -> unit

@@ -1,0 +1,838 @@
+type stats = {
+  mutable cycles : int;
+  mutable instructions : int;
+  mutable cond_branches : int;
+  mutable cond_mispredicts : int;
+  mutable returns : int;
+  mutable return_mispredicts : int;  (** RAS misses on correct-path returns *)
+  mutable brr_executed : int;
+  mutable brr_taken : int;
+  mutable backend_flushes : int;
+  mutable frontend_flushes : int;
+  mutable predecode_redirects : int;
+  mutable squashed : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable cycles_fetch_full : int;
+  mutable cycles_decode_starved : int;
+  mutable cycles_rob_full : int;
+  mutable rob_occupancy : int;
+  mutable l1i_misses : int;
+  mutable l1d_misses : int;
+  mutable l2_misses : int;
+}
+
+let fresh_stats () =
+  {
+    cycles = 0;
+    instructions = 0;
+    cond_branches = 0;
+    cond_mispredicts = 0;
+    returns = 0;
+    return_mispredicts = 0;
+    brr_executed = 0;
+    brr_taken = 0;
+    backend_flushes = 0;
+    frontend_flushes = 0;
+    predecode_redirects = 0;
+    squashed = 0;
+    loads = 0;
+    stores = 0;
+    cycles_fetch_full = 0;
+    cycles_decode_starved = 0;
+    cycles_rob_full = 0;
+    rob_occupancy = 0;
+    l1i_misses = 0;
+    l1d_misses = 0;
+    l2_misses = 0;
+  }
+
+let ipc s = if s.cycles = 0 then 0. else Float.of_int s.instructions /. Float.of_int s.cycles
+
+let branch_accuracy s =
+  if s.cond_branches = 0 then 1.
+  else 1. -. (Float.of_int s.cond_mispredicts /. Float.of_int s.cond_branches)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>cycles %d, instructions %d (IPC %.2f)@,conditional branches %d, \
+     mispredicts %d (%.2f%% accuracy)@,returns %d, RAS misses \
+     %d@,branch-on-random %d executed / %d taken; %d front-end \
+     flushes@,%d back-end flushes squashing %d; %d pre-decode \
+     redirects@,loads %d, stores %d; L1I %d / L1D %d / L2 %d \
+     misses@,fetch full %d cycles, decode starved %d, ROB-full %d, mean \
+     ROB %.1f@]"
+    s.cycles s.instructions (ipc s) s.cond_branches s.cond_mispredicts
+    (100. *. branch_accuracy s)
+    s.returns s.return_mispredicts s.brr_executed s.brr_taken s.frontend_flushes s.backend_flushes
+    s.squashed s.predecode_redirects s.loads s.stores s.l1i_misses
+    s.l1d_misses s.l2_misses s.cycles_fetch_full s.cycles_decode_starved
+    s.cycles_rob_full
+    (if s.cycles = 0 then 0.
+     else Float.of_int s.rob_occupancy /. Float.of_int s.cycles)
+
+(* ------------------------------------------------------------------ *)
+
+type ras_snapshot = { r_stack : int array; r_top : int; r_depth : int }
+
+type fetched = {
+  fpc : int;
+  instr : Bor_isa.Instr.t;
+  fetch_cycle : int;
+  pred : Predictor.prediction option;  (* conditional branches *)
+  stream_next : int;  (* where fetch went after this instruction *)
+  ghist_at_fetch : int;
+  ras_at_fetch : ras_snapshot option;  (* cond / jalr / brr only *)
+}
+
+type branch_info =
+  | B_none
+  | B_cond of { pred : Predictor.prediction; actual_taken : bool }
+  | B_jalr
+  | B_brr of { pred : Predictor.prediction option; taken : bool }
+      (* ablation: a branch-on-random resolved in the back end *)
+
+type rob_entry = {
+  seq : int;
+  epc : int;
+  instr : Bor_isa.Instr.t;
+  wrong_path : bool;
+  deps : int list;
+  mutable issued : bool;
+  mutable complete : int;  (* -1 until execution completes *)
+  binfo : branch_info;
+  mispredict : bool;
+  actual_next : int;  (* correct-path successor pc, -1 if unknown *)
+  mem_addr : int;  (* -1 when not a memory op / wrong path *)
+  ghist_at_fetch : int;
+  ras_at_fetch : ras_snapshot option;
+  producer_snapshot : int array option;
+      (* rename-table checkpoint, taken at decode of a mispredicted
+         branch so the squash can restore mappings to still-in-flight
+         older producers *)
+}
+
+type t = {
+  cfg : Config.t;
+  program : Bor_isa.Program.t;
+  oracle : Bor_sim.Machine.t;
+  engine : Bor_core.Engine.t;
+  hier : Hierarchy.t;
+  pred : Predictor.t;
+  btb : Btb.t;
+  ras : Ras.t;
+  pending_brr : bool option ref;  (* decode -> oracle outcome channel *)
+  mutable cycle : int;
+  mutable fetch_pc : int option;
+  mutable fetch_stall_until : int;
+  fq : fetched Queue.t;
+  mutable rob : rob_entry Queue.t;
+  inflight : (int, rob_entry) Hashtbl.t;
+  producer : int array;  (* arch reg -> producing seq, -1 = ready *)
+  last_store : (int, int) Hashtbl.t;
+  (* word address -> seq of the youngest in-flight store: loads take a
+     dependency on it (store-to-load forwarding through the LSQ) *)
+  mutable next_seq : int;
+  mutable wrong_path_decode : bool;
+  mutable resolver : int;  (* seq of the pending mispredicted branch, -1 *)
+  mutable spec_brr_log : bool list;  (* banked shift-out bits, newest first *)
+  mutable halted_decoded : bool;
+  mutable halt_committed : bool;
+  mutable roi_active : bool;
+  mutable roi_frozen : bool;
+  stats : stats;
+  mutable retired_brr : bool list;  (* newest first, capped *)
+  mutable retired_brr_count : int;
+  mutable tracer : (trace_event -> unit) option;
+}
+
+and trace_event =
+  | Commit of { cycle : int; pc : int; instr : Bor_isa.Instr.t }
+  | Brr_resolved of { cycle : int; pc : int; taken : bool }
+  | Front_flush of { cycle : int; target : int }
+  | Back_flush of { cycle : int; resolver_pc : int; squashed : int }
+
+let retired_brr_cap = 200_000
+
+let snapshot_ras (r : Ras.t) =
+  (* Ras internals are opaque; rebuild via pops and pushes. To keep this
+     cheap and non-destructive we reach through a copy interface instead:
+     store depth and drained values. *)
+  let tmp = ref [] in
+  let rec drain () =
+    match Ras.pop r with
+    | Some v ->
+      tmp := v :: !tmp;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let values = !tmp in
+  List.iter (fun v -> Ras.push r v) values;
+  { r_stack = Array.of_list values; r_top = 0; r_depth = List.length values }
+
+let restore_ras (r : Ras.t) snap =
+  let rec drain () = match Ras.pop r with Some _ -> drain () | None -> () in
+  drain ();
+  Array.iter (fun v -> Ras.push r v) snap.r_stack
+
+let create ?(config = Config.default) (program : Bor_isa.Program.t) =
+  let pending_brr = ref None in
+  let decide _freq =
+    match !pending_brr with
+    | Some outcome ->
+      pending_brr := None;
+      outcome
+    | None ->
+      failwith "Pipeline: oracle reached a brr without a timing decision"
+  in
+  let engine =
+    Bor_core.Engine.create ~seed:config.Config.lfsr_seed ()
+  in
+  {
+    cfg = config;
+    program;
+    oracle =
+      Bor_sim.Machine.create ~brr_mode:(Bor_sim.Machine.External decide)
+        program;
+    engine;
+    hier = Hierarchy.create config;
+    pred = Predictor.create config;
+    btb = Btb.create ~entries:config.Config.btb_entries;
+    ras = Ras.create ~entries:config.Config.ras_entries;
+    pending_brr;
+    cycle = 0;
+    fetch_pc = Some program.entry;
+    fetch_stall_until = 0;
+    fq = Queue.create ();
+    rob = Queue.create ();
+    inflight = Hashtbl.create 128;
+    producer = Array.make Bor_isa.Reg.count (-1);
+    last_store = Hashtbl.create 64;
+    next_seq = 0;
+    wrong_path_decode = false;
+    resolver = -1;
+    spec_brr_log = [];
+    halted_decoded = false;
+    halt_committed = false;
+    roi_active = true;
+    roi_frozen = false;
+    stats = fresh_stats ();
+    retired_brr = [];
+    retired_brr_count = 0;
+    tracer = None;
+  }
+
+let oracle t = t.oracle
+let engine t = t.engine
+let config t = t.cfg
+let retired_brr_outcomes t = List.rev t.retired_brr
+let set_tracer t f = t.tracer <- Some f
+
+let trace t ev =
+  match t.tracer with None -> () | Some f -> f ev
+let roi t = t.roi_active && not t.roi_frozen
+
+exception Sim_error of string
+
+let sim_error fmt = Printf.ksprintf (fun m -> raise (Sim_error m)) fmt
+
+(* --------------------------------------------------------------- Fetch *)
+
+let is_return = function
+  | Bor_isa.Instr.Jalr (rd, rs1, _) ->
+    Bor_isa.Reg.equal rd Bor_isa.Reg.zero && Bor_isa.Reg.equal rs1 Bor_isa.Reg.ra
+  | _ -> false
+
+let fetch t =
+  let fetched = ref 0 in
+  let continue_ = ref true in
+  while
+    !continue_
+    && !fetched < t.cfg.Config.fetch_width
+    && Queue.length t.fq < t.cfg.Config.fetch_queue
+    && t.cycle >= t.fetch_stall_until
+    && not t.halted_decoded
+  do
+    match t.fetch_pc with
+    | None -> continue_ := false
+    | Some pc -> (
+      (* Instruction cache: a miss blocks the front end. *)
+      if not (Cache.probe (Hierarchy.l1i t.hier) pc) then begin
+        let latency = Hierarchy.access t.hier Hierarchy.I pc in
+        t.fetch_stall_until <- t.cycle + latency;
+        continue_ := false
+      end
+      else begin
+        ignore (Hierarchy.access t.hier Hierarchy.I pc);
+        match Bor_isa.Program.instr_at t.program pc with
+        | None ->
+          (* Wrong-path fetch wandered outside the text segment. *)
+          t.fetch_pc <- None;
+          continue_ := false
+        | Some instr ->
+          let ghist_at_fetch = Predictor.ghist t.pred in
+          let fall = pc + 4 in
+          let pred = ref None in
+          let ras_snap = ref None in
+          let stream_next =
+            match instr with
+            | Bor_isa.Instr.Jal (rd, off) ->
+              if Bor_isa.Reg.equal rd Bor_isa.Reg.ra then Ras.push t.ras fall;
+              if roi t then
+                t.stats.predecode_redirects <- t.stats.predecode_redirects + 1;
+              pc + (4 * off)
+            | Bor_isa.Instr.Brr_always off ->
+              if roi t then
+                t.stats.predecode_redirects <- t.stats.predecode_redirects + 1;
+              pc + (4 * off)
+            | Bor_isa.Instr.Jalr _ when is_return instr -> (
+              ras_snap := Some (snapshot_ras t.ras);
+              match Ras.pop t.ras with
+              | Some target -> target
+              | None -> -1 (* no prediction: stall fetch *))
+            | Bor_isa.Instr.Jalr _ ->
+              ras_snap := Some (snapshot_ras t.ras);
+              -1
+            | Bor_isa.Instr.Brr _ when t.cfg.Config.brr_in_predictor -> (
+              (* Ablation: the brr consults the direction predictor,
+                 shifts the global history and uses the BTB, like any
+                 conditional branch. *)
+              ras_snap := Some (snapshot_ras t.ras);
+              let p = Predictor.predict t.pred ~pc in
+              pred := Some p;
+              if p.Predictor.taken then
+                match Btb.lookup t.btb ~pc with
+                | Some target -> target
+                | None -> fall
+              else fall)
+            | Bor_isa.Instr.Brr _ ->
+              ras_snap := Some (snapshot_ras t.ras);
+              fall
+            | Bor_isa.Instr.Branch _ -> (
+              ras_snap := Some (snapshot_ras t.ras);
+              let p = Predictor.predict t.pred ~pc in
+              pred := Some p;
+              if p.Predictor.taken then
+                match Btb.lookup t.btb ~pc with
+                | Some target -> target
+                | None -> fall (* predicted taken, no target known *)
+              else fall)
+            | Bor_isa.Instr.Halt -> -1
+            | _ -> fall
+          in
+          Queue.add
+            {
+              fpc = pc;
+              instr;
+              fetch_cycle = t.cycle;
+              pred = !pred;
+              stream_next;
+              ghist_at_fetch;
+              ras_at_fetch = !ras_snap;
+            }
+            t.fq;
+          incr fetched;
+          if stream_next = -1 then begin
+            t.fetch_pc <- None;
+            continue_ := false
+          end
+          else begin
+            t.fetch_pc <- Some stream_next;
+            (* Fetch stops at any redirecting instruction. *)
+            if stream_next <> fall then continue_ := false
+          end
+      end)
+  done;
+  if !fetched = t.cfg.Config.fetch_width && roi t then
+    t.stats.cycles_fetch_full <- t.stats.cycles_fetch_full + 1
+
+(* -------------------------------------------------------------- Decode *)
+
+let oracle_reg t r = Bor_sim.Machine.reg t.oracle r
+
+(* Pre-compute the architectural behaviour of the next oracle
+   instruction (before stepping it). *)
+let capture t (i : Bor_isa.Instr.t) pc =
+  let open Bor_isa.Instr in
+  match i with
+  | Branch (c, r1, r2, off) ->
+    let taken = eval_cond c (oracle_reg t r1) (oracle_reg t r2) in
+    (taken, (if taken then pc + (4 * off) else pc + 4), -1)
+  | Jalr (_, rs1, imm) ->
+    (false, Bor_util.Bits.wrap32 (oracle_reg t rs1 + imm), -1)
+  | Load (_, _, rs1, off) -> (false, pc + 4, oracle_reg t rs1 + off)
+  | Store (_, _, rbase, off) -> (false, pc + 4, oracle_reg t rbase + off)
+  | Jal (_, off) -> (false, pc + (4 * off), -1)
+  | Brr_always off -> (false, pc + (4 * off), -1)
+  | Alu _ | Alui _ | Lui _ | Brr _ | Rdlfsr _ | Marker _ | Halt | Nop ->
+    (false, pc + 4, -1)
+
+let completes_at_decode (i : Bor_isa.Instr.t) =
+  match i with
+  | Bor_isa.Instr.Jal _ | Bor_isa.Instr.Brr_always _ | Bor_isa.Instr.Marker _
+  | Bor_isa.Instr.Nop | Bor_isa.Instr.Halt | Bor_isa.Instr.Rdlfsr _ ->
+    true
+  | Bor_isa.Instr.Alu _ | Bor_isa.Instr.Alui _ | Bor_isa.Instr.Lui _
+  | Bor_isa.Instr.Load _ | Bor_isa.Instr.Store _ | Bor_isa.Instr.Branch _
+  | Bor_isa.Instr.Jalr _ | Bor_isa.Instr.Brr _ ->
+    false
+
+(* A decode-stage redirect flushes the younger half of the front end;
+   their speculative history updates and RAS motion must be unwound to
+   the redirecting instruction's fetch point. *)
+let frontend_redirect t (e : fetched) target =
+  trace t (Front_flush { cycle = t.cycle; target });
+  Queue.clear t.fq;
+  Predictor.restore_ghist t.pred e.ghist_at_fetch;
+  (match e.ras_at_fetch with
+  | Some snap -> restore_ras t.ras snap
+  | None -> ());
+  t.fetch_pc <- Some target;
+  t.fetch_stall_until <- t.cycle + 1
+
+let decode_one t (e : fetched) =
+  let open Bor_isa.Instr in
+  (* Returns [true] if decode may continue this cycle. *)
+  match e.instr with
+  | Brr (freq, off) when not t.cfg.Config.brr_resolve_in_backend ->
+    let outcome, bank = Bor_core.Engine.decide_recorded t.engine freq in
+    if t.wrong_path_decode then begin
+      if t.cfg.Config.deterministic_lfsr then
+        t.spec_brr_log <- bank :: t.spec_brr_log;
+      if outcome then begin
+        (* Wrong-path front-end redirect: speculation within
+           speculation, exactly what the hardware would do. *)
+        frontend_redirect t e (e.fpc + (4 * off));
+        false
+      end
+      else true
+    end
+    else begin
+      t.pending_brr := Some outcome;
+      Bor_sim.Machine.step t.oracle;
+      if roi t then begin
+        t.stats.brr_executed <- t.stats.brr_executed + 1;
+        t.stats.instructions <- t.stats.instructions + 1;
+        if outcome then t.stats.brr_taken <- t.stats.brr_taken + 1
+      end;
+      if t.retired_brr_count < retired_brr_cap then begin
+        t.retired_brr <- outcome :: t.retired_brr;
+        t.retired_brr_count <- t.retired_brr_count + 1
+      end;
+      trace t (Brr_resolved { cycle = t.cycle; pc = e.fpc; taken = outcome });
+      let actual_next =
+        if outcome then e.fpc + (4 * off) else e.fpc + 4
+      in
+      (* Pollution ablation: even though resolution stays in decode, the
+         predictor tables, history and BTB see this branch. *)
+      (match e.pred with
+      | Some p when t.cfg.Config.brr_in_predictor ->
+        Predictor.update t.pred ~pc:e.fpc p ~taken:outcome;
+        if outcome then Btb.insert t.btb ~pc:e.fpc ~target:actual_next
+      | Some _ | None -> ());
+      if e.stream_next <> actual_next then begin
+        if roi t then
+          t.stats.frontend_flushes <- t.stats.frontend_flushes + 1;
+        frontend_redirect t e actual_next;
+        (* The flush rewound the history to this brr's fetch point; with
+           the pollution ablation its own direction is then replayed. *)
+        (match e.pred with
+        | Some p when t.cfg.Config.brr_in_predictor ->
+          Predictor.recover t.pred p ~taken:outcome
+        | Some _ | None -> ());
+        false
+      end
+      else true
+    end
+  | _ ->
+    (* Includes Brr under the backend-resolution ablation: the brr then
+       occupies a ROB slot and resolves at execute like a conditional
+       branch. *)
+    let brr_info =
+      match e.instr with
+      | Brr (freq, off) ->
+        let outcome, bank = Bor_core.Engine.decide_recorded t.engine freq in
+        if t.wrong_path_decode then begin
+          if t.cfg.Config.deterministic_lfsr then
+            t.spec_brr_log <- bank :: t.spec_brr_log
+        end
+        else begin
+          t.pending_brr := Some outcome;
+          if roi t then begin
+            t.stats.brr_executed <- t.stats.brr_executed + 1;
+            if outcome then t.stats.brr_taken <- t.stats.brr_taken + 1
+          end;
+          if t.retired_brr_count < retired_brr_cap then begin
+            t.retired_brr <- outcome :: t.retired_brr;
+            t.retired_brr_count <- t.retired_brr_count + 1
+          end
+        end;
+        Some (outcome, (if outcome then e.fpc + (4 * off) else e.fpc + 4))
+      | _ -> None
+    in
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let reg_deps =
+      List.filter_map
+        (fun r ->
+          let p = t.producer.(Bor_isa.Reg.to_int r) in
+          if p >= 0 then Some p else None)
+        (sources e.instr)
+    in
+    let wrong_path = t.wrong_path_decode in
+    if (not wrong_path) && Bor_sim.Machine.pc t.oracle <> e.fpc then
+      sim_error "timing/functional divergence: decode pc 0x%x, oracle 0x%x"
+        e.fpc (Bor_sim.Machine.pc t.oracle);
+    let actual_taken, actual_next, mem_addr =
+      if wrong_path then (false, -1, -1)
+      else
+        match brr_info with
+        | Some (_, next) -> (false, next, -1)
+        | None -> capture t e.instr e.fpc
+    in
+    (* Memory dependencies: a load waits for the youngest in-flight
+       store to the same word (store-to-load forwarding); a store
+       becomes the new youngest. *)
+    let deps =
+      if mem_addr < 0 then reg_deps
+      else begin
+        let word = mem_addr asr 2 in
+        if Bor_isa.Instr.is_store e.instr then begin
+          Hashtbl.replace t.last_store word seq;
+          reg_deps
+        end
+        else
+          match Hashtbl.find_opt t.last_store word with
+          | Some s when Hashtbl.mem t.inflight s -> s :: reg_deps
+          | Some _ | None -> reg_deps
+      end
+    in
+    let binfo =
+      match e.instr with
+      | Branch _ when not wrong_path ->
+        B_cond { pred = Option.get e.pred; actual_taken }
+      | Jalr _ when not wrong_path -> B_jalr
+      | Brr _ when not wrong_path ->
+        B_brr { pred = e.pred; taken = Option.get brr_info |> fst }
+      | _ -> B_none
+    in
+    let mispredict =
+      (not wrong_path)
+      &&
+      match e.instr with
+      | Branch _ | Jalr _ | Brr _ -> e.stream_next <> actual_next
+      | _ -> false
+    in
+    if not wrong_path then Bor_sim.Machine.step t.oracle;
+    (* The destination mapping must be installed before the rename
+       checkpoint so a restore reflects this instruction too. *)
+    (match dest e.instr with
+    | Some rd -> t.producer.(Bor_isa.Reg.to_int rd) <- seq
+    | None -> ());
+    let entry =
+      {
+        seq;
+        epc = e.fpc;
+        instr = e.instr;
+        wrong_path;
+        deps;
+        issued = completes_at_decode e.instr;
+        complete = (if completes_at_decode e.instr then t.cycle else -1);
+        binfo;
+        mispredict;
+        actual_next;
+        mem_addr;
+        ghist_at_fetch = e.ghist_at_fetch;
+        ras_at_fetch = e.ras_at_fetch;
+        producer_snapshot =
+          (if mispredict then Some (Array.copy t.producer) else None);
+      }
+    in
+    Queue.add entry t.rob;
+    Hashtbl.replace t.inflight seq entry;
+    if mispredict then begin
+      t.wrong_path_decode <- true;
+      t.resolver <- seq
+    end;
+    (match e.instr with
+    | Halt when not wrong_path ->
+      t.halted_decoded <- true;
+      t.fetch_pc <- None
+    | _ -> ());
+    true
+
+let decode t =
+  let decoded = ref 0 in
+  let brr_decoded = ref 0 in
+  let continue_ = ref true in
+  let rob_full () = Queue.length t.rob >= t.cfg.Config.rob_entries in
+  while !continue_ && !decoded < t.cfg.Config.decode_width do
+    match Queue.peek_opt t.fq with
+    | None -> continue_ := false
+    | Some e ->
+      let is_brr =
+        match e.instr with Bor_isa.Instr.Brr _ -> true | _ -> false
+      in
+      if e.fetch_cycle + t.cfg.Config.decode_depth > t.cycle then
+        continue_ := false
+      else if (not is_brr) && rob_full () then begin
+        if roi t then t.stats.cycles_rob_full <- t.stats.cycles_rob_full + 1;
+        continue_ := false
+      end
+      else if is_brr && !brr_decoded >= t.cfg.Config.lfsr_ports then
+        (* Footnote 3: a shared LFSR arbitrates; the packet splits and
+           the extra branch-on-randoms decode next cycle. *)
+        continue_ := false
+      else begin
+        let e' = Queue.pop t.fq in
+        incr decoded;
+        if is_brr then incr brr_decoded;
+        if not (decode_one t e') then continue_ := false
+      end
+  done;
+  if !decoded = 0 && roi t then
+    t.stats.cycles_decode_starved <- t.stats.cycles_decode_starved + 1
+
+(* --------------------------------------------------------------- Issue *)
+
+let dep_ready t cycle d =
+  match Hashtbl.find_opt t.inflight d with
+  | None -> true (* committed or squashed *)
+  | Some e -> e.complete >= 0 && e.complete <= cycle
+
+let latency_of t (e : rob_entry) =
+  let open Bor_isa.Instr in
+  match e.instr with
+  | Load _ ->
+    if e.wrong_path || e.mem_addr < 0 then t.cfg.Config.l1_latency
+    else Hierarchy.access t.hier Hierarchy.D e.mem_addr
+  | Store _ ->
+    if not e.wrong_path && e.mem_addr >= 0 then
+      ignore (Hierarchy.access t.hier Hierarchy.D e.mem_addr);
+    1
+  | Alu (Mul, _, _, _) -> t.cfg.Config.mul_latency
+  | _ -> t.cfg.Config.alu_latency
+
+let issue t =
+  let issued = ref 0 and mem = ref 0 in
+  let consider (e : rob_entry) =
+    if
+      (not e.issued)
+      && !issued < t.cfg.Config.issue_width
+      && List.for_all (dep_ready t t.cycle) e.deps
+    then begin
+      let is_mem =
+        Bor_isa.Instr.is_load e.instr || Bor_isa.Instr.is_store e.instr
+      in
+      if not (is_mem && !mem >= t.cfg.Config.mem_ports) then begin
+        e.issued <- true;
+        e.complete <- t.cycle + latency_of t e;
+        incr issued;
+        if is_mem then incr mem
+      end
+    end
+  in
+  Queue.iter consider t.rob
+
+(* -------------------------------------------------------------- Squash *)
+
+let squash t (resolver : rob_entry) =
+  (* Remove everything younger than the resolver. *)
+  let keep = Queue.create () in
+  let removed = ref 0 in
+  Queue.iter
+    (fun e ->
+      if e.seq <= resolver.seq then Queue.add e keep
+      else begin
+        incr removed;
+        Hashtbl.remove t.inflight e.seq
+      end)
+    t.rob;
+  t.rob <- keep;
+  (match resolver.producer_snapshot with
+  | Some snap -> Array.blit snap 0 t.producer 0 (Array.length snap)
+  | None ->
+    (* Unpredicted jalr: nothing younger was fetched, the table only
+       needs wrong-path entries dropped (there are none). *)
+    Array.iteri
+      (fun i p -> if p > resolver.seq then t.producer.(i) <- -1)
+      t.producer);
+  Queue.clear t.fq;
+  (* Deterministic LFSR recovery (§3.4): shift back once per squashed
+     speculative branch-on-random decode, newest first. *)
+  if t.cfg.Config.deterministic_lfsr then
+    List.iter
+      (fun bank -> Bor_core.Engine.undo t.engine ~shifted_out:bank)
+      t.spec_brr_log;
+  t.spec_brr_log <- [];
+  (* Global-history and RAS recovery to the resolver's fetch point. *)
+  (match resolver.binfo with
+  | B_cond { pred; actual_taken } ->
+    Predictor.recover t.pred pred ~taken:actual_taken
+  | B_brr { pred = Some p; taken } -> Predictor.recover t.pred p ~taken
+  | B_jalr | B_brr { pred = None; _ } ->
+    Predictor.restore_ghist t.pred resolver.ghist_at_fetch
+  | B_none -> ());
+  (match resolver.ras_at_fetch with
+  | Some snap ->
+    restore_ras t.ras snap;
+    (* Replay the resolver's own RAS effect. *)
+    (match resolver.instr with
+    | Bor_isa.Instr.Jalr _ when is_return resolver.instr ->
+      ignore (Ras.pop t.ras)
+    | _ -> ())
+  | None -> ());
+  t.wrong_path_decode <- false;
+  t.resolver <- -1;
+  t.halted_decoded <- false;
+  t.fetch_pc <- Some resolver.actual_next;
+  t.fetch_stall_until <- t.cycle + t.cfg.Config.backend_redirect;
+  trace t
+    (Back_flush
+       { cycle = t.cycle; resolver_pc = resolver.epc; squashed = !removed });
+  if roi t then begin
+    t.stats.backend_flushes <- t.stats.backend_flushes + 1;
+    t.stats.squashed <- t.stats.squashed + !removed
+  end
+
+let check_resolver t =
+  if t.resolver >= 0 then
+    match Hashtbl.find_opt t.inflight t.resolver with
+    | Some e when e.complete >= 0 && e.complete <= t.cycle -> squash t e
+    | Some _ -> ()
+    | None -> sim_error "resolver %d vanished" t.resolver
+
+(* -------------------------------------------------------------- Commit *)
+
+let marker_commit t n =
+  if n = 1 then begin
+    let s = t.stats in
+    let fresh = fresh_stats () in
+    s.cycles <- fresh.cycles;
+    s.instructions <- 0;
+    s.cond_branches <- 0;
+    s.cond_mispredicts <- 0;
+    s.returns <- 0;
+    s.return_mispredicts <- 0;
+    s.brr_executed <- 0;
+    s.brr_taken <- 0;
+    s.backend_flushes <- 0;
+    s.frontend_flushes <- 0;
+    s.predecode_redirects <- 0;
+    s.squashed <- 0;
+    s.loads <- 0;
+    s.stores <- 0;
+    s.cycles_fetch_full <- 0;
+    s.cycles_decode_starved <- 0;
+    s.cycles_rob_full <- 0;
+    s.rob_occupancy <- 0;
+    s.cycles <- 0;
+    Hierarchy.reset_stats t.hier;
+    t.roi_active <- true;
+    t.roi_frozen <- false
+  end
+  else if n = 2 then begin
+    t.roi_frozen <- true;
+    t.stats.l1i_misses <- (Cache.stats (Hierarchy.l1i t.hier)).misses;
+    t.stats.l1d_misses <- (Cache.stats (Hierarchy.l1d t.hier)).misses;
+    t.stats.l2_misses <- (Cache.stats (Hierarchy.l2 t.hier)).misses
+  end
+
+let commit t =
+  let n = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !n < t.cfg.Config.commit_width do
+    match Queue.peek_opt t.rob with
+    | Some e when e.complete >= 0 && e.complete <= t.cycle ->
+      if e.wrong_path then
+        sim_error "wrong-path instruction reached commit at pc 0x%x" e.epc;
+      ignore (Queue.pop t.rob);
+      Hashtbl.remove t.inflight e.seq;
+      incr n;
+      trace t (Commit { cycle = t.cycle; pc = e.epc; instr = e.instr });
+      if roi t then begin
+        let s = t.stats in
+        s.instructions <- s.instructions + 1;
+        if Bor_isa.Instr.is_load e.instr then s.loads <- s.loads + 1;
+        if Bor_isa.Instr.is_store e.instr then s.stores <- s.stores + 1
+      end;
+      (match e.binfo with
+      | B_brr _ when roi t ->
+        (* brr statistics were taken at decode; keep committed-instruction
+           counting here but do not re-count the brr events. *)
+        ()
+      | _ -> ());
+      (match e.binfo with
+      | B_cond { pred; actual_taken } ->
+        if roi t then begin
+          t.stats.cond_branches <- t.stats.cond_branches + 1;
+          if e.mispredict then
+            t.stats.cond_mispredicts <- t.stats.cond_mispredicts + 1
+        end;
+        Predictor.update t.pred ~pc:e.epc pred ~taken:actual_taken;
+        if actual_taken then
+          Btb.insert t.btb ~pc:e.epc ~target:e.actual_next
+      | B_brr { pred = Some p; taken } ->
+        Predictor.update t.pred ~pc:e.epc p ~taken;
+        if taken then Btb.insert t.btb ~pc:e.epc ~target:e.actual_next
+      | B_jalr ->
+        if roi t then begin
+          t.stats.returns <- t.stats.returns + 1;
+          if e.mispredict then
+            t.stats.return_mispredicts <- t.stats.return_mispredicts + 1
+        end
+      | B_brr { pred = None; _ } | B_none -> ());
+      (match e.instr with
+      | Bor_isa.Instr.Marker m -> marker_commit t m
+      | Bor_isa.Instr.Halt -> t.halt_committed <- true
+      | _ -> ())
+    | Some _ | None -> continue_ := false
+  done
+
+(* ----------------------------------------------------------------- Run *)
+
+let cycle t = t.cycle
+let halted t = t.halt_committed
+
+let step_cycle t =
+  if t.halt_committed then ()
+  else begin
+    check_resolver t;
+    commit t;
+    issue t;
+    decode t;
+    fetch t;
+    if roi t then begin
+      t.stats.cycles <- t.stats.cycles + 1;
+      t.stats.rob_occupancy <- t.stats.rob_occupancy + Queue.length t.rob
+    end;
+    t.cycle <- t.cycle + 1
+  end
+
+let run ?(max_cycles = 2_000_000_000) t =
+  try
+    let rec go () =
+      if t.halt_committed then begin
+        if not t.roi_frozen then begin
+          t.stats.l1i_misses <- (Cache.stats (Hierarchy.l1i t.hier)).misses;
+          t.stats.l1d_misses <- (Cache.stats (Hierarchy.l1d t.hier)).misses;
+          t.stats.l2_misses <- (Cache.stats (Hierarchy.l2 t.hier)).misses
+        end;
+        Ok t.stats
+      end
+      else if t.cycle >= max_cycles then Error "cycle budget exhausted"
+      else if
+        Queue.is_empty t.rob && Queue.is_empty t.fq && t.fetch_pc = None
+        && not t.halted_decoded
+      then Error "front end deadlocked (fetch lost with empty ROB)"
+      else begin
+        step_cycle t;
+        go ()
+      end
+    in
+    go ()
+  with
+  | Sim_error m -> Error m
+  | Bor_sim.Machine.Fault { pc; message } ->
+    Error (Printf.sprintf "oracle fault at 0x%x: %s" pc message)

@@ -1,0 +1,108 @@
+(** Cycle-level out-of-order timing simulator for BRISC, organised
+    timing-first (paper §5.1): the timing model leads — in particular it
+    decides every branch-on-random outcome in its decode stage from the
+    hardware LFSR engine — and a functional {!Bor_sim.Machine} oracle is
+    stepped alongside to supply architectural values and verify
+    committed state.
+
+    Front end: fetch up to [fetch_width] instructions per cycle from the
+    i-cache, stopping at a predicted-taken branch. Unconditional direct
+    jumps ([jal]/[j]/[brra]) redirect at fetch via pre-decode bits;
+    returns use the RAS; conditional branches use the tournament
+    predictor with BTB targets. Branch-on-random is always predicted
+    not-taken and never touches predictor, history or BTB.
+
+    Decode (pipeline stage [decode_depth + 1] = 5): branch-on-random
+    resolves here — the LFSR clocks on every decoded branch-on-random,
+    correct path or wrong path, and a taken outcome costs only a
+    front-end flush. Not-taken branch-on-randoms retire at decode
+    without entering the ROB (paper §3.3). A mispredicted conditional
+    branch (known here, thanks to the oracle) switches decode into
+    wrong-path mode: the front end keeps fetching and decoding real
+    instructions down the predicted path until the branch resolves in
+    the back end and squashes them — which is how speculative LFSR
+    updates (and their §3.4 deterministic recovery) are modelled
+    honestly.
+
+    Back end: register renaming via a producer table, dynamic issue of
+    up to [issue_width] instructions per cycle ([mem_ports] memory
+    operations), d-cache/L2/memory latencies on the correct path, and
+    in-order commit of [commit_width] per cycle. *)
+
+type stats = {
+  mutable cycles : int;
+  mutable instructions : int;  (** committed (branch-on-random included) *)
+  mutable cond_branches : int;
+  mutable cond_mispredicts : int;
+  mutable returns : int;  (** committed jalr returns *)
+  mutable return_mispredicts : int;  (** RAS misses among them *)
+  mutable brr_executed : int;  (** retired branch-on-randoms *)
+  mutable brr_taken : int;
+  mutable backend_flushes : int;
+  mutable frontend_flushes : int;  (** taken branch-on-random redirects *)
+  mutable predecode_redirects : int;  (** jal/j/brra fetch redirects *)
+  mutable squashed : int;  (** wrong-path instructions removed *)
+  mutable loads : int;
+  mutable stores : int;
+  mutable cycles_fetch_full : int;  (** fetched a full packet *)
+  mutable cycles_decode_starved : int;  (** nothing to decode *)
+  mutable cycles_rob_full : int;
+  mutable rob_occupancy : int;  (** summed per cycle; divide by cycles *)
+  mutable l1i_misses : int;
+  mutable l1d_misses : int;
+  mutable l2_misses : int;
+}
+
+val ipc : stats -> float
+val branch_accuracy : stats -> float
+
+val pp_stats : Format.formatter -> stats -> unit
+(** Multi-line human-readable dump of a run's statistics. *)
+
+type t
+
+val create : ?config:Config.t -> Bor_isa.Program.t -> t
+
+val cycle : t -> int
+(** Current cycle number. *)
+
+val halted : t -> bool
+(** The program's [halt] has committed. *)
+
+val step_cycle : t -> unit
+(** Advance the machine one cycle (no-op once halted) — for interactive
+    drivers; {!run} is the batch loop. *)
+
+val run : ?max_cycles:int -> t -> (stats, string) result
+(** Simulate until the program halts (or [max_cycles], default 2e9 —
+    an error). When the program brackets a region of interest with
+    [marker 1] / [marker 2], the returned statistics cover exactly that
+    region; otherwise the whole run. *)
+
+val oracle : t -> Bor_sim.Machine.t
+(** The functional model, for reading final architectural state. *)
+
+val engine : t -> Bor_core.Engine.t
+(** The branch-on-random LFSR engine (decode stage hardware). *)
+
+val retired_brr_outcomes : t -> bool list
+(** The committed branch-on-random outcome sequence, oldest first —
+    used by the §3.4 determinism experiments. *)
+
+val config : t -> Config.t
+
+(** {2 Tracing}
+
+    A lightweight observation stream for debugging and for building
+    custom analyses on top of the simulator. Events fire in commit
+    order for [Commit]; flush events fire when the redirect happens. *)
+
+type trace_event =
+  | Commit of { cycle : int; pc : int; instr : Bor_isa.Instr.t }
+  | Brr_resolved of { cycle : int; pc : int; taken : bool }
+      (** a decode-stage branch-on-random resolution (correct path) *)
+  | Front_flush of { cycle : int; target : int }
+  | Back_flush of { cycle : int; resolver_pc : int; squashed : int }
+
+val set_tracer : t -> (trace_event -> unit) -> unit
+(** At most one tracer; calling again replaces it. *)

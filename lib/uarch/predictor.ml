@@ -1,0 +1,55 @@
+type t = {
+  gshare : int array;  (** 2-bit counters, 2^ghist_bits entries *)
+  bimodal : int array;
+  chooser : int array;  (** 2-bit: >=2 prefers gshare *)
+  ghist_mask : int;
+  mutable ghist : int;
+}
+
+type prediction = { taken : bool; ghist_snapshot : int; meta : int }
+
+let create (c : Config.t) =
+  {
+    gshare = Array.make (1 lsl c.ghist_bits) 1;
+    bimodal = Array.make c.bimodal_entries 1;
+    chooser = Array.make c.bimodal_entries 2;
+    ghist_mask = Bor_util.Bits.mask c.ghist_bits;
+    ghist = 0;
+  }
+
+let gshare_index t pc = ((pc lsr 2) lxor t.ghist) land t.ghist_mask
+let bimodal_index t pc = (pc lsr 2) mod Array.length t.bimodal
+let counter_taken v = v >= 2
+
+let bump a i taken =
+  if taken then (if a.(i) < 3 then a.(i) <- a.(i) + 1)
+  else if a.(i) > 0 then a.(i) <- a.(i) - 1
+
+let predict t ~pc =
+  let gi = gshare_index t pc in
+  let bi = bimodal_index t pc in
+  let use_gshare = counter_taken t.chooser.(bi) in
+  let g = counter_taken t.gshare.(gi) in
+  let b = counter_taken t.bimodal.(bi) in
+  let taken = if use_gshare then g else b in
+  let snapshot = t.ghist in
+  t.ghist <- ((t.ghist lsl 1) lor Bool.to_int taken) land t.ghist_mask;
+  (* meta packs the gshare index (computed pre-history-update) and the
+     two component predictions for chooser training. *)
+  { taken; ghist_snapshot = snapshot;
+    meta = (gi lsl 2) lor (Bool.to_int g lsl 1) lor Bool.to_int b }
+
+let update t ~pc (p : prediction) ~taken =
+  let gi = p.meta lsr 2 in
+  let g = (p.meta lsr 1) land 1 = 1 in
+  let b = p.meta land 1 = 1 in
+  let bi = bimodal_index t pc in
+  bump t.gshare gi taken;
+  bump t.bimodal bi taken;
+  if g <> b then bump t.chooser bi (g = taken)
+
+let recover t (p : prediction) ~taken =
+  t.ghist <- ((p.ghist_snapshot lsl 1) lor Bool.to_int taken) land t.ghist_mask
+
+let ghist t = t.ghist
+let restore_ghist t h = t.ghist <- h land t.ghist_mask

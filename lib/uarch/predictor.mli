@@ -1,0 +1,38 @@
+(** Direction predictors: the paper's tournament of a 16-bit gshare and
+    a large bimodal table, chosen per branch by a 2-bit chooser.
+
+    Branch-on-random instructions never consult or update these
+    structures (paper §3.3): they are forced not-taken, keeping the
+    tables and the global history free of sampling noise. Counter-based
+    sampling branches, by contrast, go through here like any other
+    conditional branch — which is exactly the pollution the paper
+    measures. *)
+
+type t
+
+type prediction = {
+  taken : bool;
+  ghist_snapshot : int;  (** for recovery on squash *)
+  meta : int;  (** opaque; pass back to [update] *)
+}
+
+val create : Config.t -> t
+
+val predict : t -> pc:int -> prediction
+(** Also speculatively shifts the prediction into the global history
+    (standard speculative-history management). *)
+
+val update : t -> pc:int -> prediction -> taken:bool -> unit
+(** Train tables at resolution with the actual direction. *)
+
+val recover : t -> prediction -> taken:bool -> unit
+(** Restore the global history after a squash: rewind to the snapshot
+    and push the branch's actual direction. *)
+
+val ghist : t -> int
+(** Current (speculative) global history, for tests. *)
+
+val restore_ghist : t -> int -> unit
+(** Reset the history to a recorded fetch-time value (recovery for
+    resolvers that never consulted the direction predictor, e.g.
+    mispredicted returns). *)

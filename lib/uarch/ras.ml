@@ -1,0 +1,20 @@
+type t = { stack : int array; mutable top : int; mutable depth : int }
+
+let create ~entries =
+  if entries <= 0 then invalid_arg "Ras.create";
+  { stack = Array.make entries 0; top = 0; depth = 0 }
+
+let push t v =
+  t.stack.(t.top) <- v;
+  t.top <- (t.top + 1) mod Array.length t.stack;
+  t.depth <- min (t.depth + 1) (Array.length t.stack)
+
+let pop t =
+  if t.depth = 0 then None
+  else begin
+    t.top <- (t.top + Array.length t.stack - 1) mod Array.length t.stack;
+    t.depth <- t.depth - 1;
+    Some t.stack.(t.top)
+  end
+
+let depth t = t.depth

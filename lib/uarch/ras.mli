@@ -1,0 +1,10 @@
+(** Return address stack (32 entries in the paper's configuration),
+    consulted at fetch for [jalr]-through-[ra] returns and pushed by
+    calls. Overflow wraps; underflow predicts nothing. *)
+
+type t
+
+val create : entries:int -> t
+val push : t -> int -> unit
+val pop : t -> int option
+val depth : t -> int

@@ -1,0 +1,36 @@
+let mask w =
+  if w < 0 || w > 62 then invalid_arg "Bits.mask"
+  else if w = 0 then 0
+  else (1 lsl w) - 1
+
+let extract v ~pos ~len = (v lsr pos) land mask len
+
+let insert v ~pos ~len ~field =
+  let m = mask len in
+  (v land lnot (m lsl pos)) lor ((field land m) lsl pos)
+
+let bit v i = (v lsr i) land 1 = 1
+
+let sign_extend v ~width =
+  let v = v land mask width in
+  if bit v (width - 1) then v - (1 lsl width) else v
+
+let wrap32 v = sign_extend v ~width:32
+let to_u32 v = v land mask 32
+
+let popcount v =
+  let rec go acc v = if v = 0 then acc else go (acc + (v land 1)) (v lsr 1) in
+  go 0 v
+
+let parity v = popcount v land 1
+let is_power_of_two v = v > 0 && v land (v - 1) = 0
+
+let log2_exact v =
+  if not (is_power_of_two v) then None
+  else
+    let rec go k v = if v = 1 then k else go (k + 1) (v lsr 1) in
+    Some (go 0 v)
+
+let fits_signed v ~width =
+  let half = 1 lsl (width - 1) in
+  v >= -half && v < half

@@ -1,0 +1,47 @@
+(** Bit-twiddling helpers shared by the LFSR, the instruction encoder and
+    the micro-architectural structures.
+
+    All values are plain OCaml [int]s treated as unsigned bit vectors of at
+    most 62 bits unless a function says otherwise. *)
+
+val mask : int -> int
+(** [mask w] is a value with the low [w] bits set. [w] must be in
+    [0, 62]. *)
+
+val extract : int -> pos:int -> len:int -> int
+(** [extract v ~pos ~len] is the [len]-bit field of [v] starting at bit
+    [pos] (bit 0 is the least significant). *)
+
+val insert : int -> pos:int -> len:int -> field:int -> int
+(** [insert v ~pos ~len ~field] overwrites the [len]-bit field of [v] at
+    [pos] with the low [len] bits of [field]. *)
+
+val bit : int -> int -> bool
+(** [bit v i] is the [i]-th bit of [v]. *)
+
+val sign_extend : int -> width:int -> int
+(** [sign_extend v ~width] reinterprets the low [width] bits of [v] as a
+    two's-complement number. *)
+
+val wrap32 : int -> int
+(** [wrap32 v] reduces [v] to a signed 32-bit value (the semantics of all
+    BRISC arithmetic). *)
+
+val to_u32 : int -> int
+(** [to_u32 v] is the unsigned reinterpretation of the low 32 bits. *)
+
+val popcount : int -> int
+(** Number of set bits. *)
+
+val parity : int -> int
+(** [parity v] is [popcount v mod 2]. *)
+
+val is_power_of_two : int -> bool
+(** [is_power_of_two v] holds when [v] is a positive power of two. *)
+
+val log2_exact : int -> int option
+(** [log2_exact v] is [Some k] when [v = 2{^k}], [None] otherwise. *)
+
+val fits_signed : int -> width:int -> bool
+(** [fits_signed v ~width] holds when [v] is representable as a signed
+    [width]-bit immediate. *)

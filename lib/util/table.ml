@@ -1,0 +1,52 @@
+let looks_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || String.contains "+-.%xe" c)
+       s
+
+let render ~headers rows =
+  List.iter
+    (fun r ->
+      if List.length r <> List.length headers then
+        invalid_arg "Table.render: row arity mismatch")
+    rows;
+  let all = headers :: rows in
+  let ncols = List.length headers in
+  let width c =
+    List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let numeric c =
+    rows <> [] && List.for_all (fun row -> looks_numeric (List.nth row c)) rows
+  in
+  let numerics = List.init ncols numeric in
+  let pad w right s =
+    let fill = String.make (w - String.length s) ' ' in
+    if right then fill ^ s else s ^ fill
+  in
+  let line cells =
+    let fields =
+      List.mapi
+        (fun c s -> pad (List.nth widths c) (c > 0 && List.nth numerics c) s)
+        cells
+    in
+    String.concat "  " fields ^ "\n"
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths) ^ "\n"
+  in
+  String.concat "" (line headers :: rule :: List.map line rows)
+
+let print ~headers rows = print_string (render ~headers rows)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv ~headers rows =
+  let line cells = String.concat "," (List.map csv_escape cells) ^ "\n" in
+  String.concat "" (List.map line (headers :: rows))
+
+let pct r = Printf.sprintf "%.2f%%" (100. *. r)
+let f2 v = Printf.sprintf "%.2f" v

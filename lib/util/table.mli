@@ -1,0 +1,21 @@
+(** Plain-text table rendering for the benchmark harness, so each
+    reproduced figure prints as aligned rows comparable to the paper's
+    series. *)
+
+val render : headers:string list -> string list list -> string
+(** [render ~headers rows] lays the table out with column-wise alignment
+    (numbers right-aligned, text left-aligned) and a rule under the
+    header. All rows must have the same arity as [headers]. *)
+
+val print : headers:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val csv : headers:string list -> string list list -> string
+(** The same data as comma-separated values, for post-processing. *)
+
+val pct : float -> string
+(** Format a ratio as a percentage with two decimals, e.g. [0.0064] is
+    ["0.64%"]. *)
+
+val f2 : float -> string
+(** Two-decimal fixed-point float. *)

@@ -1,0 +1,434 @@
+(* Each source uses a small LCG for input data (minic has no I/O) and
+   masks instead of modulo (BRISC has no divide). *)
+
+let bloat =
+  {|
+// bloat-like: bytecode transformation passes over a code buffer.
+int code[4096];
+int out[4096];
+int rng;
+
+int next_random() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+int peephole(int op, int arg) {
+  if (op == 0) return arg;
+  if (op == 1) return arg + 1;
+  if (op == 2) return arg << 1;
+  return arg ^ op;
+}
+
+int strength_reduce(int op, int arg) {
+  if (op == 2 && (arg & 1) == 0) return arg >> 1;
+  return peephole(op, arg);
+}
+
+int emit(int idx, int v) {
+  out[idx & 4095] = v;
+  return v;
+}
+
+int transform(int idx) {
+  int insn = code[idx & 4095];
+  int op = insn & 3;
+  int arg = insn >> 2;
+  return emit(idx, strength_reduce(op, arg));
+}
+
+int main() {
+  int i;
+  int sum = 0;
+  rng = 42;
+  for (i = 0; i < 4096; i = i + 1) code[i] = next_random();
+  for (i = 0; i < 30000; i = i + 1) {
+    sum = sum + transform(i);
+  }
+  return sum;
+}
+|}
+
+let fop =
+  {|
+// fop-like: formatting objects; measure then render runs of text.
+char doc[8192];
+int widths[128];
+int rng;
+
+int next_random() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+int char_width(int c) {
+  return widths[c & 127];
+}
+
+int measure_word(int start) {
+  int w = 0;
+  int i = start;
+  int c = doc[i & 8191];
+  while (c > 32) {
+    w = w + char_width(c);
+    i = i + 1;
+    c = doc[i & 8191];
+  }
+  return w;
+}
+
+int render_word(int start, int budget) {
+  int w = measure_word(start);
+  if (w > budget) return budget;
+  return budget - w;
+}
+
+int layout_line(int start, int width) {
+  int pos = start;
+  int budget = width;
+  int k;
+  for (k = 0; k < 6; k = k + 1) {
+    budget = render_word(pos, budget);
+    pos = pos + 7;
+  }
+  return budget;
+}
+
+int main() {
+  int i;
+  int total = 0;
+  rng = 7;
+  for (i = 0; i < 128; i = i + 1) widths[i] = 3 + (i & 7);
+  for (i = 0; i < 8192; i = i + 1) doc[i] = next_random() & 127;
+  for (i = 0; i < 9000; i = i + 1) {
+    total = total + layout_line(i * 11, 480);
+  }
+  return total;
+}
+|}
+
+let luindex =
+  {|
+// luindex-like: tokenize a document stream and index term frequencies.
+char corpus[16384];
+int table[2048];
+int rng;
+
+int next_random() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+int hash_step(int h, int c) {
+  return ((h << 5) - h + c) & 2047;
+}
+
+int hash_word(int start, int len) {
+  int h = 0;
+  int i;
+  for (i = 0; i < len; i = i + 1) {
+    h = hash_step(h, corpus[(start + i) & 16383]);
+  }
+  return h;
+}
+
+int post(int slot) {
+  table[slot] = table[slot] + 1;
+  return table[slot];
+}
+
+int index_word(int start, int len) {
+  return post(hash_word(start, len));
+}
+
+int main() {
+  int i;
+  int total = 0;
+  rng = 99;
+  for (i = 0; i < 16384; i = i + 1) corpus[i] = 97 + (next_random() & 15);
+  for (i = 0; i < 15000; i = i + 1) {
+    total = total + index_word(i * 13, 4 + (i & 3));
+  }
+  return total;
+}
+|}
+
+let lusearch =
+  {|
+// lusearch-like: hash-table lookups with probing and scoring.
+int table[4096];
+int keys[4096];
+int rng;
+
+int next_random() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+int probe(int slot) {
+  return keys[slot & 4095];
+}
+
+int score(int q, int k) {
+  int d = q - k;
+  if (d < 0) d = -d;
+  if (d < 16) return 16 - d;
+  return 0;
+}
+
+int lookup(int q) {
+  int slot = (q * 2654435761) & 4095;
+  int best = 0;
+  int tries = 0;
+  while (tries < 4) {
+    int s = score(q, probe(slot + tries));
+    if (s > best) best = s;
+    tries = tries + 1;
+  }
+  return best;
+}
+
+int main() {
+  int i;
+  int hits = 0;
+  rng = 1234;
+  for (i = 0; i < 4096; i = i + 1) keys[i] = next_random();
+  for (i = 0; i < 20000; i = i + 1) {
+    hits = hits + lookup(next_random());
+  }
+  return hits;
+}
+|}
+
+let jython =
+  {|
+// jython-like: a bytecode interpreter whose hot loop alternates calls
+// to two leaf handlers -- the method-call pattern behind the paper's
+// footnote 7 resonance.
+int bytecode[1024];
+int stack_mem[64];
+int sp_idx;
+int rng;
+
+int next_random() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+int op_push(int v) {
+  sp_idx = (sp_idx + 1) & 63;
+  stack_mem[sp_idx] = v;
+  return v;
+}
+
+int op_add() {
+  int a = stack_mem[sp_idx];
+  sp_idx = (sp_idx - 1) & 63;
+  stack_mem[sp_idx] = stack_mem[sp_idx] + a;
+  return stack_mem[sp_idx];
+}
+
+int op_misc(int op, int v) {
+  if (op == 2) return v ^ 21845;
+  if (op == 3) return v << 1;
+  return v;
+}
+
+int dispatch(int pc) {
+  int insn = bytecode[pc & 1023];
+  int op = insn & 3;
+  if (op == 0) return op_push(insn >> 2);
+  if (op == 1) return op_add();
+  return op_misc(op, insn >> 2);
+}
+
+int main() {
+  int i;
+  int acc = 0;
+  rng = 5;
+  // Mostly alternating push/add: a two-method cycle in the hot loop.
+  for (i = 0; i < 1024; i = i + 1) {
+    int r = next_random();
+    if ((i & 1) == 0) bytecode[i] = (r << 2) | 0;
+    else {
+      if ((r & 15) == 0) bytecode[i] = (r << 2) | 2;
+      else bytecode[i] = (r << 2) | 1;
+    }
+  }
+  for (i = 0; i < 40000; i = i + 1) {
+    acc = acc + dispatch(i);
+  }
+  return acc;
+}
+|}
+
+let antlr =
+  {|
+// antlr-like: recursive-descent parsing over a token buffer.
+int tokens[4096];
+int pos;
+int rng;
+
+int next_random() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+int peek_tok() { return tokens[pos & 4095]; }
+
+int advance_tok() {
+  int t = peek_tok();
+  pos = pos + 1;
+  return t;
+}
+
+int parse_atom() {
+  int t = advance_tok();
+  return t & 255;
+}
+
+int parse_term(int depth) {
+  int v = parse_atom();
+  while ((peek_tok() & 3) == 1 && depth < 8) {
+    advance_tok();
+    v = v * parse_atom();
+  }
+  return v;
+}
+
+int parse_expr(int depth) {
+  int v = parse_term(depth);
+  while ((peek_tok() & 3) == 2 && depth < 8) {
+    advance_tok();
+    v = v + parse_term(depth + 1);
+  }
+  return v;
+}
+
+int main() {
+  int i;
+  int total = 0;
+  rng = 3;
+  for (i = 0; i < 4096; i = i + 1) tokens[i] = next_random();
+  pos = 0;
+  for (i = 0; i < 9000; i = i + 1) {
+    if (pos > 1000000) pos = 0;
+    total = total + parse_expr(0);
+  }
+  return total;
+}
+|}
+
+let xalan =
+  {|
+// xalan-like: transforming a tree stored in arrays (first-child /
+// next-sibling), with per-node-kind handlers.
+int kind[2048];
+int child[2048];
+int sibling[2048];
+int out_acc;
+int rng;
+
+int next_random() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+int emit_text(int n) {
+  out_acc = out_acc + (kind[n] & 63);
+  return out_acc;
+}
+
+int emit_element(int n) {
+  out_acc = out_acc ^ (n & 255);
+  return out_acc;
+}
+
+int transform_node(int n, int depth) {
+  if (n == 0 || depth > 12) return 0;
+  if ((kind[n] & 1) == 0) emit_element(n);
+  else emit_text(n);
+  transform_node(child[n], depth + 1);
+  return transform_node(sibling[n], depth + 1);
+}
+
+int main() {
+  int i;
+  rng = 17;
+  for (i = 1; i < 2048; i = i + 1) {
+    kind[i] = next_random();
+    child[i] = ((i * 2) < 2048) * (i * 2);
+    sibling[i] = ((i + 1) & 1023) * ((i & 3) == 1);
+  }
+  for (i = 0; i < 1500; i = i + 1) {
+    transform_node(1, 0);
+  }
+  return out_acc;
+}
+|}
+
+let pmd =
+  {|
+// pmd-like: rule matching over a flattened AST, one predicate call per
+// rule per node.
+int nodes[4096];
+int violations;
+int rng;
+
+int next_random() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+int rule_long_method(int v) { return (v & 1023) > 1000; }
+int rule_empty_catch(int v) { return (v & 255) == 17; }
+int rule_deep_nesting(int v) { return ((v >> 5) & 63) > 60; }
+
+int check_node(int v) {
+  int hits = 0;
+  if (rule_long_method(v)) hits = hits + 1;
+  if (rule_empty_catch(v)) hits = hits + 1;
+  if (rule_deep_nesting(v)) hits = hits + 1;
+  return hits;
+}
+
+int main() {
+  int pass;
+  int i;
+  rng = 23;
+  for (i = 0; i < 4096; i = i + 1) nodes[i] = next_random();
+  for (pass = 0; pass < 12; pass = pass + 1) {
+    for (i = 0; i < 4096; i = i + 1) {
+      violations = violations + check_node(nodes[i]);
+    }
+  }
+  return violations;
+}
+|}
+
+let catalogue =
+  [
+    ("bloat", bloat);
+    ("fop", fop);
+    ("luindex", luindex);
+    ("lusearch", lusearch);
+    ("jython", jython);
+  ]
+
+(* The paper could not run these three under Jikes/Simics (§5.2
+   footnote 8); our deterministic substrate can. *)
+let extra_catalogue = [ ("antlr", antlr); ("xalan", xalan); ("pmd", pmd) ]
+let names = List.map fst catalogue
+let all_names = names @ List.map fst extra_catalogue
+
+let source name =
+  match List.assoc_opt name (catalogue @ extra_catalogue) with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Apps.source: unknown app %s" name)
+
+let compile ?payload name framework =
+  let cfg =
+    Bor_minic.Driver.config ~placement:Bor_minic.Instrument.Method_entry
+      ?payload framework
+  in
+  Bor_minic.Driver.compile_exn ~cfg (source name)

@@ -1,0 +1,29 @@
+(** Five minic applications standing in for the DaCapo benchmarks the
+    paper runs under timing simulation in Section 5.2 (bloat, fop,
+    luindex, lusearch, jython — the subset the paper could run).
+
+    Each is a call-heavy program in the spirit of its namesake —
+    bytecode-style transformation, formatting, indexing, searching and
+    an interpreter loop — instrumented for method execution frequencies
+    ([Method_entry] placement), the profile the paper collects for
+    Figure 12. Iteration counts are sized so a timing-simulated run
+    stays in the low millions of instructions. *)
+
+val names : string list
+(** The five applications of the paper's Figure 12. *)
+
+val all_names : string list
+(** [names] plus antlr, xalan and pmd — the three DaCapo members the
+    paper could not run under Jikes/Simics (its footnote 8); this
+    reproduction's deterministic substrate runs them fine. *)
+
+val source : string -> string
+(** The minic source (raises [Invalid_argument] for unknown names). *)
+
+val compile :
+  ?payload:Bor_minic.Instrument.payload_kind ->
+  string ->
+  Bor_minic.Instrument.framework ->
+  Bor_minic.Driver.compiled
+(** Compile an application with method-entry instrumentation under the
+    given framework. *)

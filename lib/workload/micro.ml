@@ -1,0 +1,112 @@
+let chars_default = 500_000
+
+let source ~chars =
+  Printf.sprintf
+    {|
+// Section 5.3 microbenchmark: checksum + character distribution.
+char text[%d];
+int checksum;
+int dist[256];
+
+int main() {
+  int n = %d;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    int c = text[i];
+    if (c >= 'A' && c <= 'Z') {
+      checksum = checksum * 31 + c;
+    } else {
+      if (c >= 'a' && c <= 'z') {
+        checksum = checksum + c * 7;
+      } else {
+        checksum = checksum ^ c;
+      }
+    }
+    dist[c] = dist[c] + 1;
+  }
+  return checksum;
+}
+|}
+    chars chars
+
+let compile ?(chars = chars_default) ?(seed = 0xC0DE) ?payload framework =
+  let corpus = Text.generate ~seed ~length:chars in
+  let cfg =
+    Bor_minic.Driver.config ~placement:Bor_minic.Instrument.Cond_edges
+      ?payload framework
+  in
+  Bor_minic.Driver.compile_exn ~cfg ~blobs:[ ("text", corpus) ]
+    (source ~chars)
+
+(* Hand allocation: the loop state lives entirely in registers; the
+   class tests fall through on the most common case (lower-case). *)
+let hand_asm ~chars =
+  Printf.sprintf
+    {|
+        .text
+main:   marker 1
+        la   s0, text        ; cursor
+        li   s1, %d          ; remaining
+        li   s2, 0           ; checksum
+        la   s3, dist
+        li   s4, 31
+loop:   lb   t0, 0(s0)
+        addi t1, t0, -97     ; 'a'
+        sltiu t1, t1, 26
+        bne  t1, zero, lower
+        addi t1, t0, -65     ; 'A'
+        sltiu t1, t1, 26
+        bne  t1, zero, upper
+        xor  s2, s2, t0      ; other
+        j    tally
+lower:  slli t2, t0, 3       ; c * 7 = (c << 3) - c
+        sub  t2, t2, t0
+        add  s2, s2, t2
+        j    tally
+upper:  mul  s2, s2, s4
+        add  s2, s2, t0
+tally:  slli t3, t0, 2
+        add  t3, s3, t3
+        lw   t4, 0(t3)
+        addi t4, t4, 1
+        sw   t4, 0(t3)
+        addi s0, s0, 1
+        addi s1, s1, -1
+        bne  s1, zero, loop
+        sw   s2, checksum(gp)
+        mv   a0, s2
+        marker 2
+        halt
+        .data
+checksum: .word 0
+dist:   .space 1024
+text:   .space %d
+|}
+    chars chars
+
+let assemble_hand ?(chars = chars_default) ?(seed = 0xC0DE) () =
+  let program = Bor_isa.Asm.assemble_exn (hand_asm ~chars) in
+  let corpus = Text.generate ~seed ~length:chars in
+  let addr =
+    match Bor_isa.Program.find_symbol program "text" with
+    | Some a -> a
+    | None -> invalid_arg "Micro.assemble_hand: no text symbol"
+  in
+  Bytes.blit corpus 0 program.data (addr - program.data_base)
+    (Bytes.length corpus);
+  program
+
+let reference_checksum ?(chars = chars_default) ?(seed = 0xC0DE) () =
+  let corpus = Text.generate ~seed ~length:chars in
+  let checksum = ref 0 in
+  Bytes.iter
+    (fun ch ->
+      let c = Char.code ch in
+      let v = !checksum in
+      checksum :=
+        Bor_util.Bits.wrap32
+          (if ch >= 'A' && ch <= 'Z' then (v * 31) + c
+           else if ch >= 'a' && ch <= 'z' then v + (c * 7)
+           else v lxor c))
+    corpus;
+  !checksum

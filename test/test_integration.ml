@@ -1,0 +1,207 @@
+(* Cross-library integration tests: the full pipeline from minic source
+   through instrumentation to timing simulation, validating the
+   experiment machinery end to end. *)
+
+let check = Alcotest.check
+
+let test_micro_timing_checksum () =
+  (* Timing-first simulation must commit the same checksum as the
+     reference computation, with the branch-on-random framework in. *)
+  let chars = 10_000 in
+  let compiled =
+    Bor_workload.Micro.compile ~chars
+      Bor_minic.Instrument.(
+        Sampled (Brr (Bor_core.Freq.of_period 64), Full_duplication))
+  in
+  let t = Bor_uarch.Pipeline.create compiled.program in
+  (match Bor_uarch.Pipeline.run t with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let addr =
+    Option.get (Bor_isa.Program.find_symbol compiled.program "checksum")
+  in
+  check Alcotest.int "checksum through the timing simulator"
+    (Bor_workload.Micro.reference_checksum ~chars ())
+    (Bor_sim.Memory.read_word
+       (Bor_sim.Machine.memory (Bor_uarch.Pipeline.oracle t))
+       addr)
+
+let test_overhead_ordering_micro () =
+  (* The paper's central result at the workload level: at a high
+     sampling interval, branch-on-random's framework overhead is well
+     below counter-based sampling's, and both are positive. *)
+  let chars = 15_000 in
+  let cycles fw =
+    let compiled =
+      Bor_workload.Micro.compile ~chars
+        ~payload:Bor_minic.Instrument.Empty_payload fw
+    in
+    let t = Bor_uarch.Pipeline.create compiled.program in
+    match Bor_uarch.Pipeline.run t with
+    | Ok st -> st.cycles
+    | Error e -> Alcotest.fail e
+  in
+  let base = cycles Bor_minic.Instrument.No_instrumentation in
+  let cbs =
+    cycles Bor_minic.Instrument.(Sampled (Counter 1024, No_duplication))
+  in
+  let brr =
+    cycles
+      Bor_minic.Instrument.(
+        Sampled (Brr (Bor_core.Freq.of_period 1024), No_duplication))
+  in
+  check Alcotest.bool "cbs adds overhead" true (cbs > base);
+  check Alcotest.bool "brr adds overhead" true (brr > base);
+  let ratio = Float.of_int (cbs - base) /. Float.of_int (brr - base) in
+  check Alcotest.bool
+    (Printf.sprintf "cbs/brr overhead ratio %.1f >= 2.5" ratio)
+    true (ratio >= 2.5)
+
+let test_fulldup_beats_nodup_for_counters () =
+  (* Arnold-Ryder's own result, which the paper reproduces: at method
+     granularity with several sites per region, Full-Duplication
+     amortises the counter checks. The microbenchmark has 10 sites in
+     one loop region. *)
+  let chars = 15_000 in
+  let cycles fw =
+    let compiled = Bor_workload.Micro.compile ~chars fw in
+    let t = Bor_uarch.Pipeline.create compiled.program in
+    match Bor_uarch.Pipeline.run t with
+    | Ok st -> st.cycles
+    | Error e -> Alcotest.fail e
+  in
+  let nodup =
+    cycles Bor_minic.Instrument.(Sampled (Counter 256, No_duplication))
+  in
+  let fulldup =
+    cycles Bor_minic.Instrument.(Sampled (Counter 256, Full_duplication))
+  in
+  check Alcotest.bool "full-duplication is cheaper" true (fulldup < nodup)
+
+let test_accuracy_through_compiled_pipeline () =
+  (* Accuracy can also be measured end-to-end: ground truth from the
+     functional simulator vs the instrumentation's own sampled profile,
+     for a compiled program. *)
+  let compiled =
+    Bor_workload.Apps.compile "lusearch"
+      Bor_minic.Instrument.(
+        Sampled (Brr (Bor_core.Freq.of_period 16), No_duplication))
+  in
+  let m = Bor_sim.Machine.create compiled.program in
+  let full = Bor_sampling.Profile.create () in
+  Bor_sim.Machine.on_site m (fun id -> Bor_sampling.Profile.record full id);
+  (match Bor_sim.Machine.run ~max_steps:60_000_000 m with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let sampled = Bor_sampling.Profile.create () in
+  List.iter
+    (fun (id, n) -> Bor_sampling.Profile.record_many sampled id n)
+    (Bor_minic.Driver.read_profile compiled m);
+  let accuracy = Bor_sampling.Profile.accuracy ~full ~sampled in
+  check Alcotest.bool
+    (Printf.sprintf "sampled profile accurate (%.3f)" accuracy)
+    true (accuracy > 0.95)
+
+let test_trap_emulation_full_stack () =
+  (* §3.4's software emulation, end to end on a compiled program: the
+     trap-emulated machine computes the same architectural results as
+     native branch-on-random with the same seed. *)
+  let compiled =
+    Bor_workload.Apps.compile "bloat"
+      Bor_minic.Instrument.(
+        Sampled (Brr (Bor_core.Freq.of_period 8), No_duplication))
+  in
+  let run mode =
+    let m = Bor_sim.Machine.create ~brr_mode:mode compiled.program in
+    (match Bor_sim.Machine.run ~max_steps:60_000_000 m with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e);
+    (Bor_minic.Driver.read_profile compiled m, (Bor_sim.Machine.stats m).traps)
+  in
+  let native, traps_native =
+    run (Bor_sim.Machine.Hardware (Bor_core.Engine.create ~seed:42 ()))
+  in
+  let emulated, traps_emulated =
+    run (Bor_sim.Machine.Trap_emulated (Bor_core.Engine.create ~seed:42 ()))
+  in
+  check Alcotest.(list (pair int int)) "identical sampled profiles" native
+    emulated;
+  check Alcotest.int "native never traps" 0 traps_native;
+  check Alcotest.bool "emulation traps once per brr" true
+    (traps_emulated > 10_000)
+
+(* Random minic programs: the timing simulator's committed architectural
+   state must equal the functional simulator's. (The generator is the
+   same one the compiler's differential tests use.) *)
+let gen_program : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = oneofl [ "a"; "b"; "c" ] in
+  let rec expr depth =
+    if depth = 0 then oneof [ map string_of_int (int_range (-99) 99); var ]
+    else
+      let sub = expr (depth - 1) in
+      oneof
+        [
+          map string_of_int (int_range (-99) 99);
+          var;
+          map2 (fun a b -> Printf.sprintf "(%s + %s)" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s * %s)" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s / %s)" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s < %s)" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s ^ %s)" a b) sub sub;
+        ]
+  in
+  let assign = map2 (fun v e -> Printf.sprintf "%s = %s;" v e) var (expr 2) in
+  let loop =
+    map2
+      (fun n body -> Printf.sprintf "for (i = 0; i < %d; i = i + 1) { %s }" n body)
+      (int_range 1 10) assign
+  in
+  map
+    (fun stmts ->
+      Printf.sprintf
+        "int f(int x) { return x * 3 + 1; }\n\
+         int main() { int a = 1; int b = 2; int c = f(3); int i;\n%s\nreturn a + b * 31 + c * 1009; }"
+        (String.concat "\n" stmts))
+    (list_size (int_range 1 6) (oneof [ assign; loop ]))
+
+let prop_timing_matches_functional =
+  QCheck.Test.make ~name:"timing simulator = functional simulator" ~count:25
+    (QCheck.make ~print:Fun.id gen_program)
+    (fun src ->
+      let cfg =
+        Bor_minic.Driver.config
+          Bor_minic.Instrument.(
+            Sampled (Brr (Bor_core.Freq.of_period 4), Full_duplication))
+      in
+      let compiled = Bor_minic.Driver.compile_exn ~cfg src in
+      let m = Bor_sim.Machine.create compiled.program in
+      (match Bor_sim.Machine.run ~max_steps:5_000_000 m with
+      | Ok _ -> ()
+      | Error e -> failwith e);
+      let t = Bor_uarch.Pipeline.create compiled.program in
+      match Bor_uarch.Pipeline.run t with
+      | Error e -> failwith e
+      | Ok _ ->
+        let o = Bor_uarch.Pipeline.oracle t in
+        Bor_sim.Machine.reg m (Bor_isa.Reg.a 0)
+        = Bor_sim.Machine.reg o (Bor_isa.Reg.a 0))
+
+let () =
+  Alcotest.run "bor_integration"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "timing-first checksum" `Slow
+            test_micro_timing_checksum;
+          Alcotest.test_case "overhead ordering" `Slow
+            test_overhead_ordering_micro;
+          Alcotest.test_case "full-dup amortisation" `Slow
+            test_fulldup_beats_nodup_for_counters;
+          Alcotest.test_case "accuracy through compiled pipeline" `Slow
+            test_accuracy_through_compiled_pipeline;
+          Alcotest.test_case "trap emulation full stack" `Slow
+            test_trap_emulation_full_stack;
+          QCheck_alcotest.to_alcotest prop_timing_matches_functional;
+        ] );
+    ]

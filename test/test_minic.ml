@@ -1,0 +1,909 @@
+(* Tests for the minic compiler: lexer, parser, typechecker, reference
+   interpreter, Arnold-Ryder instrumentation, register allocation and
+   end-to-end differential testing against the functional simulator. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------------------------------------------------------------- Lexer *)
+
+let test_lexer_basics () =
+  let toks = List.map fst (Bor_minic.Lexer.tokens "int x = 0x1F + 'a';") in
+  check Alcotest.bool "shape" true
+    (toks
+    = [
+        Bor_minic.Lexer.KW_INT;
+        Bor_minic.Lexer.IDENT "x";
+        Bor_minic.Lexer.ASSIGN;
+        Bor_minic.Lexer.INT 31;
+        Bor_minic.Lexer.PLUS;
+        Bor_minic.Lexer.INT 97;
+        Bor_minic.Lexer.SEMI;
+        Bor_minic.Lexer.EOF;
+      ])
+
+let test_lexer_comments_and_lines () =
+  let toks = Bor_minic.Lexer.tokens "// one\n/* two\nthree */ int" in
+  match toks with
+  | [ (Bor_minic.Lexer.KW_INT, line); (Bor_minic.Lexer.EOF, _) ] ->
+    check Alcotest.int "line number after comments" 3 line
+  | _ -> Alcotest.fail "unexpected tokens"
+
+let test_lexer_two_char_ops () =
+  let toks = List.map fst (Bor_minic.Lexer.tokens "<< >> <= >= == != && ||") in
+  check Alcotest.int "eight operators + eof" 9 (List.length toks)
+
+let test_lexer_errors () =
+  Alcotest.check_raises "bad char"
+    (Bor_minic.Lexer.Error { line = 1; message = "unexpected character $" })
+    (fun () -> ignore (Bor_minic.Lexer.tokens "$"))
+
+(* --------------------------------------------------------------- Parser *)
+
+let parse_ok src =
+  try Bor_minic.Parser.parse src
+  with Bor_minic.Parser.Error { line; message } ->
+    Alcotest.failf "parse error line %d: %s" line message
+
+let test_parser_precedence () =
+  let p = parse_ok "int main() { return 1 + 2 * 3 == 7; }" in
+  match (List.hd p.funcs).body with
+  | [ { sdesc = Bor_minic.Ast.Return (Some e); _ } ] -> (
+    match e.desc with
+    | Bor_minic.Ast.Binop (Bor_minic.Ast.Eq, _, _) -> ()
+    | _ -> Alcotest.fail "== should bind loosest")
+  | _ -> Alcotest.fail "unexpected body"
+
+let test_parser_dangling_else () =
+  let p =
+    parse_ok "int main() { if (1) if (0) return 1; else return 2; return 3; }"
+  in
+  match (List.hd p.funcs).body with
+  | [ { sdesc = Bor_minic.Ast.If (_, [ inner ], []); _ }; _ ] -> (
+    match inner.sdesc with
+    | Bor_minic.Ast.If (_, _, [ _ ]) -> ()
+    | _ -> Alcotest.fail "else should attach to the inner if")
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parser_globals () =
+  let p =
+    parse_ok "int a = 5; int tbl[4] = {1, 2, 3, 4}; char buf[16];\nint main() { return 0; }"
+  in
+  check Alcotest.int "three globals" 3 (List.length p.globals);
+  match p.globals with
+  | [ g1; g2; g3 ] ->
+    check Alcotest.bool "scalar init" true (g1.ginit = Some [ 5 ]);
+    check Alcotest.bool "array init" true (g2.ginit = Some [ 1; 2; 3; 4 ]);
+    check Alcotest.bool "zero init" true (g3.ginit = None)
+  | _ -> assert false
+
+let test_parser_error_line () =
+  match Bor_minic.Parser.parse "int main() {\n return @; }" with
+  | exception Bor_minic.Parser.Error { line; _ } ->
+    check Alcotest.int "line 2" 2 line
+  | exception Bor_minic.Lexer.Error { line; _ } ->
+    check Alcotest.int "line 2" 2 line
+  | _ -> Alcotest.fail "expected failure"
+
+(* ------------------------------------------------------------ Typecheck *)
+
+let type_error src =
+  let p = parse_ok src in
+  match Bor_minic.Typecheck.check p with
+  | () -> Alcotest.fail "expected a type error"
+  | exception Bor_minic.Typecheck.Error _ -> ()
+
+let test_typecheck_rejects () =
+  type_error "int main() { return y; }";
+  type_error "int main() { int x; return x[0]; }";
+  type_error "int a[3]; int main() { a = 1; return 0; }";
+  type_error "int main() { break; }";
+  type_error "int f(int a) { return a; } int main() { return f(1, 2); }";
+  type_error "void f() { return 1; } int main() { return 0; }";
+  type_error "int main() { int x; int x; return 0; }";
+  type_error "int f() { return 0; }";
+  (* missing main *)
+  type_error
+    "int f(int a, int b, int c, int d, int e) { return 0; } int main() { return 0; }"
+
+let test_typecheck_accepts_shadowing () =
+  let p =
+    parse_ok "int x; int main() { int x = 1; { int x = 2; } return x; }"
+  in
+  Bor_minic.Typecheck.check p
+
+(* ---------------------------------------------------------------- Interp *)
+
+let interp src =
+  let p = parse_ok src in
+  Bor_minic.Typecheck.check p;
+  Bor_minic.Interp.run p
+
+let test_interp_arith () =
+  check Alcotest.int "wrapping" (-2147483648)
+    (interp "int main() { return 2147483647 + 1; }").return_value;
+  check Alcotest.int "shift" 12 (interp "int main() { return 3 << 2; }").return_value;
+  check Alcotest.int "logical not" 1 (interp "int main() { return !0; }").return_value
+
+let test_interp_short_circuit () =
+  let r =
+    interp
+      {|
+int hits;
+int bump() { hits = hits + 1; return 1; }
+int main() {
+  int a = 0 && bump();
+  int b = 1 || bump();
+  return a + b + hits;
+}
+|}
+  in
+  check Alcotest.int "no side effects from skipped operands" 1 r.return_value
+
+let test_interp_loops_and_calls () =
+  let r =
+    interp
+      {|
+int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }
+int main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 5; i = i + 1) { if (i == 2) continue; s = s + fact(i); }
+  while (s > 30) { s = s - 10; break; }
+  return s;
+}
+|}
+  in
+  (* fact 0,1,3,4 = 1+1+6+24 = 32; then one -10 via while+break = 22 *)
+  check Alcotest.int "value" 22 r.return_value;
+  (* fact(0):1 + fact(1):1 + fact(3):3 + fact(4):4 = 9 invocations *)
+  check Alcotest.(option int) "call counts" (Some 9)
+    (List.assoc_opt "fact" r.calls)
+
+let test_interp_oob () =
+  Alcotest.check_raises "bounds"
+    (Bor_minic.Interp.Runtime_error
+       "index 5 out of bounds for a (line 1)") (fun () ->
+      ignore (interp "int a[3]; int main() { return a[5]; }"))
+
+(* ------------------------------------------------ compile & run helpers *)
+
+let compile_run ?cfg src =
+  let compiled = Bor_minic.Driver.compile_exn ?cfg src in
+  let m = Bor_sim.Machine.create compiled.program in
+  match Bor_sim.Machine.run ~max_steps:80_000_000 m with
+  | Ok _ -> (compiled, m)
+  | Error e -> Alcotest.failf "simulation failed: %s" e
+
+let ret_value m = Bor_sim.Machine.reg m (Bor_isa.Reg.a 0)
+
+let agrees src =
+  let expected = (interp src).return_value in
+  let _, m = compile_run src in
+  check Alcotest.int "compiled = interpreted" expected (ret_value m)
+
+let test_e2e_bare_blocks () =
+  agrees "int main() { int x = 1; { int x = 2; x = x + 1; } return x; }";
+  agrees "int main() { int s = 0; { s = s + 1; { s = s + 2; } } return s; }"
+
+let test_e2e_division () =
+  agrees "int main() { return 7 / 2; }";
+  agrees "int main() { return -7 / 2; }";
+  agrees "int main() { return 7 / -2; }";
+  agrees "int main() { return -7 / -2; }";
+  agrees "int main() { return 7 % 3 + -7 % 3 + 7 % -3 + -7 % -3 * 100; }";
+  agrees "int main() { return 1000000 / 7; }";
+  agrees "int main() { return 5 / 0 + 123; }" (* defined: 0 *);
+  agrees "int main() { return 5 % 0; }" (* defined: 5 *);
+  agrees
+    "int main() { int m = 1; int i; for (i = 0; i < 31; i = i + 1) m = m * 2; return (0 - m) / -1; }"
+  (* INT_MIN / -1 wraps *);
+  agrees
+    "int main() { int s = 0; int i; for (i = 1; i < 200; i = i + 1) s = s + 10000 / i + 10000 % i; return s; }"
+
+let test_e2e_basics () =
+  agrees "int main() { return 41 + 1; }";
+  agrees "int main() { int x = 5; int y = x * x; return y - x; }";
+  agrees "int main() { return (3 < 4) + (4 <= 4) + (5 > 6) + (1 == 1); }";
+  agrees "int main() { return -7 >> 1; }";
+  (* logical shift semantics *)
+  agrees "int main() { return ~0 & 0xFF; }";
+  agrees "int main() { return 10 - -3; }"
+
+let test_e2e_control () =
+  agrees
+    "int main() { int s = 0; int i; for (i = 0; i < 17; i = i + 1) { if (i & 1) s = s + i; else s = s - 1; } return s; }";
+  agrees
+    "int main() { int i = 0; int s = 0; while (i < 10) { i = i + 1; if (i == 4) continue; if (i == 8) break; s = s + i; } return s; }";
+  agrees "int main() { return (1 && 2) + (0 || 3 > 2); }"
+
+let test_e2e_memory () =
+  agrees
+    "int g[10]; int main() { int i; for (i = 0; i < 10; i = i + 1) g[i] = i * i; return g[7] + g[3]; }";
+  agrees
+    "char b[4]; int main() { b[0] = 200; return b[0]; }" (* byte truncation *);
+  agrees
+    "int main() { int loc[8]; int i; for (i = 0; i < 8; i = i + 1) loc[i] = i; return loc[5]; }"
+
+let test_e2e_functions () =
+  agrees
+    {|
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int main() { return fib(15); }
+|};
+  agrees
+    {|
+int add4(int a, int b, int c, int d) { return a + b + c + d; }
+int main() { return add4(1, 2, 3, add4(4, 5, 6, 7)); }
+|};
+  agrees
+    {|
+int counter;
+void bump() { counter = counter + 1; }
+int main() { bump(); bump(); bump(); return counter; }
+|}
+
+let test_e2e_adversarial () =
+  agrees "int main() { return 1 < 2 < 3; }" (* (1<2)<3 = 0 *);
+  agrees "int main() { char c = 255; return c + 1; }";
+  agrees "int main() { int x = -2147483647 - 1; return x - 1; }" (* wrap *);
+  agrees
+    "int main() { int i; int n = 0; for (i = 31; i >= 0; i = i - 1) n = (n << 1) | 1; return n; }";
+  agrees
+    "int deep(int n) { if (n == 0) return 0; return 1 + deep(n - 1); }\n\
+     int main() { return deep(9000); }" (* deep recursion: stack *)
+
+let test_e2e_globals_init () =
+  agrees "int a = -5; int t[3] = {7, 8, 9}; int main() { return a + t[2]; }"
+
+(* ------------------------------------------------------------ Instrument *)
+
+let fib_src =
+  {|
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int main() { return fib(10); }
+|}
+
+let ground_truth cfg src =
+  let compiled = Bor_minic.Driver.compile_exn ~cfg src in
+  let m = Bor_sim.Machine.create compiled.program in
+  let counts = Hashtbl.create 8 in
+  Bor_sim.Machine.on_site m (fun id ->
+      Hashtbl.replace counts id
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts id)));
+  (match Bor_sim.Machine.run m with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let sorted =
+    List.sort compare (Hashtbl.fold (fun k v a -> (k, v) :: a) counts [])
+  in
+  (compiled, m, sorted)
+
+let frameworks =
+  let open Bor_minic.Instrument in
+  [
+    ("full", Full);
+    ("cbs-nodup", Sampled (Counter 8, No_duplication));
+    ("brr-nodup", Sampled (Brr (Bor_core.Freq.of_field 2), No_duplication));
+    ("cbs-fulldup", Sampled (Counter 8, Full_duplication));
+    ("brr-fulldup", Sampled (Brr (Bor_core.Freq.of_field 2), Full_duplication));
+  ]
+
+let test_ground_truth_invariant_across_frameworks () =
+  (* The full profile (site announcements) must be identical no matter
+     which sampling framework is compiled in. *)
+  let _, _, reference =
+    ground_truth
+      (Bor_minic.Driver.config Bor_minic.Instrument.No_instrumentation)
+      fib_src
+  in
+  List.iter
+    (fun (name, fw) ->
+      let _, _, gt = ground_truth (Bor_minic.Driver.config fw) fib_src in
+      check
+        Alcotest.(list (pair int int))
+        (name ^ " ground truth") reference gt)
+    frameworks
+
+let test_full_instrumentation_exact () =
+  let compiled, m, gt =
+    ground_truth (Bor_minic.Driver.config Bor_minic.Instrument.Full) fib_src
+  in
+  let profile = List.sort compare (Bor_minic.Driver.read_profile compiled m) in
+  check Alcotest.(list (pair int int)) "prof equals ground truth" gt profile
+
+let test_counter_sampling_count () =
+  let cfg =
+    Bor_minic.Driver.config
+      Bor_minic.Instrument.(Sampled (Counter 8, No_duplication))
+  in
+  let compiled, m, gt = ground_truth cfg fib_src in
+  let visits = List.fold_left (fun a (_, c) -> a + c) 0 gt in
+  let sampled =
+    List.fold_left (fun a (_, c) -> a + c) 0
+      (Bor_minic.Driver.read_profile compiled m)
+  in
+  (* Counter semantics: one sample every 8 visits (+-1 for phase). *)
+  check Alcotest.bool
+    (Printf.sprintf "%d sampled of %d" sampled visits)
+    true
+    (abs (sampled - (visits / 8)) <= 1)
+
+let test_brr_sampling_rate () =
+  let cfg =
+    Bor_minic.Driver.config
+      Bor_minic.Instrument.(
+        Sampled (Brr (Bor_core.Freq.of_field 1), No_duplication))
+  in
+  let src =
+    {|
+int f(int n) { return n + 1; }
+int main() { int i; int s = 0; for (i = 0; i < 4096; i = i + 1) s = f(s); return s; }
+|}
+  in
+  let compiled, m, gt = ground_truth cfg src in
+  let visits = List.fold_left (fun a (_, c) -> a + c) 0 gt in
+  let sampled =
+    List.fold_left (fun a (_, c) -> a + c) 0
+      (Bor_minic.Driver.read_profile compiled m)
+  in
+  let expect = Float.of_int visits *. 0.25 in
+  check Alcotest.bool
+    (Printf.sprintf "%d sampled of %d" sampled visits)
+    true
+    (Float.abs (Float.of_int sampled -. expect) < (5. *. sqrt expect) +. 5.)
+
+let test_semantics_preserved_by_frameworks () =
+  let sources =
+    [
+      fib_src;
+      "int g[64]; int h(int i) { g[i & 63] = g[i & 63] + i; return g[i & 63]; }\n\
+       int main() { int i; int s = 0; for (i = 0; i < 200; i = i + 1) s = s + h(i); return s; }";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let expected = (interp src).return_value in
+      List.iter
+        (fun (name, fw) ->
+          let _, m = compile_run ~cfg:(Bor_minic.Driver.config fw) src in
+          check Alcotest.int (name ^ " preserves semantics") expected
+            (ret_value m))
+        frameworks)
+    sources
+
+let test_yieldpoint_placement () =
+  let src =
+    {|
+int work(int n) {
+  int s = 0;
+  int i;
+  for (i = 0; i < n; i = i + 1) s = s + i;
+  return s;
+}
+int main() { int k; int acc = 0; for (k = 0; k < 20; k = k + 1) acc = acc + work(k); return acc; }
+|}
+  in
+  let cfg =
+    Bor_minic.Driver.config ~placement:Bor_minic.Instrument.Yieldpoints
+      Bor_minic.Instrument.Full
+  in
+  let compiled, m, gt = ground_truth cfg src in
+  (* Sites: work entry + its loop backedge, main entry + its loop
+     backedge = 4. *)
+  check Alcotest.int "four yieldpoints" 4 (List.length compiled.sites);
+  let kinds =
+    List.sort_uniq compare
+      (List.map (fun (s : Bor_minic.Instrument.site_info) -> s.kind)
+         compiled.sites)
+  in
+  check Alcotest.(list string) "kinds" [ "backedge"; "method" ] kinds;
+  (* Full instrumentation counts exactly the ground truth. *)
+  let profile = List.sort compare (Bor_minic.Driver.read_profile compiled m) in
+  check Alcotest.(list (pair int int)) "profile exact" gt profile;
+  (* Backedge of work fires sum(k) = 190 times. *)
+  let backedge_total =
+    List.fold_left
+      (fun a (s : Bor_minic.Instrument.site_info) ->
+        if s.kind = "backedge" && s.in_func = "work" then
+          a + List.assoc s.id profile
+        else a)
+      0 compiled.sites
+  in
+  check Alcotest.int "work backedge executions" 190 backedge_total
+
+let test_yieldpoints_sampled_semantics () =
+  let src =
+    {|
+int f(int x) { int i; int s = x; for (i = 0; i < 6; i = i + 1) s = s + i * x; return s; }
+int main() { int k; int acc = 0; for (k = 0; k < 50; k = k + 1) acc = acc + f(k); return acc; }
+|}
+  in
+  let expected = (interp src).return_value in
+  List.iter
+    (fun (name, fw) ->
+      let cfg =
+        Bor_minic.Driver.config ~placement:Bor_minic.Instrument.Yieldpoints fw
+      in
+      let _, m = compile_run ~cfg src in
+      check Alcotest.int (name ^ " yieldpoints preserve semantics") expected
+        (ret_value m))
+    frameworks
+
+let test_edge_placement_sites () =
+  let cfg =
+    Bor_minic.Driver.config ~placement:Bor_minic.Instrument.Cond_edges
+      Bor_minic.Instrument.Full
+  in
+  let compiled, m, gt =
+    ground_truth cfg
+      "int main() { int i; int s = 0; for (i = 0; i < 10; i = i + 1) { if (i & 1) s = s + 1; } return s; }"
+  in
+  (* Both directions of both branches should be observed. *)
+  check Alcotest.bool "several edge sites" true (List.length compiled.sites >= 4);
+  let profile = List.sort compare (Bor_minic.Driver.read_profile compiled m) in
+  check Alcotest.(list (pair int int)) "edge profile exact" gt profile
+
+let test_empty_payload_has_no_prof_traffic () =
+  let cfg =
+    Bor_minic.Driver.config ~payload:Bor_minic.Instrument.Empty_payload
+      Bor_minic.Instrument.(Sampled (Counter 4, No_duplication))
+  in
+  let compiled, m = compile_run ~cfg fib_src in
+  List.iter
+    (fun (_, count) ->
+      check Alcotest.int "no payload counts" 0 count)
+    (Bor_minic.Driver.read_profile compiled m)
+
+(* --------------------------------------------------------------- Regalloc *)
+
+let test_regalloc_no_conflicting_assignment () =
+  (* For every block-level liveness point, two simultaneously live vregs
+     must not share a register. *)
+  let p = parse_ok fib_src in
+  Bor_minic.Typecheck.check p;
+  let funcs = Bor_minic.Lower.program p in
+  List.iter
+    (fun f ->
+      let alloc = Bor_minic.Regalloc.allocate f in
+      let intervals = Bor_minic.Regalloc.live_intervals f in
+      (* Weak check via intervals: conflicts detected by colouring are a
+         superset; here we just sanity-check that allocation returned a
+         location for every live vreg and spill slots are within range. *)
+      List.iter
+        (fun (v, _, _, _) ->
+          match alloc.locs.(v) with
+          | Bor_minic.Regalloc.Preg _ -> ()
+          | Bor_minic.Regalloc.Spill s ->
+            check Alcotest.bool "spill slot in range" true
+              (s >= 0 && s < alloc.spill_slots))
+        intervals)
+    funcs
+
+let test_regalloc_callee_saved_across_calls () =
+  let p =
+    parse_ok
+      {|
+int id(int x) { return x; }
+int main() {
+  int a = id(1);
+  int b = id(2);
+  int c = id(3);
+  return a + b + c;
+}
+|}
+  in
+  Bor_minic.Typecheck.check p;
+  let funcs = Bor_minic.Lower.program p in
+  let main_f = List.find (fun f -> f.Bor_minic.Ir.name = "main") funcs in
+  let alloc = Bor_minic.Regalloc.allocate main_f in
+  let intervals = Bor_minic.Regalloc.live_intervals main_f in
+  let callee = Bor_isa.Reg.callee_saved in
+  List.iter
+    (fun (v, _, _, crosses) ->
+      if crosses then
+        match alloc.locs.(v) with
+        | Bor_minic.Regalloc.Preg r ->
+          check Alcotest.bool
+            (Printf.sprintf "v%d in callee-saved" v)
+            true
+            (List.exists (Bor_isa.Reg.equal r) callee)
+        | Bor_minic.Regalloc.Spill _ -> ())
+    intervals
+
+(* -------------------------------------------------------------- optimize *)
+
+let lowered src =
+  let p = parse_ok src in
+  Bor_minic.Typecheck.check p;
+  Bor_minic.Lower.program p
+
+let count_instrs f =
+  let n = ref 0 in
+  Bor_minic.Ir.iter_blocks f (fun b ->
+      n := !n + List.length b.Bor_minic.Ir.body);
+  !n
+
+let test_optimize_folds_constants () =
+  let funcs = lowered "int main() { return (2 + 3) * (10 - 6); }" in
+  let f = List.hd funcs in
+  let before = count_instrs f in
+  Bor_minic.Optimize.run f;
+  check Alcotest.bool "instructions removed" true (count_instrs f < before);
+  (* The whole expression should now be a single constant return. *)
+  let expected = (interp "int main() { return (2 + 3) * (10 - 6); }").return_value in
+  check Alcotest.int "value" 20 expected
+
+let test_optimize_removes_dead_code () =
+  let funcs =
+    lowered "int main() { int unused = 5 * 7; int x = 2; return x; }"
+  in
+  let f = List.hd funcs in
+  Bor_minic.Optimize.run f;
+  (* After folding + DCE the dead multiply is gone. *)
+  check Alcotest.bool "small body" true (count_instrs f <= 2)
+
+let test_optimize_threads_and_prunes () =
+  let funcs =
+    lowered
+      "int main() { int x = 1; if (x) { return 2; } else { return 3; } }"
+  in
+  let f = List.hd funcs in
+  let before = List.length f.Bor_minic.Ir.block_order in
+  Bor_minic.Optimize.run f;
+  check Alcotest.bool "blocks pruned" true
+    (List.length f.Bor_minic.Ir.block_order < before)
+
+let test_optimize_preserves_semantics_on_suite () =
+  List.iter
+    (fun src ->
+      let expected = (interp src).return_value in
+      let cfg =
+        { Bor_minic.Driver.plain with Bor_minic.Driver.optimize = false }
+      in
+      let _, m_unopt = compile_run ~cfg src in
+      let _, m_opt = compile_run src in
+      check Alcotest.int "optimized = unoptimized = interpreted" expected
+        (ret_value m_opt);
+      check Alcotest.int "unoptimized agrees" expected (ret_value m_unopt))
+    [
+      fib_src;
+      "int main() { int s = 0; int i; for (i = 0; i < 9; i = i + 1) { if (i == 4) continue; s = s + (i * 2 + 1); } return s; }";
+      "int g[8]; int main() { int i; for (i = 0; i < 8; i = i + 1) g[i] = i & 3; return g[5] + g[6]; }";
+    ]
+
+let test_regalloc_spill_pressure () =
+  (* More than 21 simultaneously-live values forces spills; the result
+     must still be correct. *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "int main() {\n";
+  for i = 0 to 25 do
+    Buffer.add_string buf (Printf.sprintf "int v%d = %d * 3 + 1;\n" i (i + 1))
+  done;
+  (* A call forces the cross-call values into callee-saved or slots. *)
+  Buffer.add_string buf "int s = 0;\n";
+  for i = 0 to 25 do
+    Buffer.add_string buf (Printf.sprintf "s = s + v%d * %d;\n" i (i + 7))
+  done;
+  Buffer.add_string buf "return s;\n}\n";
+  let src = Buffer.contents buf in
+  (* Defeat constant folding so the values really are live: disable
+     optimisation for one of the two runs as well. *)
+  let expected = (interp src).return_value in
+  let _, m = compile_run src in
+  check Alcotest.int "spilled computation correct" expected (ret_value m);
+  let cfg = { Bor_minic.Driver.plain with Bor_minic.Driver.optimize = false } in
+  let _, m' = compile_run ~cfg src in
+  check Alcotest.int "unoptimised too" expected (ret_value m')
+
+let test_regalloc_spill_pressure_with_calls () =
+  let src =
+    {|
+int mix(int a, int b) { return a * 7 + b; }
+int main() {
+  int a = mix(1, 2); int b = mix(3, 4); int c = mix(5, 6);
+  int d = mix(7, 8); int e = mix(9, 10); int f = mix(11, 12);
+  int g = mix(13, 14); int h = mix(15, 16); int i = mix(17, 18);
+  int j = mix(19, 20); int k = mix(21, 22); int l = mix(23, 24);
+  return mix(a + b + c + d, e + f + g + h) + mix(i + j, k + l);
+}
+|}
+  in
+  let expected = (interp src).return_value in
+  let _, m = compile_run src in
+  check Alcotest.int "many cross-call values" expected (ret_value m)
+
+(* ----------------------------------------------- differential property *)
+
+(* Random straight-line + structured programs over a fixed set of
+   variables; loops are bounded by construction. *)
+let gen_program : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = oneofl [ "a"; "b"; "c" ] in
+  let rec expr depth =
+    if depth = 0 then
+      oneof
+        [
+          map string_of_int (int_range (-100) 100);
+          var;
+          (* Global-array read with a safe masked index. *)
+          map (fun e -> Printf.sprintf "g[(%s) & 7]" e) var;
+          map2 (fun f a -> Printf.sprintf "%s(%s)" f a)
+            (oneofl [ "h1"; "h2" ])
+            var;
+        ]
+    else
+      let sub = expr (depth - 1) in
+      oneof
+        [
+          map string_of_int (int_range (-100) 100);
+          var;
+          map2 (fun a b -> Printf.sprintf "(%s + %s)" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s - %s)" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s * %s)" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s / %s)" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s %% %s)" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s ^ %s)" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s & %s)" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s | %s)" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s << (%s & 7))" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s >> (%s & 7))" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s < %s)" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s == %s)" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s && %s)" a b) sub sub;
+          map2 (fun a b -> Printf.sprintf "(%s || %s)" a b) sub sub;
+          map (fun a -> Printf.sprintf "(-%s)" a) sub;
+          map (fun a -> Printf.sprintf "(!%s)" a) sub;
+          map (fun a -> Printf.sprintf "(~%s)" a) sub;
+        ]
+  in
+  let assign = map2 (fun v e -> Printf.sprintf "%s = %s;" v e) var (expr 2) in
+  let arr_assign =
+    map2
+      (fun v e -> Printf.sprintf "g[(%s) & 7] = %s;" v e)
+      var (expr 2)
+  in
+  let if_stmt =
+    map3
+      (fun c a b -> Printf.sprintf "if (%s) { %s } else { %s }" c a b)
+      (expr 2)
+      (oneof [ assign; arr_assign ])
+      assign
+  in
+  let loop =
+    map2
+      (fun n body ->
+        Printf.sprintf "for (i = 0; i < %d; i = i + 1) { %s }" n body)
+      (int_range 1 12)
+      (oneof [ assign; if_stmt; arr_assign ])
+  in
+  let while_loop =
+    map2
+      (fun n body ->
+        Printf.sprintf
+          "{ int w = %d; while (w > 0) { w = w - 1; %s } }" n body)
+      (int_range 1 9)
+      (oneof [ assign; arr_assign ])
+  in
+  let stmt = oneof [ assign; arr_assign; if_stmt; loop; while_loop ] in
+  map
+    (fun stmts ->
+      Printf.sprintf
+        "int g[8];\n\
+         int h1(int x) { return x * 3 + 1; }\n\
+         int h2(int x) { if (x < 0) return -x; return x + g[x & 7]; }\n\
+         int main() { int a = 1; int b = 2; int c = 3; int i;\n\
+         %s\n\
+         int gs = 0; for (i = 0; i < 8; i = i + 1) gs = gs * 5 + g[i];\n\
+         return a + b * 31 + c * 1009 + gs; }"
+        (String.concat "\n" stmts))
+    (list_size (int_range 1 8) stmt)
+
+let prop_compiled_matches_interpreter =
+  QCheck.Test.make ~name:"compiled behaviour = interpreter" ~count:120
+    (QCheck.make ~print:Fun.id gen_program) (fun src ->
+      let p = Bor_minic.Parser.parse src in
+      Bor_minic.Typecheck.check p;
+      let expected = (Bor_minic.Interp.run p).return_value in
+      let compiled = Bor_minic.Driver.compile_exn src in
+      let m = Bor_sim.Machine.create compiled.program in
+      match Bor_sim.Machine.run ~max_steps:5_000_000 m with
+      | Ok _ -> ret_value m = expected
+      | Error _ -> false)
+
+let prop_frameworks_preserve_random_programs =
+  QCheck.Test.make ~name:"instrumented compiled behaviour = interpreter"
+    ~count:40
+    (QCheck.make ~print:Fun.id gen_program)
+    (fun src ->
+      let p = Bor_minic.Parser.parse src in
+      Bor_minic.Typecheck.check p;
+      let expected = (Bor_minic.Interp.run p).return_value in
+      List.for_all
+        (fun (_, fw) ->
+          let cfg =
+            Bor_minic.Driver.config ~placement:Bor_minic.Instrument.Cond_edges
+              fw
+          in
+          let compiled = Bor_minic.Driver.compile_exn ~cfg src in
+          let m = Bor_sim.Machine.create compiled.program in
+          match Bor_sim.Machine.run ~max_steps:5_000_000 m with
+          | Ok _ -> ret_value m = expected
+          | Error _ -> false)
+        frameworks)
+
+(* --------------------------------------------------------------- domtree *)
+
+let test_domtree_diamond () =
+  let funcs =
+    lowered "int main() { int x = 1; int y; if (x) y = 1; else y = 2; return y; }"
+  in
+  let f = List.hd funcs in
+  let t = Bor_minic.Domtree.compute f in
+  (* Entry dominates everything; neither arm dominates the join. *)
+  let entry = f.Bor_minic.Ir.entry in
+  Bor_minic.Ir.iter_blocks f (fun b ->
+      (* Skip dead continuation blocks the lowering leaves behind. *)
+      if Bor_minic.Domtree.dominator_depth t b.Bor_minic.Ir.label >= 0 then
+        check Alcotest.bool "entry dominates all reachable" true
+          (Bor_minic.Domtree.dominates t entry b.Bor_minic.Ir.label));
+  check Alcotest.(option int) "entry has no idom" None
+    (Bor_minic.Domtree.idom t entry);
+  check Alcotest.(list (pair int int)) "no loops" []
+    (Bor_minic.Domtree.backedges t)
+
+let test_domtree_matches_syntactic_backedges () =
+  (* Every block the lowering marked as a backedge must be the source of
+     a semantic (dominance) backedge, and vice versa. *)
+  let sources =
+    [
+      "int main() { int i; int s = 0; for (i = 0; i < 9; i = i + 1) s = s + i; return s; }";
+      "int main() { int i = 0; while (i < 5) { int j = 0; while (j < 3) j = j + 1; i = i + 1; } return i; }";
+      "int main() { int i = 0; while (i < 8) { i = i + 1; if (i == 3) continue; } return i; }";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let f = List.hd (lowered src) in
+      let t = Bor_minic.Domtree.compute f in
+      let semantic =
+        List.sort_uniq compare (List.map fst (Bor_minic.Domtree.backedges t))
+      in
+      let syntactic = ref [] in
+      Bor_minic.Ir.iter_blocks f (fun b ->
+          if b.Bor_minic.Ir.is_backedge then
+            syntactic := b.Bor_minic.Ir.label :: !syntactic);
+      check
+        Alcotest.(list int)
+        "semantic = syntactic backedge sources" semantic
+        (List.sort_uniq compare !syntactic))
+    sources
+
+let test_domtree_natural_loop () =
+  let f =
+    List.hd
+      (lowered
+         "int main() { int i; int s = 0; for (i = 0; i < 4; i = i + 1) s = s + i; return s; }")
+  in
+  let t = Bor_minic.Domtree.compute f in
+  match Bor_minic.Domtree.backedges t with
+  | [ (src, header) ] ->
+    let body = Bor_minic.Domtree.natural_loop t ~src ~header in
+    check Alcotest.bool "header in body" true (List.mem header body);
+    check Alcotest.bool "src in body" true (List.mem src body);
+    check Alcotest.bool "entry not in body" true
+      (not (List.mem f.Bor_minic.Ir.entry body));
+    check Alcotest.bool "loop deeper than entry" true
+      (Bor_minic.Domtree.dominator_depth t header > 0)
+  | edges -> Alcotest.failf "expected one backedge, got %d" (List.length edges)
+
+let prop_domtree_agrees_on_random_programs =
+  QCheck.Test.make ~name:"syntactic backedges are semantic (random programs)"
+    ~count:60
+    (QCheck.make ~print:Fun.id gen_program)
+    (fun src ->
+      let p = Bor_minic.Parser.parse src in
+      Bor_minic.Typecheck.check p;
+      let f = List.hd (Bor_minic.Lower.program p) in
+      let t = Bor_minic.Domtree.compute f in
+      let semantic = List.map fst (Bor_minic.Domtree.backedges t) in
+      let ok = ref true in
+      Bor_minic.Ir.iter_blocks f (fun b ->
+          if b.Bor_minic.Ir.is_backedge && not (List.mem b.Bor_minic.Ir.label semantic)
+          then ok := false);
+      !ok)
+
+
+let () =
+  Alcotest.run "bor_minic"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "comments and lines" `Quick
+            test_lexer_comments_and_lines;
+          Alcotest.test_case "two-char operators" `Quick test_lexer_two_char_ops;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parser_precedence;
+          Alcotest.test_case "dangling else" `Quick test_parser_dangling_else;
+          Alcotest.test_case "globals" `Quick test_parser_globals;
+          Alcotest.test_case "error line" `Quick test_parser_error_line;
+        ] );
+      ( "typecheck",
+        [
+          Alcotest.test_case "rejections" `Quick test_typecheck_rejects;
+          Alcotest.test_case "shadowing" `Quick test_typecheck_accepts_shadowing;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_interp_arith;
+          Alcotest.test_case "short circuit" `Quick test_interp_short_circuit;
+          Alcotest.test_case "loops and calls" `Quick
+            test_interp_loops_and_calls;
+          Alcotest.test_case "bounds" `Quick test_interp_oob;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "basics" `Quick test_e2e_basics;
+          Alcotest.test_case "division runtime" `Quick test_e2e_division;
+          Alcotest.test_case "bare blocks" `Quick test_e2e_bare_blocks;
+          Alcotest.test_case "control" `Quick test_e2e_control;
+          Alcotest.test_case "memory" `Quick test_e2e_memory;
+          Alcotest.test_case "functions" `Quick test_e2e_functions;
+          Alcotest.test_case "global initialisers" `Quick test_e2e_globals_init;
+          Alcotest.test_case "adversarial cases" `Quick test_e2e_adversarial;
+          qtest prop_compiled_matches_interpreter;
+        ] );
+      ( "instrument",
+        [
+          Alcotest.test_case "ground truth invariant" `Quick
+            test_ground_truth_invariant_across_frameworks;
+          Alcotest.test_case "full = exact profile" `Quick
+            test_full_instrumentation_exact;
+          Alcotest.test_case "counter sample count" `Quick
+            test_counter_sampling_count;
+          Alcotest.test_case "brr sample rate" `Quick test_brr_sampling_rate;
+          Alcotest.test_case "semantics preserved" `Quick
+            test_semantics_preserved_by_frameworks;
+          Alcotest.test_case "edge placement" `Quick test_edge_placement_sites;
+          Alcotest.test_case "yieldpoint placement" `Quick
+            test_yieldpoint_placement;
+          Alcotest.test_case "yieldpoints under sampling" `Quick
+            test_yieldpoints_sampled_semantics;
+          Alcotest.test_case "empty payload" `Quick
+            test_empty_payload_has_no_prof_traffic;
+          qtest prop_frameworks_preserve_random_programs;
+        ] );
+      ( "domtree",
+        [
+          Alcotest.test_case "diamond" `Quick test_domtree_diamond;
+          Alcotest.test_case "syntactic = semantic backedges" `Quick
+            test_domtree_matches_syntactic_backedges;
+          Alcotest.test_case "natural loop" `Quick test_domtree_natural_loop;
+          qtest prop_domtree_agrees_on_random_programs;
+        ] );
+      ( "optimize",
+        [
+          Alcotest.test_case "constant folding" `Quick
+            test_optimize_folds_constants;
+          Alcotest.test_case "dead code" `Quick test_optimize_removes_dead_code;
+          Alcotest.test_case "threading and pruning" `Quick
+            test_optimize_threads_and_prunes;
+          Alcotest.test_case "semantics preserved" `Quick
+            test_optimize_preserves_semantics_on_suite;
+        ] );
+      ( "regalloc",
+        [
+          Alcotest.test_case "allocation sanity" `Quick
+            test_regalloc_no_conflicting_assignment;
+          Alcotest.test_case "callee-saved across calls" `Quick
+            test_regalloc_callee_saved_across_calls;
+          Alcotest.test_case "spill pressure" `Quick
+            test_regalloc_spill_pressure;
+          Alcotest.test_case "spills across calls" `Quick
+            test_regalloc_spill_pressure_with_calls;
+        ] );
+    ]

@@ -1,0 +1,390 @@
+(* Tests for Bor_sampling: framework semantics, the overlap metric,
+   convergent profiling and the experiment driver. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* -------------------------------------------------------------- Sampler *)
+
+let take_pattern sampler n =
+  List.init n (fun _ -> Bor_sampling.Sampler.visit sampler)
+
+let count_true = List.fold_left (fun a b -> if b then a + 1 else a) 0
+
+let test_software_counter_period () =
+  let s = Bor_sampling.Sampler.software_counter ~reset:4 () in
+  let pattern = take_pattern s 16 in
+  check Alcotest.int "4 samples in 16 visits" 4 (count_true pattern);
+  (* Figure 1 semantics: deterministic, equally spaced. *)
+  let positions =
+    List.mapi (fun i b -> (i, b)) pattern |> List.filter snd |> List.map fst
+  in
+  match positions with
+  | [ a; b; c; d ] ->
+    check Alcotest.int "spacing" 4 (b - a);
+    check Alcotest.int "spacing" 4 (c - b);
+    check Alcotest.int "spacing" 4 (d - c)
+  | _ -> Alcotest.fail "expected 4 samples"
+
+let test_software_counter_phase () =
+  let s = Bor_sampling.Sampler.software_counter ~start:0 ~reset:8 () in
+  check Alcotest.bool "fires immediately with start 0" true
+    (Bor_sampling.Sampler.visit s);
+  check Alcotest.bool "then waits" false (Bor_sampling.Sampler.visit s)
+
+let test_hardware_counter_deterministic () =
+  let a = Bor_sampling.Sampler.hardware_counter ~interval:16 () in
+  let b = Bor_sampling.Sampler.hardware_counter ~interval:16 () in
+  check
+    Alcotest.(list bool)
+    "same stream" (take_pattern a 64) (take_pattern b 64);
+  check Alcotest.int "4 samples in 64" 4 (count_true (take_pattern a 64))
+
+let test_brr_sampler_rate () =
+  let s =
+    Bor_sampling.Sampler.branch_on_random
+      ~engine:(Bor_core.Engine.create ~seed:0x3FA7 ())
+      (Bor_core.Freq.of_period 8)
+  in
+  let n = 80_000 in
+  let takes = count_true (take_pattern s n) in
+  let expected = n / 8 in
+  check Alcotest.bool
+    (Printf.sprintf "%d near %d" takes expected)
+    true
+    (abs (takes - expected) < 500)
+
+let test_names_match_paper_legend () =
+  check Alcotest.string "sw" "sw count"
+    (Bor_sampling.Sampler.name
+       (Bor_sampling.Sampler.software_counter ~reset:4 ()));
+  check Alcotest.string "hw" "hw count"
+    (Bor_sampling.Sampler.name
+       (Bor_sampling.Sampler.hardware_counter ~interval:4 ()));
+  check Alcotest.string "random" "random"
+    (Bor_sampling.Sampler.name
+       (Bor_sampling.Sampler.branch_on_random (Bor_core.Freq.of_field 0)))
+
+let test_expected_rate () =
+  check (Alcotest.float 1e-9) "sw" 0.25
+    (Bor_sampling.Sampler.expected_rate
+       (Bor_sampling.Sampler.software_counter ~reset:4 ()));
+  check (Alcotest.float 1e-9) "brr" (1. /. 1024.)
+    (Bor_sampling.Sampler.expected_rate
+       (Bor_sampling.Sampler.branch_on_random (Bor_core.Freq.of_period 1024)))
+
+(* -------------------------------------------------------------- Profile *)
+
+let profile_of assoc =
+  let p = Bor_sampling.Profile.create () in
+  List.iter (fun (id, n) -> Bor_sampling.Profile.record_many p id n) assoc;
+  p
+
+let test_profile_counting () =
+  let p = profile_of [ (1, 3); (2, 1) ] in
+  Bor_sampling.Profile.record p 1;
+  check Alcotest.int "count" 4 (Bor_sampling.Profile.count p 1);
+  check Alcotest.int "total" 5 (Bor_sampling.Profile.total p);
+  check Alcotest.int "distinct" 2 (Bor_sampling.Profile.distinct_sites p);
+  check (Alcotest.float 1e-9) "fraction" 0.8 (Bor_sampling.Profile.fraction p 1)
+
+let test_profile_top () =
+  let p = profile_of [ (1, 5); (2, 9); (3, 1) ] in
+  check
+    Alcotest.(list (pair int int))
+    "top 2"
+    [ (2, 9); (1, 5) ]
+    (Bor_sampling.Profile.top p 2)
+
+let test_accuracy_identical () =
+  let p = profile_of [ (1, 10); (2, 30) ] in
+  check (Alcotest.float 1e-9) "identical = 1" 1.
+    (Bor_sampling.Profile.accuracy ~full:p
+       ~sampled:(Bor_sampling.Profile.copy p))
+
+let test_accuracy_scaled () =
+  (* Overlap is a function of fractions: a perfectly scaled-down sample
+     scores 1. *)
+  let full = profile_of [ (1, 100); (2, 300) ] in
+  let sampled = profile_of [ (1, 10); (2, 30) ] in
+  check (Alcotest.float 1e-9) "scaled = 1" 1.
+    (Bor_sampling.Profile.accuracy ~full ~sampled)
+
+let test_accuracy_paper_example () =
+  (* "if method1 accounts for 50% ... while sampling reports 60%, the
+     method contributes 50% to the profile's accuracy." *)
+  let full = profile_of [ (1, 50); (2, 50) ] in
+  let sampled = profile_of [ (1, 60); (2, 40) ] in
+  check (Alcotest.float 1e-9) "90%" 0.9
+    (Bor_sampling.Profile.accuracy ~full ~sampled)
+
+let test_accuracy_empty_sample () =
+  let full = profile_of [ (1, 5) ] in
+  check (Alcotest.float 1e-9) "empty = 0" 0.
+    (Bor_sampling.Profile.accuracy ~full
+       ~sampled:(Bor_sampling.Profile.create ()))
+
+let test_profile_merge () =
+  let a = profile_of [ (1, 2) ] in
+  let b = profile_of [ (1, 3); (2, 1) ] in
+  Bor_sampling.Profile.merge_into ~dst:a b;
+  check Alcotest.int "merged count" 5 (Bor_sampling.Profile.count a 1);
+  check Alcotest.int "merged total" 6 (Bor_sampling.Profile.total a)
+
+let gen_profile =
+  QCheck.Gen.(
+    map
+      (fun pairs ->
+        profile_of
+          (List.map (fun (i, n) -> (i mod 20, 1 + (n mod 50))) pairs))
+      (list_size (int_range 1 20) (pair (int_bound 100) (int_bound 100))))
+
+let prop_accuracy_bounded =
+  QCheck.Test.make ~name:"accuracy lies in [0, 1]" ~count:200
+    (QCheck.make (QCheck.Gen.pair gen_profile gen_profile))
+    (fun (full, sampled) ->
+      let a = Bor_sampling.Profile.accuracy ~full ~sampled in
+      a >= 0. && a <= 1. +. 1e-9)
+
+let prop_accuracy_self =
+  QCheck.Test.make ~name:"accuracy of a profile against itself is 1"
+    ~count:100 (QCheck.make gen_profile) (fun p ->
+      Float.abs (Bor_sampling.Profile.accuracy ~full:p ~sampled:p -. 1.)
+      < 1e-9)
+
+(* ------------------------------------------------------------ Experiment *)
+
+let uniform_stream n k f =
+  for i = 0 to n - 1 do
+    f (i mod k)
+  done
+
+let test_collect () =
+  let sampler = Bor_sampling.Sampler.software_counter ~reset:10 () in
+  let full, sampled =
+    Bor_sampling.Experiment.collect (uniform_stream 1000 4) sampler
+  in
+  check Alcotest.int "full total" 1000 (Bor_sampling.Profile.total full);
+  check Alcotest.int "sampled total" 100 (Bor_sampling.Profile.total sampled)
+
+let test_resonance_detected_by_counters_only () =
+  (* A strictly alternating two-site stream sampled at an even interval:
+     counters see only one site; branch-on-random sees both. This is the
+     paper's footnote 7. *)
+  let stream f =
+    for i = 0 to 99_999 do
+      f (i land 1)
+    done
+  in
+  let sw_acc =
+    Bor_sampling.Experiment.accuracy_of stream
+      (Bor_sampling.Sampler.software_counter ~reset:64 ())
+  in
+  let brr_acc =
+    Bor_sampling.Experiment.accuracy_of stream
+      (Bor_sampling.Sampler.branch_on_random (Bor_core.Freq.of_period 64))
+  in
+  check Alcotest.bool
+    (Printf.sprintf "counter collapses to one site (%.2f)" sw_acc)
+    true (sw_acc <= 0.51);
+  check Alcotest.bool
+    (Printf.sprintf "random sees both (%.2f)" brr_acc)
+    true (brr_acc > 0.9)
+
+let test_accuracy_summary () =
+  let stream = uniform_stream 50_000 8 in
+  let summary =
+    Bor_sampling.Experiment.accuracy_summary
+      (fun seed ->
+        Bor_sampling.Sampler.branch_on_random
+          ~engine:(Bor_core.Engine.create ~seed ())
+          (Bor_core.Freq.of_period 64))
+      stream ~seeds:[ 101; 202; 303; 404 ]
+  in
+  check Alcotest.int "four runs" 4 summary.Bor_util.Stats.n;
+  check Alcotest.bool "high accuracy on uniform stream" true
+    (summary.Bor_util.Stats.mean > 0.9)
+
+(* ------------------------------------------------------------ Convergent *)
+
+let test_convergent_anneals_on_stable_profile () =
+  let c =
+    Bor_sampling.Convergent.create
+      ~engine:(Bor_core.Engine.create ~seed:0x123 ())
+      ~window:128 ()
+  in
+  (* Stable behaviour: uniform rotation over 4 sites. *)
+  for i = 0 to 400_000 do
+    ignore (Bor_sampling.Convergent.visit c (i land 3))
+  done;
+  check Alcotest.bool "frequency annealed below the initial rate" true
+    (Bor_core.Freq.to_field (Bor_sampling.Convergent.frequency c) > 0);
+  check Alcotest.bool "adaptations recorded" true
+    (List.length (Bor_sampling.Convergent.adaptations c) > 0)
+
+let test_convergent_reacts_to_phase_change () =
+  let c =
+    Bor_sampling.Convergent.create
+      ~engine:(Bor_core.Engine.create ~seed:0x777 ())
+      ~window:128 ~threshold:0.02 ()
+  in
+  for i = 0 to 200_000 do
+    ignore (Bor_sampling.Convergent.visit c (i land 3))
+  done;
+  let annealed =
+    Bor_core.Freq.to_field (Bor_sampling.Convergent.frequency c)
+  in
+  (* Phase change: completely different sites. *)
+  for i = 0 to 400_000 do
+    ignore (Bor_sampling.Convergent.visit c (100 + (i land 7)))
+  done;
+  let after = Bor_core.Freq.to_field (Bor_sampling.Convergent.frequency c) in
+  check Alcotest.bool
+    (Printf.sprintf "rate raised on drift (%d -> %d)" annealed after)
+    true (after < annealed)
+
+let test_convergent_bookkeeping () =
+  let c =
+    Bor_sampling.Convergent.create
+      ~engine:(Bor_core.Engine.create ~seed:0x5 ())
+      ~window:64 ()
+  in
+  for i = 0 to 100_000 do
+    ignore (Bor_sampling.Convergent.visit c (i land 1))
+  done;
+  check Alcotest.int "visits" 100_001 (Bor_sampling.Convergent.visits c);
+  check Alcotest.bool "samples recorded" true
+    (Bor_sampling.Convergent.samples c > 0);
+  check Alcotest.int "profile total = samples"
+    (Bor_sampling.Convergent.samples c)
+    (Bor_sampling.Profile.total (Bor_sampling.Convergent.profile c))
+
+(* -------------------------------------------------------------- Per_site *)
+
+let test_per_site_anneals_independently () =
+  let t =
+    Bor_sampling.Per_site.create
+      ~engine:(Bor_core.Engine.create ~seed:0x909 ())
+      ~target_samples:32 ()
+  in
+  (* Site 0 is hot (visited ~50x more than site 1). *)
+  for i = 0 to 200_000 do
+    ignore (Bor_sampling.Per_site.visit t (if i mod 50 = 0 then 1 else 0))
+  done;
+  let f0 = Bor_core.Freq.to_field (Bor_sampling.Per_site.frequency t 0) in
+  let f1 = Bor_core.Freq.to_field (Bor_sampling.Per_site.frequency t 1) in
+  (* Reaching field k takes ~32*(2^(k+1)-2) visits: the hot site (~196k
+     visits) lands near field 10-11, the cold one (~4k) near 5-6. *)
+  check Alcotest.bool
+    (Printf.sprintf "hot site slowed more (field %d vs %d)" f0 f1)
+    true (f0 >= f1 + 3);
+  check Alcotest.bool "cold site still comparatively fast" true (f1 <= 7)
+
+let test_per_site_estimates_unbiased () =
+  let t =
+    Bor_sampling.Per_site.create
+      ~engine:(Bor_core.Engine.create ~seed:0x42 ())
+      ~target_samples:64 ()
+  in
+  let true_counts = [| 400_000; 40_000; 4_000 |] in
+  let rng = Bor_util.Prng.create ~seed:5 in
+  let remaining = Array.copy true_counts in
+  let total = Array.fold_left ( + ) 0 true_counts in
+  for _ = 1 to total do
+    (* Draw a site proportional to remaining visits. *)
+    let rec pick () =
+      let s = Bor_util.Prng.int rng 3 in
+      if remaining.(s) > 0 then s else pick ()
+    in
+    let s = pick () in
+    remaining.(s) <- remaining.(s) - 1;
+    ignore (Bor_sampling.Per_site.visit t s)
+  done;
+  List.iter
+    (fun (site, est) ->
+      let truth = Float.of_int true_counts.(site) in
+      let err = Float.abs (est -. truth) /. truth in
+      check Alcotest.bool
+        (Printf.sprintf "site %d estimate %.0f vs %.0f (err %.2f)" site est
+           truth err)
+        true (err < 0.25))
+    (Bor_sampling.Per_site.estimated_counts t)
+
+let test_per_site_budget_beats_global_on_tail () =
+  (* With per-site annealing, cold sites keep sampling fast, so the tail
+     is observed with far fewer total samples than a global rate that
+     would catch it equally well. *)
+  let engine_seed = 0xCAFE in
+  let t =
+    Bor_sampling.Per_site.create
+      ~engine:(Bor_core.Engine.create ~seed:engine_seed ())
+      ~target_samples:16 ()
+  in
+  let rng = Bor_util.Prng.create ~seed:77 in
+  let zipf = Bor_util.Zipf.create ~n:64 ~alpha:1.4 in
+  for _ = 1 to 500_000 do
+    ignore (Bor_sampling.Per_site.visit t (Bor_util.Zipf.sample zipf rng))
+  done;
+  let profile = Bor_sampling.Per_site.profile t in
+  let observed = Bor_sampling.Profile.distinct_sites profile in
+  check Alcotest.bool
+    (Printf.sprintf "tail coverage: %d sites seen with %d samples" observed
+       (Bor_sampling.Per_site.samples t))
+    true
+    (observed >= 50 && Bor_sampling.Per_site.samples t < 100_000)
+
+let () =
+  Alcotest.run "bor_sampling"
+    [
+      ( "sampler",
+        [
+          Alcotest.test_case "software counter period" `Quick
+            test_software_counter_period;
+          Alcotest.test_case "software counter phase" `Quick
+            test_software_counter_phase;
+          Alcotest.test_case "hardware counter" `Quick
+            test_hardware_counter_deterministic;
+          Alcotest.test_case "brr rate" `Quick test_brr_sampler_rate;
+          Alcotest.test_case "paper legend names" `Quick
+            test_names_match_paper_legend;
+          Alcotest.test_case "expected rates" `Quick test_expected_rate;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "counting" `Quick test_profile_counting;
+          Alcotest.test_case "top" `Quick test_profile_top;
+          Alcotest.test_case "identical profiles" `Quick
+            test_accuracy_identical;
+          Alcotest.test_case "scaled sample" `Quick test_accuracy_scaled;
+          Alcotest.test_case "paper's worked example" `Quick
+            test_accuracy_paper_example;
+          Alcotest.test_case "empty sample" `Quick test_accuracy_empty_sample;
+          Alcotest.test_case "merge" `Quick test_profile_merge;
+          qtest prop_accuracy_bounded;
+          qtest prop_accuracy_self;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "collect" `Quick test_collect;
+          Alcotest.test_case "footnote-7 resonance" `Quick
+            test_resonance_detected_by_counters_only;
+          Alcotest.test_case "summary over seeds" `Quick test_accuracy_summary;
+        ] );
+      ( "per-site",
+        [
+          Alcotest.test_case "independent annealing" `Quick
+            test_per_site_anneals_independently;
+          Alcotest.test_case "unbiased estimates" `Quick
+            test_per_site_estimates_unbiased;
+          Alcotest.test_case "tail coverage" `Quick
+            test_per_site_budget_beats_global_on_tail;
+        ] );
+      ( "convergent",
+        [
+          Alcotest.test_case "anneals when stable" `Quick
+            test_convergent_anneals_on_stable_profile;
+          Alcotest.test_case "reacts to drift" `Quick
+            test_convergent_reacts_to_phase_change;
+          Alcotest.test_case "bookkeeping" `Quick test_convergent_bookkeeping;
+        ] );
+    ]

@@ -1,0 +1,717 @@
+(* Tests for Bor_uarch: caches, predictors, BTB, RAS and the pipeline,
+   including the paper's §3.4 determinism experiments. *)
+
+let check = Alcotest.check
+
+
+(* ---------------------------------------------------------------- Cache *)
+
+let test_cache_hit_after_miss () =
+  let c = Bor_uarch.Cache.create ~size:1024 ~assoc:2 ~line_bytes:64 in
+  check Alcotest.bool "first is a miss" false (Bor_uarch.Cache.access c 0x100);
+  check Alcotest.bool "second hits" true (Bor_uarch.Cache.access c 0x100);
+  check Alcotest.bool "same line hits" true (Bor_uarch.Cache.access c 0x13C);
+  check Alcotest.bool "different line misses" false
+    (Bor_uarch.Cache.access c 0x140)
+
+let test_cache_lru_eviction () =
+  (* 2-way set: fill both ways, touch the first, add a third — the
+     second (least recent) must be evicted. *)
+  let c = Bor_uarch.Cache.create ~size:1024 ~assoc:2 ~line_bytes:64 in
+  let sets = Bor_uarch.Cache.sets c in
+  let stride = sets * 64 in
+  ignore (Bor_uarch.Cache.access c 0);
+  ignore (Bor_uarch.Cache.access c stride);
+  ignore (Bor_uarch.Cache.access c 0);
+  ignore (Bor_uarch.Cache.access c (2 * stride));
+  check Alcotest.bool "way 0 survives" true (Bor_uarch.Cache.probe c 0);
+  check Alcotest.bool "way 1 evicted" false (Bor_uarch.Cache.probe c stride)
+
+let test_cache_stats () =
+  let c = Bor_uarch.Cache.create ~size:1024 ~assoc:2 ~line_bytes:64 in
+  ignore (Bor_uarch.Cache.access c 0);
+  ignore (Bor_uarch.Cache.access c 0);
+  let s = Bor_uarch.Cache.stats c in
+  check Alcotest.int "accesses" 2 s.accesses;
+  check Alcotest.int "misses" 1 s.misses;
+  Bor_uarch.Cache.reset_stats c;
+  check Alcotest.int "reset" 0 (Bor_uarch.Cache.stats c).accesses
+
+let test_cache_geometry_checks () =
+  Alcotest.check_raises "non power-of-two sets"
+    (Invalid_argument "Cache.create: set count must be a power of two")
+    (fun () ->
+      ignore (Bor_uarch.Cache.create ~size:3072 ~assoc:4 ~line_bytes:64))
+
+let test_hierarchy_latencies () =
+  let h = Bor_uarch.Hierarchy.create Bor_uarch.Config.default in
+  let cold = Bor_uarch.Hierarchy.access h Bor_uarch.Hierarchy.D 0x4000 in
+  let warm = Bor_uarch.Hierarchy.access h Bor_uarch.Hierarchy.D 0x4000 in
+  check Alcotest.int "cold = memory" Bor_uarch.Config.default.mem_latency cold;
+  check Alcotest.int "warm = L1" Bor_uarch.Config.default.l1_latency warm;
+  (* Evicting from L1 but not L2 gives the L2 latency. This needs enough
+     conflicting lines to displace the set. *)
+  let conflict i = 0x4000 + (i * Bor_uarch.Config.default.l1_size) in
+  for i = 1 to Bor_uarch.Config.default.l1_assoc do
+    ignore (Bor_uarch.Hierarchy.access h Bor_uarch.Hierarchy.D (conflict i))
+  done;
+  let l2 = Bor_uarch.Hierarchy.access h Bor_uarch.Hierarchy.D 0x4000 in
+  check Alcotest.int "L2 hit" Bor_uarch.Config.default.l2_latency l2
+
+(* ------------------------------------------------------------ Predictor *)
+
+let train p pc ~taken ~times =
+  for _ = 1 to times do
+    let pred = Bor_uarch.Predictor.predict p ~pc in
+    Bor_uarch.Predictor.update p ~pc pred ~taken
+  done
+
+let test_predictor_learns_bias () =
+  let p = Bor_uarch.Predictor.create Bor_uarch.Config.default in
+  train p 0x1000 ~taken:true ~times:8;
+  let pred = Bor_uarch.Predictor.predict p ~pc:0x1000 in
+  check Alcotest.bool "predicts taken" true pred.taken
+
+let test_predictor_learns_alternation () =
+  (* gshare with history learns a strict T/N alternation. *)
+  let p = Bor_uarch.Predictor.create Bor_uarch.Config.default in
+  let taken = ref false in
+  let wrong = ref 0 in
+  for i = 1 to 600 do
+    taken := not !taken;
+    let pred = Bor_uarch.Predictor.predict p ~pc:0x2000 in
+    if i > 300 && pred.taken <> !taken then incr wrong;
+    Bor_uarch.Predictor.update p ~pc:0x2000 pred ~taken:!taken;
+    (* As in hardware: a misprediction repairs the speculative global
+       history. *)
+    if pred.taken <> !taken then
+      Bor_uarch.Predictor.recover p pred ~taken:!taken
+  done;
+  check Alcotest.bool
+    (Printf.sprintf "alternation learned (%d wrong of 300)" !wrong)
+    true (!wrong < 10)
+
+let test_predictor_history_recovery () =
+  let p = Bor_uarch.Predictor.create Bor_uarch.Config.default in
+  let before = Bor_uarch.Predictor.ghist p in
+  let pred = Bor_uarch.Predictor.predict p ~pc:0x3000 in
+  ignore (Bor_uarch.Predictor.predict p ~pc:0x3004);
+  ignore (Bor_uarch.Predictor.predict p ~pc:0x3008);
+  Bor_uarch.Predictor.recover p pred ~taken:true;
+  check Alcotest.int "history = snapshot + actual"
+    (((before lsl 1) lor 1) land 0xFFFF)
+    (Bor_uarch.Predictor.ghist p)
+
+(* ------------------------------------------------------------ BTB / RAS *)
+
+let test_btb () =
+  let b = Bor_uarch.Btb.create ~entries:16 in
+  check Alcotest.(option int) "cold miss" None (Bor_uarch.Btb.lookup b ~pc:0x40);
+  Bor_uarch.Btb.insert b ~pc:0x40 ~target:0x999;
+  check Alcotest.(option int) "hit" (Some 0x999)
+    (Bor_uarch.Btb.lookup b ~pc:0x40);
+  (* Aliasing: another pc mapping to the same slot evicts. *)
+  Bor_uarch.Btb.insert b ~pc:(0x40 + (16 * 4)) ~target:0x111;
+  check Alcotest.(option int) "alias evicts" None
+    (Bor_uarch.Btb.lookup b ~pc:0x40)
+
+let test_ras () =
+  let r = Bor_uarch.Ras.create ~entries:4 in
+  check Alcotest.(option int) "empty" None (Bor_uarch.Ras.pop r);
+  Bor_uarch.Ras.push r 1;
+  Bor_uarch.Ras.push r 2;
+  check Alcotest.(option int) "lifo" (Some 2) (Bor_uarch.Ras.pop r);
+  check Alcotest.(option int) "lifo" (Some 1) (Bor_uarch.Ras.pop r);
+  (* Overflow wraps: pushing 5 into 4 entries loses the oldest. *)
+  List.iter (Bor_uarch.Ras.push r) [ 1; 2; 3; 4; 5 ];
+  check Alcotest.int "depth capped" 4 (Bor_uarch.Ras.depth r);
+  check Alcotest.(option int) "newest on top" (Some 5) (Bor_uarch.Ras.pop r)
+
+(* ------------------------------------------------------------- Pipeline *)
+
+let assemble src =
+  match Bor_isa.Asm.assemble src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "assembly failed: %a" Bor_isa.Asm.pp_error e
+
+let run_pipeline ?config p =
+  let t = Bor_uarch.Pipeline.create ?config p in
+  match Bor_uarch.Pipeline.run t with
+  | Ok st -> (t, st)
+  | Error e -> Alcotest.fail e
+
+let test_pipeline_architectural_equivalence () =
+  (* The timing simulator's committed state must match a pure functional
+     run: same registers, same memory. *)
+  let src =
+    {|
+main:   li   s0, 0
+        li   s1, 200
+        la   s2, buf
+loop:   andi t0, s1, 7
+        slli t1, s1, 2
+        add  t1, t1, t0
+        add  s0, s0, t1
+        sw   s0, 0(s2)
+        addi s2, s2, 4
+        addi s1, s1, -1
+        bne  s1, zero, loop
+        halt
+        .data
+buf:    .space 4096
+      |}
+  in
+  let p = assemble src in
+  let t, _ = run_pipeline p in
+  let reference = Bor_sim.Machine.create p in
+  (match Bor_sim.Machine.run reference with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let o = Bor_uarch.Pipeline.oracle t in
+  for i = 0 to 31 do
+    let r = Bor_isa.Reg.of_int i in
+    check Alcotest.int
+      (Printf.sprintf "r%d" i)
+      (Bor_sim.Machine.reg reference r)
+      (Bor_sim.Machine.reg o r)
+  done;
+  let buf = Option.get (Bor_isa.Program.find_symbol p "buf") in
+  for i = 0 to 199 do
+    check Alcotest.int "memory word"
+      (Bor_sim.Memory.read_word (Bor_sim.Machine.memory reference) (buf + (4 * i)))
+      (Bor_sim.Memory.read_word (Bor_sim.Machine.memory o) (buf + (4 * i)))
+  done
+
+let test_pipeline_ipc_bounds () =
+  let p =
+    assemble
+      {|
+main:   li   t0, 10000
+loop:   addi t1, t1, 1
+        addi t2, t2, 1
+        addi t3, t3, 1
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        halt
+      |}
+  in
+  let _, st = run_pipeline p in
+  let ipc = Bor_uarch.Pipeline.ipc st in
+  (* Independent ALU chains with a predictable loop: should be fast but
+     bounded by the 3-wide fetch. *)
+  check Alcotest.bool (Printf.sprintf "ipc %.2f in (1.5, 3.0]" ipc) true
+    (ipc > 1.5 && ipc <= 3.0)
+
+let test_pipeline_mispredict_penalty () =
+  (* A loop whose inner branch is data-random mispredicts often; IPC
+     must drop well below the predictable version. *)
+  let src_random =
+    {|
+main:   li   s0, 20011       ; LCG state
+        li   s1, 20000
+loop:   li   t0, 1103515245
+        mul  s0, s0, t0
+        addi s0, s0, 1234
+        srli t1, s0, 13
+        andi t1, t1, 1
+        beq  t1, zero, skip
+        addi t2, t2, 1
+skip:   addi s1, s1, -1
+        bne  s1, zero, loop
+        halt
+      |}
+  in
+  let _, st = run_pipeline (assemble src_random) in
+  check Alcotest.bool "many mispredicts" true (st.cond_mispredicts > 3000);
+  check Alcotest.bool "penalty at least ~10 cycles each" true
+    (st.cycles
+    > st.cond_mispredicts * 8)
+
+let test_brr_committed_at_decode () =
+  (* A not-taken branch-on-random costs only its slot: overhead of the
+     brr version over the plain version should be well under a cycle per
+     iteration. *)
+  let plain =
+    {|
+main:   li   s1, 30000
+loop:   addi t1, t1, 3
+        xor  t2, t2, t1
+        addi s1, s1, -1
+        bne  s1, zero, loop
+        halt
+tgt:    brra loop
+      |}
+  in
+  let with_brr =
+    {|
+main:   li   s1, 30000
+loop:   brr  1/65536, tgt
+        addi t1, t1, 3
+        xor  t2, t2, t1
+        addi s1, s1, -1
+        bne  s1, zero, loop
+        halt
+tgt:    brra loop
+      |}
+  in
+  let _, base = run_pipeline (assemble plain) in
+  let _, brr = run_pipeline (assemble with_brr) in
+  check Alcotest.int "all brrs executed" 30000 brr.brr_executed;
+  let extra =
+    Float.of_int (brr.cycles - base.cycles) /. 30000.
+  in
+  check Alcotest.bool
+    (Printf.sprintf "%.3f extra cycles per not-taken brr" extra)
+    true (extra < 0.75);
+  check Alcotest.int "predictor untouched: same mispredicts"
+    base.cond_mispredicts brr.cond_mispredicts
+
+let test_brr_taken_frontend_flush () =
+  let src =
+    {|
+main:   li   s1, 20000
+loop:   brr  1/2, tgt
+back:   addi s1, s1, -1
+        bne  s1, zero, loop
+        halt
+tgt:    addi t1, t1, 1
+        brra back
+      |}
+  in
+  let _, st = run_pipeline (assemble src) in
+  check Alcotest.bool "about half taken" true
+    (abs (st.brr_taken - 10000) < 600);
+  check Alcotest.int "frontend flush per take" st.brr_taken
+    st.frontend_flushes;
+  (* The loop's own bne mispredicts a handful of times (cold counters
+     and loop exit); the branch-on-randoms must add none. *)
+  check Alcotest.bool "backend flushes only from the loop branch" true
+    (st.backend_flushes <= 5)
+
+let test_roi_markers () =
+  let src =
+    {|
+main:   li   t0, 5000       ; outside the region of interest
+warm:   addi t0, t0, -1
+        bne  t0, zero, warm
+        marker 1
+        li   t1, 100
+roi:    addi t1, t1, -1
+        bne  t1, zero, roi
+        marker 2
+        li   t2, 5000       ; cooldown, also outside
+cool:   addi t2, t2, -1
+        bne  t2, zero, cool
+        halt
+      |}
+  in
+  let _, st = run_pipeline (assemble src) in
+  (* Only the 100-iteration middle loop is measured: ~300 instructions,
+     not ~20000. *)
+  check Alcotest.bool
+    (Printf.sprintf "instructions %d in ROI range" st.instructions)
+    true
+    (st.instructions > 150 && st.instructions < 800)
+
+(* --------------------------------------------------- §3.4 determinism *)
+
+(* A workload with data-dependent (mispredicting) branches AND
+   branch-on-randoms: squashes will occur near brr decodes, losing LFSR
+   transitions unless the checkpointing of §3.4 is enabled. *)
+let determinism_src =
+  {|
+main:   li   s0, 12345
+        li   s1, 30000
+loop:   li   t0, 1103515245
+        mul  s0, s0, t0
+        addi s0, s0, 1234
+        srli t1, s0, 11
+        andi t1, t1, 1
+        beq  t1, zero, even
+        brr  1/4, tgt
+back:   addi s1, s1, -1
+        bne  s1, zero, loop
+        halt
+even:   brr  1/4, tgt2
+        j    back
+tgt:    addi t2, t2, 1
+        brra back
+tgt2:   addi t3, t3, 1
+        brra back
+      |}
+
+let retired_outcomes config =
+  let p = assemble determinism_src in
+  let t = Bor_uarch.Pipeline.create ~config p in
+  match Bor_uarch.Pipeline.run t with
+  | Ok st -> (Bor_uarch.Pipeline.retired_brr_outcomes t, st)
+  | Error e -> Alcotest.fail e
+
+let test_deterministic_lfsr_repeatable () =
+  (* With §3.4 checkpointing, the retired outcome sequence is a pure
+     function of the seed — repeatable run to run. *)
+  let cfg = { Bor_uarch.Config.default with deterministic_lfsr = true } in
+  let a, st = retired_outcomes cfg in
+  let b, _ = retired_outcomes cfg in
+  check Alcotest.bool "squashes occurred" true (st.backend_flushes > 1000);
+  check Alcotest.bool "sequences equal" true (a = b);
+  check Alcotest.int "one retired outcome per committed brr"
+    st.brr_executed (List.length a)
+
+let test_deterministic_matches_functional () =
+  (* With checkpointing, the hardware consumes exactly one LFSR
+     transition per retired brr — the same stream a purely functional
+     (no speculation) run sees. *)
+  let cfg = { Bor_uarch.Config.default with deterministic_lfsr = true } in
+  let timing, _ = retired_outcomes cfg in
+  let p = assemble determinism_src in
+  (* Replay functionally with the same seed, logging each true
+     branch-on-random decision through the External hook (brra never
+     consults the engine). *)
+  let engine = Bor_core.Engine.create ~seed:cfg.lfsr_seed () in
+  let functional = ref [] in
+  let decide freq =
+    let o = Bor_core.Engine.decide engine freq in
+    functional := o :: !functional;
+    o
+  in
+  let m =
+    Bor_sim.Machine.create ~brr_mode:(Bor_sim.Machine.External decide) p
+  in
+  (match Bor_sim.Machine.run m with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.bool "timing (checkpointed) = functional stream" true
+    (timing = List.rev !functional)
+
+let test_nondeterministic_loses_transitions () =
+  (* Without checkpointing, wrong-path brr decodes consume transitions;
+     the retired stream differs from the functional stream, but the
+     take RATE is preserved (the paper's point: losing transitions does
+     not affect the probabilities). *)
+  let cfg = { Bor_uarch.Config.default with deterministic_lfsr = false } in
+  let timing, st = retired_outcomes cfg in
+  let det_cfg = { cfg with deterministic_lfsr = true } in
+  let det, _ = retired_outcomes det_cfg in
+  check Alcotest.bool "streams differ when transitions are lost" true
+    (timing <> det);
+  let rate outcomes =
+    Float.of_int (List.length (List.filter Fun.id outcomes))
+    /. Float.of_int (List.length outcomes)
+  in
+  check Alcotest.bool
+    (Printf.sprintf "rate preserved (%.3f vs 0.25)" (rate timing))
+    true
+    (Float.abs (rate timing -. 0.25) < 0.02);
+  check Alcotest.bool "brr executed count architecturally equal" true
+    (st.brr_executed = 30000)
+
+let test_trace_events () =
+  let p =
+    assemble
+      {|
+main:   li   t0, 100
+loop:   brr  1/4, tgt
+back:   addi t0, t0, -1
+        bne  t0, zero, loop
+        halt
+tgt:    addi t1, t1, 1
+        brra back
+      |}
+  in
+  let t = Bor_uarch.Pipeline.create p in
+  let commits = ref 0 and brrs = ref 0 and fflush = ref 0 in
+  Bor_uarch.Pipeline.set_tracer t (fun ev ->
+      match ev with
+      | Bor_uarch.Pipeline.Commit _ -> incr commits
+      | Bor_uarch.Pipeline.Brr_resolved _ -> incr brrs
+      | Bor_uarch.Pipeline.Front_flush _ -> incr fflush
+      | Bor_uarch.Pipeline.Back_flush _ -> ());
+  (match Bor_uarch.Pipeline.run t with
+  | Ok st ->
+    check Alcotest.int "one trace event per brr" st.brr_executed !brrs;
+    check Alcotest.bool "front flushes traced" true
+      (!fflush >= st.brr_taken);
+    (* Commits exclude decode-retired brrs. *)
+    check Alcotest.int "commit events"
+      (st.instructions - st.brr_executed)
+      !commits
+  | Error e -> Alcotest.fail e)
+
+let test_memory_latency_dominates_dependent_misses () =
+  (* A dependent chase: the next address uses the loaded value (always
+     zero here, but the dependence is real), so misses serialise and
+     cycles per load approach the 140-cycle memory latency. Independent
+     misses, by contrast, overlap in the 80-entry window. *)
+  let p =
+    assemble
+      {|
+main:   li   s0, 1500
+        li   s1, 0x4000
+        li   s2, 4096
+loop:   lw   t0, 0(s1)
+        add  s1, s1, t0       ; serialise on the loaded value
+        add  s1, s1, s2       ; new line and set every time
+        addi s0, s0, -1
+        bne  s0, zero, loop
+        halt
+      |}
+  in
+  let t = Bor_uarch.Pipeline.create p in
+  match Bor_uarch.Pipeline.run t with
+  | Error e -> Alcotest.fail e
+  | Ok st ->
+    let per_load = Float.of_int st.cycles /. 1500. in
+    check Alcotest.bool
+      (Printf.sprintf "%.0f cycles per dependent cold load" per_load)
+      true
+      (per_load > 100. && per_load < 200.)
+
+let test_rob_limits_mlp () =
+  (* Independent cold loads: the 80-entry ROB lets many misses overlap;
+     halving the ROB to 8 should slow the run down sharply. *)
+  let src =
+    {|
+main:   li   s0, 900
+        li   s1, 0x4000
+        li   s2, 8192
+loop:   lw   t0, 0(s1)
+        lw   t1, 64(s1)
+        lw   t2, 128(s1)
+        add  s1, s1, s2
+        addi s0, s0, -1
+        bne  s0, zero, loop
+        halt
+      |}
+  in
+  let cycles rob_entries =
+    let config = { Bor_uarch.Config.default with rob_entries } in
+    let t = Bor_uarch.Pipeline.create ~config (assemble src) in
+    match Bor_uarch.Pipeline.run t with
+    | Ok st -> st.cycles
+    | Error e -> Alcotest.fail e
+  in
+  let big = cycles 80 and small = cycles 8 in
+  check Alcotest.bool
+    (Printf.sprintf "rob 8: %d vs rob 80: %d" small big)
+    true
+    (small > big * 12 / 10)
+
+let test_ras_predicts_returns () =
+  (* Nested calls: every return should be RAS-predicted after warmup. *)
+  let p =
+    assemble
+      {|
+main:   li   s0, 2000
+loop:   jal  outer
+        addi s0, s0, -1
+        bne  s0, zero, loop
+        halt
+outer:  addi sp, sp, -16
+        sw   ra, 0(sp)
+        jal  inner
+        jal  inner
+        lw   ra, 0(sp)
+        addi sp, sp, 16
+        ret
+inner:  addi t0, t0, 1
+        ret
+      |}
+  in
+  let _, st = run_pipeline p in
+  check Alcotest.int "three returns per iteration" 6000 st.returns;
+  check Alcotest.bool
+    (Printf.sprintf "RAS almost perfect (%d misses)" st.return_mispredicts)
+    true
+    (st.return_mispredicts < 20)
+
+let test_icache_pressure () =
+  (* A loop whose body exceeds the 32KB L1I misses on every lap (§2 item
+     1: instrumentation growth causes i-cache misses). Generate a long
+     straight-line body. *)
+  let body_small = 256 and body_large = 12_000 in
+  let program n =
+    let buf = Buffer.create (n * 24) in
+    Buffer.add_string buf "main:   li   s0, 200\nloop:\n";
+    for i = 0 to n - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "        addi t%d, t%d, 1\n" (i mod 4) (i mod 4))
+    done;
+    (* The loop body exceeds the conditional-branch range; close the
+       loop with a long unconditional jump instead. *)
+    Buffer.add_string buf
+      "        addi s0, s0, -1\n        beq  s0, zero, done\n        j    loop\ndone:   halt\n";
+    assemble (Buffer.contents buf)
+  in
+  let stats n =
+    let t = Bor_uarch.Pipeline.create (program n) in
+    match Bor_uarch.Pipeline.run t with
+    | Ok st -> st
+    | Error e -> Alcotest.fail e
+  in
+  let small = stats body_small in
+  let large = stats body_large in
+  check Alcotest.bool "small loop fits L1I" true (small.l1i_misses < 50);
+  (* 12k instructions = 48KB of code: every line misses every lap. *)
+  check Alcotest.bool
+    (Printf.sprintf "large loop thrashes L1I (%d misses)" large.l1i_misses)
+    true
+    (large.l1i_misses > 50_000);
+  let ipc_small = Bor_uarch.Pipeline.ipc small in
+  let ipc_large = Bor_uarch.Pipeline.ipc large in
+  check Alcotest.bool
+    (Printf.sprintf "ipc suffers (%.2f -> %.2f)" ipc_small ipc_large)
+    true
+    (ipc_large < ipc_small /. 2.)
+
+let test_lfsr_port_arbitration () =
+  (* Back-to-back brrs: with one shared LFSR port (footnote 3), at most
+     one decodes per cycle; with replicated LFSRs they pack together.
+     Architectural results are identical; the shared version is a touch
+     slower. *)
+  let p =
+    assemble
+      {|
+main:   li   s0, 20000
+loop:   brr  1/16384, tg1
+b1:     brr  1/16384, tg2
+b2:     brr  1/16384, tg3
+b3:     addi s0, s0, -1
+        bne  s0, zero, loop
+        halt
+tg1:     brra b1
+tg2:     brra b2
+tg3:     brra b3
+      |}
+  in
+  let run ports =
+    let config = { Bor_uarch.Config.default with lfsr_ports = ports } in
+    let t = Bor_uarch.Pipeline.create ~config p in
+    match Bor_uarch.Pipeline.run t with
+    | Ok st -> st
+    | Error e -> Alcotest.fail e
+  in
+  let shared = run 1 in
+  let replicated = run 4 in
+  check Alcotest.int "same brr count" replicated.brr_executed
+    shared.brr_executed;
+  check Alcotest.bool
+    (Printf.sprintf "shared port is slower (%d vs %d cycles)" shared.cycles
+       replicated.cycles)
+    true
+    (shared.cycles > replicated.cycles)
+
+(* ------------------------------------------------------- §3.3 ablations *)
+
+let brr_heavy_src =
+  {|
+main:   li   s1, 30000
+loop:   brr  1/8, tgt
+back:   addi t1, t1, 1
+        xor  t2, t2, t1
+        addi s1, s1, -1
+        bne  s1, zero, loop
+        halt
+tgt:    addi t3, t3, 1
+        brra back
+      |}
+
+let run_with config =
+  let p = assemble brr_heavy_src in
+  let t = Bor_uarch.Pipeline.create ~config p in
+  match Bor_uarch.Pipeline.run t with
+  | Ok st -> st
+  | Error e -> Alcotest.fail e
+
+let test_backend_resolution_costs_more () =
+  let fast = run_with Bor_uarch.Config.default in
+  let slow =
+    run_with { Bor_uarch.Config.default with brr_resolve_in_backend = true }
+  in
+  (* Same architectural behaviour... *)
+  check Alcotest.int "same takes" fast.brr_taken slow.brr_taken;
+  check Alcotest.int "same instructions" fast.instructions slow.instructions;
+  (* ...but every take now pays a back-end squash instead of a front-end
+     flush. *)
+  check Alcotest.int "no front-end flushes" 0 slow.frontend_flushes;
+  check Alcotest.bool "slower" true (slow.cycles > fast.cycles);
+  check Alcotest.bool "squashes include the brr takes" true
+    (slow.backend_flushes >= slow.brr_taken)
+
+let test_predictor_ablation_preserves_semantics () =
+  let fast = run_with Bor_uarch.Config.default in
+  let polluted =
+    run_with { Bor_uarch.Config.default with brr_in_predictor = true } in
+  check Alcotest.int "same takes" fast.brr_taken polluted.brr_taken;
+  check Alcotest.int "same instructions" fast.instructions
+    polluted.instructions;
+  (* With the pollution ablation the predictor sometimes guesses the brr
+     taken, so the flush count differs from the take count. *)
+  check Alcotest.bool "flush count decoupled from takes" true
+    (polluted.frontend_flushes <> polluted.brr_taken
+    || polluted.cycles <> fast.cycles)
+
+let () =
+  Alcotest.run "bor_uarch"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "hit after miss" `Quick test_cache_hit_after_miss;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "stats" `Quick test_cache_stats;
+          Alcotest.test_case "geometry" `Quick test_cache_geometry_checks;
+          Alcotest.test_case "hierarchy latencies" `Quick
+            test_hierarchy_latencies;
+        ] );
+      ( "predictor",
+        [
+          Alcotest.test_case "learns bias" `Quick test_predictor_learns_bias;
+          Alcotest.test_case "learns alternation" `Quick
+            test_predictor_learns_alternation;
+          Alcotest.test_case "history recovery" `Quick
+            test_predictor_history_recovery;
+        ] );
+      ( "btb-ras",
+        [
+          Alcotest.test_case "btb" `Quick test_btb;
+          Alcotest.test_case "ras" `Quick test_ras;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "architectural equivalence" `Quick
+            test_pipeline_architectural_equivalence;
+          Alcotest.test_case "ipc bounds" `Quick test_pipeline_ipc_bounds;
+          Alcotest.test_case "mispredict penalty" `Quick
+            test_pipeline_mispredict_penalty;
+          Alcotest.test_case "brr committed at decode" `Quick
+            test_brr_committed_at_decode;
+          Alcotest.test_case "brr taken = frontend flush" `Quick
+            test_brr_taken_frontend_flush;
+          Alcotest.test_case "roi markers" `Quick test_roi_markers;
+          Alcotest.test_case "trace events" `Quick test_trace_events;
+          Alcotest.test_case "dependent-miss latency" `Quick
+            test_memory_latency_dominates_dependent_misses;
+          Alcotest.test_case "rob limits mlp" `Quick test_rob_limits_mlp;
+          Alcotest.test_case "i-cache pressure" `Quick test_icache_pressure;
+          Alcotest.test_case "RAS return prediction" `Quick
+            test_ras_predicts_returns;
+          Alcotest.test_case "shared-LFSR arbitration (footnote 3)" `Quick
+            test_lfsr_port_arbitration;
+        ] );
+      ( "ablations (§3.3)",
+        [
+          Alcotest.test_case "backend resolution costs more" `Quick
+            test_backend_resolution_costs_more;
+          Alcotest.test_case "predictor ablation, same semantics" `Quick
+            test_predictor_ablation_preserves_semantics;
+        ] );
+      ( "determinism (§3.4)",
+        [
+          Alcotest.test_case "checkpointed runs repeat" `Quick
+            test_deterministic_lfsr_repeatable;
+          Alcotest.test_case "checkpointed = functional" `Quick
+            test_deterministic_matches_functional;
+          Alcotest.test_case "lossy preserves rates" `Quick
+            test_nondeterministic_loses_transitions;
+        ] );
+    ]

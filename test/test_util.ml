@@ -1,0 +1,248 @@
+(* Unit and property tests for Bor_util. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------------------------------------------------------------- Bits *)
+
+let test_mask () =
+  check Alcotest.int "mask 0" 0 (Bor_util.Bits.mask 0);
+  check Alcotest.int "mask 1" 1 (Bor_util.Bits.mask 1);
+  check Alcotest.int "mask 8" 0xFF (Bor_util.Bits.mask 8);
+  check Alcotest.int "mask 32" 0xFFFFFFFF (Bor_util.Bits.mask 32)
+
+let test_extract_insert () =
+  let v = 0b1101_0110 in
+  check Alcotest.int "extract" 0b101 (Bor_util.Bits.extract v ~pos:4 ~len:3);
+  check Alcotest.int "insert"
+    0b1011_0110
+    (Bor_util.Bits.insert v ~pos:4 ~len:3 ~field:0b011);
+  check Alcotest.bool "bit set" true (Bor_util.Bits.bit v 1);
+  check Alcotest.bool "bit clear" false (Bor_util.Bits.bit v 0)
+
+let test_sign_extend () =
+  check Alcotest.int "positive" 5 (Bor_util.Bits.sign_extend 5 ~width:4);
+  check Alcotest.int "negative" (-1) (Bor_util.Bits.sign_extend 0xF ~width:4);
+  check Alcotest.int "wrap32 max" (-1) (Bor_util.Bits.wrap32 0xFFFFFFFF);
+  check Alcotest.int "u32 of -1" 0xFFFFFFFF (Bor_util.Bits.to_u32 (-1))
+
+let test_pow2 () =
+  check Alcotest.bool "1024 is pow2" true (Bor_util.Bits.is_power_of_two 1024);
+  check Alcotest.bool "0 is not" false (Bor_util.Bits.is_power_of_two 0);
+  check Alcotest.bool "12 is not" false (Bor_util.Bits.is_power_of_two 12);
+  check Alcotest.(option int) "log2 1024" (Some 10)
+    (Bor_util.Bits.log2_exact 1024);
+  check Alcotest.(option int) "log2 12" None (Bor_util.Bits.log2_exact 12)
+
+let test_fits_signed () =
+  check Alcotest.bool "2047 fits 12" true
+    (Bor_util.Bits.fits_signed 2047 ~width:12);
+  check Alcotest.bool "2048 does not" false
+    (Bor_util.Bits.fits_signed 2048 ~width:12);
+  check Alcotest.bool "-2048 fits" true
+    (Bor_util.Bits.fits_signed (-2048) ~width:12);
+  check Alcotest.bool "-2049 does not" false
+    (Bor_util.Bits.fits_signed (-2049) ~width:12)
+
+let prop_extract_insert_roundtrip =
+  QCheck.Test.make ~name:"insert then extract returns the field"
+    QCheck.(triple (int_bound 0xFFFFFF) (int_bound 40) (int_range 1 16))
+    (fun (v, pos, len) ->
+      let pos = pos mod 40 in
+      let field = v land Bor_util.Bits.mask len in
+      Bor_util.Bits.extract
+        (Bor_util.Bits.insert v ~pos ~len ~field)
+        ~pos ~len
+      = field)
+
+let prop_sign_extend_involution =
+  QCheck.Test.make ~name:"sign_extend is stable on its image"
+    QCheck.(pair int (int_range 1 32))
+    (fun (v, w) ->
+      let s = Bor_util.Bits.sign_extend v ~width:w in
+      Bor_util.Bits.sign_extend s ~width:w = s)
+
+(* ---------------------------------------------------------------- Prng *)
+
+let test_prng_deterministic () =
+  let a = Bor_util.Prng.create ~seed:42 in
+  let b = Bor_util.Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Bor_util.Prng.next a)
+      (Bor_util.Prng.next b)
+  done
+
+let test_prng_split_independent () =
+  let a = Bor_util.Prng.create ~seed:7 in
+  let child = Bor_util.Prng.split a in
+  let xs = List.init 50 (fun _ -> Bor_util.Prng.next a) in
+  let ys = List.init 50 (fun _ -> Bor_util.Prng.next child) in
+  check Alcotest.bool "streams differ" true (xs <> ys)
+
+let test_prng_bounds () =
+  let rng = Bor_util.Prng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let v = Bor_util.Prng.int rng 17 in
+    check Alcotest.bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_uniformity () =
+  let rng = Bor_util.Prng.create ~seed:5 in
+  let buckets = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let b = Bor_util.Prng.int rng 8 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let dev = abs (c - (n / 8)) in
+      check Alcotest.bool "bucket near uniform" true (dev < n / 80))
+    buckets
+
+(* --------------------------------------------------------------- Stats *)
+
+let test_summary () =
+  let s = Bor_util.Stats.summarize [ 1.; 2.; 3.; 4. ] in
+  check (Alcotest.float 1e-9) "mean" 2.5 s.mean;
+  check Alcotest.int "n" 4 s.n;
+  check (Alcotest.float 1e-6) "stddev" 1.290994 s.stddev;
+  check (Alcotest.float 1e-9) "min" 1. s.min;
+  check (Alcotest.float 1e-9) "max" 4. s.max
+
+let test_online_matches_batch () =
+  let xs = List.init 100 (fun i -> Float.of_int ((i * 37 mod 19) - 9)) in
+  let o = Bor_util.Stats.Online.create () in
+  List.iter (Bor_util.Stats.Online.add o) xs;
+  let s = Bor_util.Stats.summarize xs in
+  check (Alcotest.float 1e-9) "mean" s.mean (Bor_util.Stats.Online.mean o);
+  check (Alcotest.float 1e-9) "stddev" s.stddev
+    (Bor_util.Stats.Online.stddev o)
+
+let test_chi_square_zero_on_match () =
+  let e = [| 10.; 20.; 30. |] in
+  check (Alcotest.float 1e-9) "identical" 0.
+    (Bor_util.Stats.chi_square ~expected:e ~observed:(Array.copy e))
+
+let test_ci_overlap () =
+  let near1 = Bor_util.Stats.summarize [ 0.9; 1.0; 1.1; 1.0 ] in
+  let near1' = Bor_util.Stats.summarize [ 0.95; 1.05; 1.0; 1.0 ] in
+  let far = Bor_util.Stats.summarize [ 9.0; 9.1; 8.9; 9.0 ] in
+  check Alcotest.bool "close means overlap" true
+    (Bor_util.Stats.overlaps near1 near1');
+  check Alcotest.bool "distant means do not" false
+    (Bor_util.Stats.overlaps near1 far)
+
+(* ---------------------------------------------------------------- Zipf *)
+
+let test_zipf_pmf_sums_to_one () =
+  let z = Bor_util.Zipf.create ~n:50 ~alpha:1.1 in
+  let total = ref 0. in
+  for k = 0 to 49 do
+    total := !total +. Bor_util.Zipf.probability z k
+  done;
+  check (Alcotest.float 1e-9) "sums to 1" 1. !total
+
+let test_zipf_rank_order () =
+  let z = Bor_util.Zipf.create ~n:20 ~alpha:1.0 in
+  for k = 0 to 18 do
+    check Alcotest.bool "monotone" true
+      (Bor_util.Zipf.probability z k >= Bor_util.Zipf.probability z (k + 1))
+  done
+
+let test_zipf_sample_distribution () =
+  let z = Bor_util.Zipf.create ~n:10 ~alpha:1.0 in
+  let rng = Bor_util.Prng.create ~seed:3 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let k = Bor_util.Zipf.sample z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  for k = 0 to 9 do
+    let expected = Bor_util.Zipf.probability z k *. Float.of_int n in
+    let dev = Float.abs (Float.of_int counts.(k) -. expected) in
+    check Alcotest.bool
+      (Printf.sprintf "rank %d near expectation" k)
+      true
+      (dev < (5. *. sqrt expected) +. 5.)
+  done
+
+let prop_zipf_uniform_when_alpha_zero =
+  QCheck.Test.make ~name:"alpha=0 is uniform" (QCheck.int_range 1 100)
+    (fun n ->
+      let z = Bor_util.Zipf.create ~n ~alpha:0. in
+      Bor_util.Zipf.probability z 0 -. (1. /. Float.of_int n) < 1e-9)
+
+(* --------------------------------------------------------------- Table *)
+
+let test_table_render () =
+  let out =
+    Bor_util.Table.render ~headers:[ "name"; "value" ]
+      [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  check Alcotest.bool "has header" true
+    (String.length out > 0 && String.sub out 0 4 = "name");
+  check Alcotest.bool "right-aligns numbers" true
+    (let lines = String.split_on_char '\n' out in
+     List.exists (fun l -> l = "alpha      1") lines)
+
+let test_table_arity_mismatch () =
+  Alcotest.check_raises "row arity"
+    (Invalid_argument "Table.render: row arity mismatch") (fun () ->
+      ignore (Bor_util.Table.render ~headers:[ "a" ] [ [ "1"; "2" ] ]))
+
+let test_table_csv () =
+  let out =
+    Bor_util.Table.csv ~headers:[ "a"; "b" ] [ [ "x,y"; "2" ] ]
+  in
+  check Alcotest.string "escapes commas" "a,b\n\"x,y\",2\n" out
+
+let test_pct () =
+  check Alcotest.string "pct" "0.64%" (Bor_util.Table.pct 0.0064);
+  check Alcotest.string "f2" "3.19" (Bor_util.Table.f2 3.19)
+
+let () =
+  Alcotest.run "bor_util"
+    [
+      ( "bits",
+        [
+          Alcotest.test_case "mask" `Quick test_mask;
+          Alcotest.test_case "extract/insert" `Quick test_extract_insert;
+          Alcotest.test_case "sign extension" `Quick test_sign_extend;
+          Alcotest.test_case "powers of two" `Quick test_pow2;
+          Alcotest.test_case "fits_signed" `Quick test_fits_signed;
+          qtest prop_extract_insert_roundtrip;
+          qtest prop_sign_extend_involution;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "split independence" `Quick
+            test_prng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "online = batch" `Quick test_online_matches_batch;
+          Alcotest.test_case "chi2 zero" `Quick test_chi_square_zero_on_match;
+          Alcotest.test_case "ci overlap" `Quick test_ci_overlap;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "pmf sums to 1" `Quick test_zipf_pmf_sums_to_one;
+          Alcotest.test_case "rank order" `Quick test_zipf_rank_order;
+          Alcotest.test_case "sampling matches pmf" `Quick
+            test_zipf_sample_distribution;
+          qtest prop_zipf_uniform_when_alpha_zero;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity mismatch" `Quick test_table_arity_mismatch;
+          Alcotest.test_case "csv" `Quick test_table_csv;
+          Alcotest.test_case "percent formatting" `Quick test_pct;
+        ] );
+    ]
