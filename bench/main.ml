@@ -9,28 +9,61 @@
      bench/main.exe --scale 16 fig9 # larger accuracy streams
      bench/main.exe --chars 100000 fig13
      bench/main.exe --csv out/ fig9 fig14   # also dump CSV per experiment
+     bench/main.exe --json out/ fig9 fig14  # BENCH_<name>.json + DIGESTS.txt
    Experiments: fig6 fig9 fig10 sensitivity fig12 fig13 fig14 baseline
-                hwcost determinism bechamel *)
+                hwcost determinism bechamel
+
+   --json DIR writes one BENCH_<name>.json per experiment (schema in
+   docs/TELEMETRY.md: the printed tables plus the telemetry registry
+   snapshot) and DIGESTS.txt with a SHA-256 per file. Everything in
+   those files is a pure function of the simulated work, so two runs
+   with the same arguments produce byte-identical digests -- that is
+   what the @bench-check dune alias asserts. bechamel (wall-clock
+   ns/op) is deliberately excluded. *)
+
+module Json = Bor_telemetry.Json
+module Telemetry = Bor_telemetry.Telemetry
 
 let scale = ref 32
 let chars = ref 15_000
 let seeds = ref 5
 let csv_dir = ref None
+let json_dir = ref None
 let current_experiment = ref "experiment"
 
+(* --json mode captures each experiment's sections and tables as they
+   are printed; the document is flushed when the experiment ends. *)
+let json_title = ref ""
+let json_paper = ref ""
+let json_tables : (string list * string list list) list ref = ref []
+
 let section title paper =
+  json_title := title;
+  json_paper := paper;
   Printf.printf "\n=== %s ===\n%s\n\n" title paper
 
-(* Print a table, and mirror it as CSV when --csv DIR was given. *)
+(* CSV files are truncated on an experiment's first table of this
+   process and appended to afterwards. (They used to be opened with
+   Open_append unconditionally, so every re-run of the harness
+   duplicated all rows into the previous run's file.) *)
+let csv_started : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+(* Print a table; mirror it as CSV (--csv DIR) or JSON (--json DIR). *)
 let table ~headers rows =
   Bor_util.Table.print ~headers rows;
+  if !json_dir <> None then json_tables := (headers, rows) :: !json_tables;
   match !csv_dir with
   | None -> ()
   | Some dir ->
     let path = Filename.concat dir (!current_experiment ^ ".csv") in
-    let oc =
-      open_out_gen [ Open_creat; Open_append; Open_wronly ] 0o644 path
+    let mode =
+      if Hashtbl.mem csv_started !current_experiment then Open_append
+      else begin
+        Hashtbl.replace csv_started !current_experiment ();
+        Open_trunc
+      end
     in
+    let oc = open_out_gen [ Open_creat; mode; Open_wronly ] 0o644 path in
     output_string oc (Bor_util.Table.csv ~headers rows);
     close_out oc
 
@@ -858,6 +891,46 @@ let bechamel () =
   table ~headers:[ "operation"; "ns/op"; "r2" ]
     (List.sort compare !rows)
 
+(* ----------------------------------------------------------- JSON dump *)
+
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    Unix.mkdir dir 0o755
+  end
+
+let json_of_table (headers, rows) =
+  Json.Obj
+    [
+      ("headers", Json.List (List.map (fun h -> Json.String h) headers));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun r -> Json.List (List.map (fun c -> Json.String c) r))
+             rows) );
+    ]
+
+(* Table cells are the already-formatted strings from the text report,
+   so no float ever reaches the JSON serialiser and the digest cannot
+   depend on float-printing behaviour. *)
+let bench_json name =
+  Json.Obj
+    [
+      ("schema", Json.String "bor-bench-v1");
+      ("experiment", Json.String name);
+      ("title", Json.String !json_title);
+      ("description", Json.String !json_paper);
+      ( "params",
+        Json.Obj
+          [
+            ("scale", Json.Int !scale);
+            ("chars", Json.Int !chars);
+            ("seeds", Json.Int !seeds);
+          ] );
+      ("tables", Json.List (List.rev_map json_of_table !json_tables));
+      ("telemetry", Telemetry.to_json ());
+    ]
+
 (* ------------------------------------------------------------------ CLI *)
 
 let experiments =
@@ -895,6 +968,9 @@ let () =
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
       parse rest
+    | "--json" :: dir :: rest ->
+      json_dir := Some dir;
+      parse rest
     | "all" :: rest -> parse rest
     | name :: rest when List.mem_assoc name experiments ->
       selected := name :: !selected;
@@ -909,11 +985,42 @@ let () =
     if !selected = [] then experiments
     else List.filter (fun (n, _) -> List.mem n !selected) experiments
   in
+  (match !json_dir with
+  | Some dir ->
+    ensure_dir dir;
+    (* Telemetry must be on before the first experiment creates any
+       simulator component; instruments register at creation time. *)
+    Telemetry.set_enabled true
+  | None -> ());
+  let digests = ref [] in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun (name, f) ->
       current_experiment := name;
-      f ())
+      json_title := "";
+      json_paper := "";
+      json_tables := [];
+      (* Isolate each experiment's telemetry. Cross-experiment caches
+         (timing_cache, micro_sweep) mean a snapshot depends on which
+         experiments ran EARLIER in this process -- the canonical
+         experiment order above makes that deterministic per subset. *)
+      Telemetry.clear ();
+      f ();
+      match !json_dir with
+      | Some dir when name <> "bechamel" ->
+        let doc = Json.to_string (bench_json name) in
+        let file = "BENCH_" ^ name ^ ".json" in
+        let oc = open_out (Filename.concat dir file) in
+        output_string oc doc;
+        close_out oc;
+        digests := (Bor_telemetry.Sha256.digest doc, file) :: !digests
+      | _ -> ())
     to_run;
+  (match (!json_dir, List.rev !digests) with
+  | Some dir, (_ :: _ as ds) ->
+    let oc = open_out (Filename.concat dir "DIGESTS.txt") in
+    List.iter (fun (d, f) -> Printf.fprintf oc "%s  %s\n" d f) ds;
+    close_out oc
+  | _ -> ());
   Printf.printf "\n[%d experiment(s), %.1fs]\n" (List.length to_run)
     (Unix.gettimeofday () -. t0)

@@ -8,7 +8,14 @@
      bor cctime FILE.c       compile minic and run on the timing simulator
 
    Compilation options: --framework none|full|cbs|brr, --interval N,
-   --fulldup, --edges, --empty-payload. *)
+   --fulldup, --edges, --empty-payload.
+
+   Timing-run options: --stats[=json] prints the telemetry registry
+   (per-stage pipeline, cache, predictor, BTB, RAS and LFSR-engine
+   counters — the schema is documented in docs/TELEMETRY.md) after the
+   run, as text or as one JSON object. *)
+
+type stats_mode = Stats_off | Stats_text | Stats_json
 
 type cc_options = {
   mutable framework : string;
@@ -20,13 +27,14 @@ type cc_options = {
   mutable output : string option;
   mutable trace : int;  (* print the first N executed instructions *)
   mutable dot : bool;
+  mutable stats : stats_mode;
 }
 
 let usage () =
   prerr_endline
     "usage: bor {asm|run|time|cc|ccrun|cctime} FILE [-o OUT.bor] [--trace N] [--framework \
      none|full|cbs|brr] [--interval N] [--fulldup] [--edges] [--yieldpoints] \
-     [--empty-payload]\nFILE may be assembly (.s), minic (.c for cc*) or a \
+     [--empty-payload] [--stats[=json]]\nFILE may be assembly (.s), minic (.c for cc*) or a \
      BOR1 object image";
   exit 2
 
@@ -118,13 +126,24 @@ let run_functional ?(trace = 0) (program : Bor_isa.Program.t) =
     st.loads st.stores st.cond_branches st.cond_taken st.brr_executed
     st.brr_taken
 
-let run_timing (program : Bor_isa.Program.t) =
+let run_timing ?(stats = Stats_off) (program : Bor_isa.Program.t) =
+  (* Telemetry must be live before the pipeline is created: instruments
+     register at component-creation time. *)
+  if stats <> Stats_off then Bor_telemetry.Telemetry.set_enabled true;
   let t = Bor_uarch.Pipeline.create program in
   match Bor_uarch.Pipeline.run t with
   | Error e ->
     Printf.eprintf "%s\n" e;
     exit 1
-  | Ok st -> Format.printf "%a@." Bor_uarch.Pipeline.pp_stats st
+  | Ok st -> (
+    Format.printf "%a@." Bor_uarch.Pipeline.pp_stats st;
+    match stats with
+    | Stats_off -> ()
+    | Stats_text ->
+      Format.printf "@.%a@." Bor_telemetry.Telemetry.pp ()
+    | Stats_json ->
+      print_string
+        (Bor_telemetry.Json.to_string (Bor_telemetry.Telemetry.to_json ())))
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -141,6 +160,7 @@ let () =
         output = None;
         trace = 0;
         dot = false;
+        stats = Stats_off;
       }
     in
     let rec parse = function
@@ -172,6 +192,12 @@ let () =
       | "--dot" :: r ->
         opts.dot <- true;
         parse r
+      | "--stats" :: r ->
+        opts.stats <- Stats_text;
+        parse r
+      | "--stats=json" :: r ->
+        opts.stats <- Stats_json;
+        parse r
       | _ -> usage ()
     in
     parse rest;
@@ -185,7 +211,7 @@ let () =
           (Bor_isa.Program.instr_count p)
       | None -> Format.printf "%a" Bor_isa.Program.pp_listing p)
     | "run" -> run_functional ~trace:opts.trace (assemble path)
-    | "time" -> run_timing (assemble path)
+    | "time" -> run_timing ~stats:opts.stats (assemble path)
     | "cc" when opts.dot -> (
       match Bor_minic.Driver.dot ~cfg:(driver_config opts) (read_file path) with
       | Ok d -> print_string d
@@ -202,6 +228,6 @@ let () =
           (List.length c.sites)
       | None -> print_string c.asm)
     | "ccrun" -> run_functional ~trace:opts.trace (compile opts path).program
-    | "cctime" -> run_timing (compile opts path).program
+    | "cctime" -> run_timing ~stats:opts.stats (compile opts path).program
     | _ -> usage ())
   | _ -> usage ()

@@ -1,15 +1,33 @@
+module Telemetry = Bor_telemetry.Telemetry
+
 type kind =
   | Software of { mutable count : int; reset : int }
   | Hardware of { mutable count : int; interval : int }
   | Random of { engine : Bor_core.Engine.t; freq : Bor_core.Freq.t }
 
-type t = kind
+type t = {
+  kind : kind;
+  tel_visits : Telemetry.counter;
+  tel_taken : Telemetry.counter;
+  tel_skipped : Telemetry.counter;
+}
+
+let with_tel tag kind =
+  let sc = Telemetry.scope ("sampler." ^ tag) in
+  {
+    kind;
+    tel_visits =
+      Telemetry.counter sc ~doc:"instrumentation-site visits" "visits";
+    tel_taken = Telemetry.counter sc ~doc:"visits that sampled" "samples_taken";
+    tel_skipped =
+      Telemetry.counter sc ~doc:"visits that did not sample" "samples_skipped";
+  }
 
 let software_counter ?start ~reset () =
   if reset <= 0 then invalid_arg "Sampler.software_counter";
   let start = match start with Some s -> s | None -> reset - 1 in
   if start < 0 then invalid_arg "Sampler.software_counter: negative start";
-  Software { count = start; reset }
+  with_tel "sw" (Software { count = start; reset })
 
 (* The hardware counter free-runs from machine reset, so its phase is
    unrelated to the software framework's; model that with a half-period
@@ -18,40 +36,48 @@ let hardware_counter ?start ~interval () =
   if interval <= 0 then invalid_arg "Sampler.hardware_counter";
   let start = match start with Some s -> s | None -> interval / 2 in
   if start < 0 then invalid_arg "Sampler.hardware_counter: negative start";
-  Hardware { count = start; interval }
+  with_tel "hw" (Hardware { count = start; interval })
 
 let branch_on_random ?engine freq =
   let engine =
     match engine with Some e -> e | None -> Bor_core.Engine.create ()
   in
-  Random { engine; freq }
+  with_tel "brr" (Random { engine; freq })
 
 (* Figure 1:
      if (count == 0) { do_profile(); count = reset }
      count--                                                           *)
-let visit = function
-  | Software s ->
-    let sample = s.count = 0 in
-    if sample then s.count <- s.reset;
-    s.count <- s.count - 1;
-    sample
-  | Hardware h ->
-    if h.count = 0 then begin
-      h.count <- h.interval - 1;
-      true
-    end
-    else begin
-      h.count <- h.count - 1;
-      false
-    end
-  | Random r -> Bor_core.Engine.decide r.engine r.freq
+let visit t =
+  let sample =
+    match t.kind with
+    | Software s ->
+      let sample = s.count = 0 in
+      if sample then s.count <- s.reset;
+      s.count <- s.count - 1;
+      sample
+    | Hardware h ->
+      if h.count = 0 then begin
+        h.count <- h.interval - 1;
+        true
+      end
+      else begin
+        h.count <- h.count - 1;
+        false
+      end
+    | Random r -> Bor_core.Engine.decide r.engine r.freq
+  in
+  Telemetry.incr t.tel_visits;
+  Telemetry.incr (if sample then t.tel_taken else t.tel_skipped);
+  sample
 
-let name = function
+let name t =
+  match t.kind with
   | Software _ -> "sw count"
   | Hardware _ -> "hw count"
   | Random _ -> "random"
 
-let expected_rate = function
+let expected_rate t =
+  match t.kind with
   | Software s -> 1. /. Float.of_int s.reset
   | Hardware h -> 1. /. Float.of_int h.interval
   | Random r -> Bor_core.Freq.probability r.freq

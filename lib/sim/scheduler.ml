@@ -4,6 +4,8 @@ type task = {
   mutable brr_outcomes : bool list;  (* newest first, for tests *)
 }
 
+module Telemetry = Bor_telemetry.Telemetry
+
 type t = {
   engine : Bor_core.Engine.t;
   quantum : int;
@@ -11,7 +13,23 @@ type t = {
   tasks : task array;
   mutable current : int;
   mutable switches : int;
+  tel_switches : Telemetry.counter;
+  tel_saves : Telemetry.counter;
+  tel_restores : Telemetry.counter;
+  tel_quantum : Telemetry.span;
 }
+
+let make_tel () =
+  let sc = Telemetry.scope "scheduler" in
+  ( Telemetry.counter sc ~doc:"round-robin context switches" "switches",
+    Telemetry.counter sc
+      ~doc:"software-visible LFSR images parked on deschedule (\u{00a7}3.4)"
+      "lfsr_saves",
+    Telemetry.counter sc
+      ~doc:"software-visible LFSR images restored on schedule-in (\u{00a7}3.4)"
+      "lfsr_restores",
+    Telemetry.span sc ~unit_:"instructions"
+      ~doc:"instructions actually executed per time slice" "quantum" )
 
 let create ?(quantum = 1000) ?(lfsr_context_switch = true) ?seeds ~engine
     programs =
@@ -31,6 +49,7 @@ let create ?(quantum = 1000) ?(lfsr_context_switch = true) ?seeds ~engine
         s
     | None -> List.map (fun _ -> default_seed) programs
   in
+  let tel_switches, tel_saves, tel_restores, tel_quantum = make_tel () in
   let t =
     {
       engine;
@@ -39,6 +58,10 @@ let create ?(quantum = 1000) ?(lfsr_context_switch = true) ?seeds ~engine
       tasks = [||];
       current = 0;
       switches = 0;
+      tel_switches;
+      tel_saves;
+      tel_restores;
+      tel_quantum;
     }
   in
   let make_task program seed =
@@ -81,12 +104,16 @@ let all_halted t =
 (* Install a task's register image into the engine (the O/S restoring
    the software-visible LFSR, §3.4); park the outgoing task's. *)
 let restore t task =
-  if t.lfsr_context_switch then
+  if t.lfsr_context_switch then begin
+    Telemetry.incr t.tel_restores;
     Bor_lfsr.Lfsr.set_state (Bor_core.Engine.lfsr t.engine) task.saved_lfsr
+  end
 
 let park t task =
-  if t.lfsr_context_switch then
+  if t.lfsr_context_switch then begin
+    Telemetry.incr t.tel_saves;
     task.saved_lfsr <- Bor_lfsr.Lfsr.peek (Bor_core.Engine.lfsr t.engine)
+  end
 
 let run ?(max_steps = 200_000_000) t =
   let steps = ref 0 in
@@ -105,11 +132,13 @@ let run ?(max_steps = 200_000_000) t =
              result := Error "step budget exhausted";
              raise Exit
            end
-         done
+         done;
+         Telemetry.record t.tel_quantum (t.quantum - !budget)
        end;
        park t task;
        t.current <- (t.current + 1) mod Array.length t.tasks;
        t.switches <- t.switches + 1;
+       Telemetry.incr t.tel_switches;
        restore t t.tasks.(t.current)
      done
    with

@@ -1,0 +1,26 @@
+(** Minimal JSON tree, just enough for the telemetry snapshots and the
+    bench harness's [BENCH_*.json] files — emission is deterministic
+    (stable field order, two-space indentation, trailing newline), which
+    the digest-based regression check depends on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Deterministic pretty-printed serialisation. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string} (accepts any JSON built from the
+    constructors above; floats are not part of the dialect — the
+    harness stores pre-formatted strings instead, so that digests never
+    depend on float printing). Raises {!Parse_error}. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] otherwise. *)

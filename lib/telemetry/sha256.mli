@@ -1,0 +1,6 @@
+(** Self-contained SHA-256 (FIPS 180-4), used by the bench harness to
+    fingerprint each experiment's [BENCH_*.json] output for the
+    [@bench-check] determinism/regression alias. *)
+
+val digest : string -> string
+(** Lowercase hex digest (64 characters) of the whole input. *)

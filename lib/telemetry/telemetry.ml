@@ -1,0 +1,263 @@
+(* Structured counters, histograms and span timers for the simulator.
+
+   The registry is global and disabled by default. Instruments created
+   while the registry is disabled are dead objects: recording into them
+   is a single load-and-branch, and they are never registered — so a
+   run with telemetry off observes nothing and allocates (almost)
+   nothing. Instruments created while enabled register themselves under
+   "<scope>.<name>"; creating the same name twice returns the same
+   instrument, which is how per-run components (every `Pipeline.create`
+   makes fresh caches, predictors, ...) aggregate into one registry.
+
+   Determinism: nothing in here reads a clock. Spans and histograms
+   measure quantities the caller supplies (simulated cycles, sizes),
+   so snapshots are pure functions of the simulated work — the property
+   the bench digest check (@bench-check) is built on. *)
+
+type counter = {
+  c_name : string;
+  c_unit : string;
+  c_doc : string;
+  mutable c_value : int;
+  c_live : bool;
+}
+
+(* Power-of-two ("log2") buckets: bucket 0 counts value 0, bucket i
+   counts values in [2^(i-1), 2^i - 1]. 63 buckets cover every
+   non-negative OCaml int. *)
+let histogram_buckets = 63
+
+type histogram = {
+  h_name : string;
+  h_unit : string;
+  h_doc : string;
+  h_counts : int array;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_max : int;
+  h_live : bool;
+}
+
+type span = {
+  s_name : string;
+  s_unit : string;
+  s_doc : string;
+  mutable s_count : int;
+  mutable s_total : int;
+  mutable s_min : int;
+  mutable s_max : int;
+  s_live : bool;
+}
+
+type instrument =
+  | Counter of counter
+  | Histogram of histogram
+  | Span of span
+
+type scope = string
+
+let enabled = ref false
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+
+let clear () = Hashtbl.reset registry
+
+let reset () =
+  Hashtbl.iter
+    (fun _ instr ->
+      match instr with
+      | Counter c -> c.c_value <- 0
+      | Histogram h ->
+        Array.fill h.h_counts 0 histogram_buckets 0;
+        h.h_count <- 0;
+        h.h_sum <- 0;
+        h.h_max <- 0
+      | Span s ->
+        s.s_count <- 0;
+        s.s_total <- 0;
+        s.s_min <- max_int;
+        s.s_max <- 0)
+    registry
+
+let scope name : scope = name
+
+let full_name sc name = sc ^ "." ^ name
+
+let register name instr same =
+  match Hashtbl.find_opt registry name with
+  | Some existing -> (
+    match same existing with
+    | Some v -> v
+    | None -> invalid_arg ("Telemetry: " ^ name ^ " re-registered as a different kind"))
+  | None ->
+    Hashtbl.replace registry name instr;
+    (match same instr with Some v -> v | None -> assert false)
+
+let counter sc ?(unit_ = "events") ?(doc = "") name =
+  if not !enabled then
+    { c_name = full_name sc name; c_unit = unit_; c_doc = doc;
+      c_value = 0; c_live = false }
+  else
+    let n = full_name sc name in
+    let fresh =
+      { c_name = n; c_unit = unit_; c_doc = doc; c_value = 0; c_live = true }
+    in
+    register n (Counter fresh) (function Counter c -> Some c | _ -> None)
+
+let histogram sc ?(unit_ = "events") ?(doc = "") name =
+  let n = full_name sc name in
+  if not !enabled then
+    { h_name = n; h_unit = unit_; h_doc = doc;
+      h_counts = Array.make histogram_buckets 0;
+      h_count = 0; h_sum = 0; h_max = 0; h_live = false }
+  else
+    let fresh =
+      { h_name = n; h_unit = unit_; h_doc = doc;
+        h_counts = Array.make histogram_buckets 0;
+        h_count = 0; h_sum = 0; h_max = 0; h_live = true }
+    in
+    register n (Histogram fresh) (function Histogram h -> Some h | _ -> None)
+
+let span sc ?(unit_ = "cycles") ?(doc = "") name =
+  let n = full_name sc name in
+  if not !enabled then
+    { s_name = n; s_unit = unit_; s_doc = doc;
+      s_count = 0; s_total = 0; s_min = max_int; s_max = 0; s_live = false }
+  else
+    let fresh =
+      { s_name = n; s_unit = unit_; s_doc = doc;
+        s_count = 0; s_total = 0; s_min = max_int; s_max = 0; s_live = true }
+    in
+    register n (Span fresh) (function Span s -> Some s | _ -> None)
+
+let incr c = if c.c_live then c.c_value <- c.c_value + 1
+let add c n = if c.c_live then c.c_value <- c.c_value + n
+let value c = c.c_value
+
+let bucket_of v =
+  if v <= 0 then 0
+  else
+    (* bucket i holds [2^(i-1), 2^i). *)
+    let rec go i b = if b > v then i else go (i + 1) (b * 2) in
+    go 1 2
+
+let observe h v =
+  if h.h_live then begin
+    let v = max 0 v in
+    h.h_counts.(bucket_of v) <- h.h_counts.(bucket_of v) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum + v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+let record s d =
+  if s.s_live then begin
+    let d = max 0 d in
+    s.s_count <- s.s_count + 1;
+    s.s_total <- s.s_total + d;
+    if d < s.s_min then s.s_min <- d;
+    if d > s.s_max then s.s_max <- d
+  end
+
+(* ------------------------------------------------------------ snapshots *)
+
+let sorted_instruments () =
+  let name = function
+    | Counter c -> c.c_name
+    | Histogram h -> h.h_name
+    | Span s -> s.s_name
+  in
+  Hashtbl.fold (fun _ i acc -> i :: acc) registry []
+  |> List.sort (fun a b -> compare (name a) (name b))
+
+let counters () =
+  List.filter_map
+    (function Counter c -> Some (c.c_name, c.c_value) | _ -> None)
+    (sorted_instruments ())
+
+let find_counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> Some c.c_value
+  | _ -> None
+
+let histogram_json h =
+  (* Trailing empty buckets are trimmed so the JSON stays small; an
+     explicit bucket list keeps the digest stable against resizing. *)
+  let last = ref (-1) in
+  Array.iteri (fun i n -> if n > 0 then last := i) h.h_counts;
+  let buckets =
+    List.init (!last + 1) (fun i ->
+        Json.Obj
+          [
+            ("le", Json.Int (if i = 0 then 0 else (1 lsl i) - 1));
+            ("count", Json.Int h.h_counts.(i));
+          ])
+  in
+  Json.Obj
+    [
+      ("kind", Json.String "histogram");
+      ("unit", Json.String h.h_unit);
+      ("count", Json.Int h.h_count);
+      ("sum", Json.Int h.h_sum);
+      ("max", Json.Int h.h_max);
+      ("buckets", Json.List buckets);
+    ]
+
+let span_json s =
+  Json.Obj
+    [
+      ("kind", Json.String "span");
+      ("unit", Json.String s.s_unit);
+      ("count", Json.Int s.s_count);
+      ("total", Json.Int s.s_total);
+      ("min", Json.Int (if s.s_count = 0 then 0 else s.s_min));
+      ("max", Json.Int s.s_max);
+    ]
+
+let to_json () =
+  Json.Obj
+    (List.map
+       (function
+         | Counter c -> (c.c_name, Json.Int c.c_value)
+         | Histogram h -> (h.h_name, histogram_json h)
+         | Span s -> (s.s_name, span_json s))
+       (sorted_instruments ()))
+
+let scope_of_name n =
+  match String.rindex_opt n '.' with
+  | Some i -> String.sub n 0 i
+  | None -> n
+
+let pp ppf () =
+  let instruments = sorted_instruments () in
+  let current = ref "" in
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i instr ->
+      let name =
+        match instr with
+        | Counter c -> c.c_name
+        | Histogram h -> h.h_name
+        | Span s -> s.s_name
+      in
+      let sc = scope_of_name name in
+      if sc <> !current then begin
+        if i > 0 then Format.fprintf ppf "@,";
+        Format.fprintf ppf "[%s]@," sc;
+        current := sc
+      end;
+      match instr with
+      | Counter c ->
+        Format.fprintf ppf "  %-42s %12d %s@," c.c_name c.c_value c.c_unit
+      | Histogram h ->
+        Format.fprintf ppf "  %-42s count %d sum %d max %d (%s)@," h.h_name
+          h.h_count h.h_sum h.h_max h.h_unit
+      | Span s ->
+        Format.fprintf ppf "  %-42s count %d total %d min %d max %d (%s)@,"
+          s.s_name s.s_count s.s_total
+          (if s.s_count = 0 then 0 else s.s_min)
+          s.s_max s.s_unit)
+    instruments;
+  Format.fprintf ppf "@]"

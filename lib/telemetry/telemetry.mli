@@ -1,0 +1,87 @@
+(** Zero-cost-when-disabled structured telemetry for the simulator:
+    named monotonic counters, log2-bucket histograms and span timers,
+    grouped by component scope.
+
+    The registry is global and {e disabled by default}. While disabled,
+    {!counter}/{!histogram}/{!span} return dead instruments that are
+    never registered, and recording into one is a single
+    load-and-branch — the timing simulator's hot loops pay essentially
+    nothing. Enable telemetry {e before} creating the components to be
+    observed ([Pipeline.create], [Engine.create], ...): instruments are
+    registered at component-creation time.
+
+    Names are ["<scope>.<name>"]; creating an already-registered name
+    returns the existing instrument, so every fresh component instance
+    of the same kind (e.g. the caches of successive pipeline runs)
+    accumulates into the same counter. The full counter schema — every
+    name, its unit, and when it increments — is documented in
+    [docs/TELEMETRY.md].
+
+    Determinism: no instrument reads a wall clock; spans and histograms
+    record caller-supplied quantities (simulated cycles, counts). With
+    fixed seeds, a snapshot is a pure function of the simulated work —
+    the contract the [@bench-check] digest alias enforces. *)
+
+type counter
+type histogram
+type span
+type scope
+
+val set_enabled : bool -> unit
+(** Turn the registry on or off. Off (the default) makes instrument
+    creation return dead objects; it does not retroactively silence
+    instruments that were created while enabled. *)
+
+val is_enabled : unit -> bool
+
+val clear : unit -> unit
+(** Drop every registered instrument (used between bench experiments so
+    each snapshot covers exactly one experiment). *)
+
+val reset : unit -> unit
+(** Zero every registered instrument, keeping registrations. *)
+
+(** {2 Creation} *)
+
+val scope : string -> scope
+(** A component namespace, e.g. [scope "pipeline"] or
+    [scope "cache.l1i"]. *)
+
+val counter : scope -> ?unit_:string -> ?doc:string -> string -> counter
+(** Named monotonic counter; [unit_] defaults to ["events"]. *)
+
+val histogram : scope -> ?unit_:string -> ?doc:string -> string -> histogram
+(** Log2-bucket histogram: bucket 0 counts zeros, bucket [i] counts
+    values in [[2^(i-1), 2^i - 1]]. *)
+
+val span : scope -> ?unit_:string -> ?doc:string -> string -> span
+(** Span timer over caller-supplied durations (simulated cycles by
+    default — never wall-clock). *)
+
+(** {2 Recording} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val observe : histogram -> int -> unit
+(** Negative observations clamp to zero. *)
+
+val record : span -> int -> unit
+(** Record one completed interval of the given duration. *)
+
+(** {2 Snapshots} *)
+
+val counters : unit -> (string * int) list
+(** All registered counters, sorted by name. *)
+
+val find_counter : string -> int option
+(** Value of one registered counter by full dotted name. *)
+
+val to_json : unit -> Json.t
+(** The whole registry, sorted by name: counters as integers,
+    histograms/spans as structured objects. Deterministic — suitable
+    for digesting. *)
+
+val pp : Format.formatter -> unit -> unit
+(** Human-readable dump, grouped by scope ([bor time --stats]). *)

@@ -1,29 +1,46 @@
+module Telemetry = Bor_telemetry.Telemetry
+
 type t = {
   tags : int array;
   targets : int array;
   mutable lookups : int;
   mutable hits : int;
+  tel_lookups : Telemetry.counter;
+  tel_hits : Telemetry.counter;
+  tel_inserts : Telemetry.counter;
+  tel_alias_evictions : Telemetry.counter;
 }
 
 let create ~entries =
   if entries <= 0 || not (Bor_util.Bits.is_power_of_two entries) then
     invalid_arg "Btb.create";
+  let sc = Telemetry.scope "btb" in
   { tags = Array.make entries (-1); targets = Array.make entries 0;
-    lookups = 0; hits = 0 }
+    lookups = 0; hits = 0;
+    tel_lookups = Telemetry.counter sc ~doc:"fetch-stage target lookups" "lookups";
+    tel_hits = Telemetry.counter sc ~doc:"lookups returning a target" "hits";
+    tel_inserts = Telemetry.counter sc ~doc:"targets installed at resolution" "inserts";
+    tel_alias_evictions =
+      Telemetry.counter sc ~doc:"inserts displacing a different pc" "alias_evictions" }
 
 let slot t pc = (pc lsr 2) land (Array.length t.tags - 1)
 
 let lookup t ~pc =
   t.lookups <- t.lookups + 1;
+  Telemetry.incr t.tel_lookups;
   let i = slot t pc in
   if t.tags.(i) = pc then begin
     t.hits <- t.hits + 1;
+    Telemetry.incr t.tel_hits;
     Some t.targets.(i)
   end
   else None
 
 let insert t ~pc ~target =
   let i = slot t pc in
+  Telemetry.incr t.tel_inserts;
+  if t.tags.(i) >= 0 && t.tags.(i) <> pc then
+    Telemetry.incr t.tel_alias_evictions;
   t.tags.(i) <- pc;
   t.targets.(i) <- target
 

@@ -1,3 +1,5 @@
+module Telemetry = Bor_telemetry.Telemetry
+
 type stats = { mutable accesses : int; mutable misses : int }
 
 type t = {
@@ -8,9 +10,12 @@ type t = {
   lru : int array;  (** smaller = older *)
   mutable clock : int;
   stats : stats;
+  tel_hits : Telemetry.counter;
+  tel_misses : Telemetry.counter;
+  tel_evictions : Telemetry.counter;
 }
 
-let create ~size ~assoc ~line_bytes =
+let create ?(name = "cache") ~size ~assoc ~line_bytes () =
   if size <= 0 || assoc <= 0 || line_bytes <= 0 then
     invalid_arg "Cache.create";
   let lines = size / line_bytes in
@@ -18,6 +23,7 @@ let create ~size ~assoc ~line_bytes =
   let sets = lines / assoc in
   if not (Bor_util.Bits.is_power_of_two sets) then
     invalid_arg "Cache.create: set count must be a power of two";
+  let sc = Telemetry.scope ("cache." ^ name) in
   {
     sets;
     assoc;
@@ -26,6 +32,11 @@ let create ~size ~assoc ~line_bytes =
     lru = Array.make (sets * assoc) 0;
     clock = 0;
     stats = { accesses = 0; misses = 0 };
+    tel_hits = Telemetry.counter sc ~doc:"accesses that hit" "hits";
+    tel_misses = Telemetry.counter sc ~doc:"accesses that missed" "misses";
+    tel_evictions =
+      Telemetry.counter sc ~doc:"misses that displaced a valid line"
+        "evictions";
   }
 
 let index t addr =
@@ -52,14 +63,17 @@ let access t addr =
   match find t set tag with
   | Some slot ->
     t.lru.(slot) <- t.clock;
+    Telemetry.incr t.tel_hits;
     true
   | None ->
     t.stats.misses <- t.stats.misses + 1;
+    Telemetry.incr t.tel_misses;
     let base = set * t.assoc in
     let victim = ref base in
     for w = 1 to t.assoc - 1 do
       if t.lru.(base + w) < t.lru.(!victim) then victim := base + w
     done;
+    if t.tags.(!victim) >= 0 then Telemetry.incr t.tel_evictions;
     t.tags.(!victim) <- tag;
     t.lru.(!victim) <- t.clock;
     false

@@ -5,9 +5,10 @@ type t
 
 type stats = { mutable accesses : int; mutable misses : int }
 
-val create : size:int -> assoc:int -> line_bytes:int -> t
+val create : ?name:string -> size:int -> assoc:int -> line_bytes:int -> unit -> t
 (** [size] must be divisible by [assoc * line_bytes] into a power-of-two
-    set count. *)
+    set count. [name] (default ["cache"]) is the telemetry scope suffix:
+    counters register as [cache.<name>.{hits,misses,evictions}]. *)
 
 val access : t -> int -> bool
 (** [access t addr] touches the line containing [addr]; returns [true]

@@ -11,9 +11,15 @@ type t = {
 
 let create (c : Config.t) =
   {
-    l1i = Cache.create ~size:c.l1_size ~assoc:c.l1_assoc ~line_bytes:c.line_bytes;
-    l1d = Cache.create ~size:c.l1_size ~assoc:c.l1_assoc ~line_bytes:c.line_bytes;
-    l2 = Cache.create ~size:c.l2_size ~assoc:c.l2_assoc ~line_bytes:c.line_bytes;
+    l1i =
+      Cache.create ~name:"l1i" ~size:c.l1_size ~assoc:c.l1_assoc
+        ~line_bytes:c.line_bytes ();
+    l1d =
+      Cache.create ~name:"l1d" ~size:c.l1_size ~assoc:c.l1_assoc
+        ~line_bytes:c.line_bytes ();
+    l2 =
+      Cache.create ~name:"l2" ~size:c.l2_size ~assoc:c.l2_assoc
+        ~line_bytes:c.line_bytes ();
     l1_latency = c.l1_latency;
     l2_latency = c.l2_latency;
     mem_latency = c.mem_latency;

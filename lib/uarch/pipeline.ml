@@ -73,7 +73,97 @@ let pp_stats ppf s =
 
 (* ------------------------------------------------------------------ *)
 
-type ras_snapshot = { r_stack : int array; r_top : int; r_depth : int }
+(* Telemetry instruments, resolved once at pipeline creation so the
+   per-cycle hot paths never touch the registry. All pipeline.* event
+   counters honour the ROI markers exactly like the [stats] record;
+   component-scope counters (cache.*, btb.*, ...) are whole-run. *)
+module Telemetry = Bor_telemetry.Telemetry
+
+type tel = {
+  t_fetch_slots : Telemetry.counter;
+  t_fetch_full : Telemetry.counter;
+  t_icache_stalls : Telemetry.counter;
+  t_predecode : Telemetry.counter;
+  t_decode_slots : Telemetry.counter;
+  t_decode_starved : Telemetry.counter;
+  t_rob_full : Telemetry.counter;
+  t_issue_slots : Telemetry.counter;
+  t_commit_slots : Telemetry.counter;
+  t_brr_resolved : Telemetry.counter;
+  t_brr_taken : Telemetry.counter;
+  t_flush_frontend : Telemetry.counter;
+  t_flush_backend : Telemetry.counter;
+  t_squashed : Telemetry.counter;
+  t_mispredict_cond : Telemetry.counter;
+  t_mispredict_return : Telemetry.counter;
+  t_cycles : Telemetry.counter;
+  t_rob_occupancy : Telemetry.histogram;
+  t_run : Telemetry.span;
+}
+
+let make_tel () =
+  let sc = Telemetry.scope "pipeline" in
+  {
+    t_fetch_slots =
+      Telemetry.counter sc ~unit_:"slots"
+        ~doc:"instructions fetched into the fetch queue" "fetch.slots";
+    t_fetch_full =
+      Telemetry.counter sc ~unit_:"cycles"
+        ~doc:"cycles fetching a full packet" "fetch.full_packets";
+    t_icache_stalls =
+      Telemetry.counter sc ~doc:"fetch stalls on an L1I miss"
+        "fetch.icache_stalls";
+    t_predecode =
+      Telemetry.counter sc ~doc:"jal/j/brra fetch redirects via pre-decode"
+        "fetch.predecode_redirects";
+    t_decode_slots =
+      Telemetry.counter sc ~unit_:"slots" ~doc:"instructions decoded"
+        "decode.slots";
+    t_decode_starved =
+      Telemetry.counter sc ~unit_:"cycles"
+        ~doc:"cycles decode had nothing to do" "stall.decode_starved";
+    t_rob_full =
+      Telemetry.counter sc ~unit_:"cycles"
+        ~doc:"cycles decode blocked on a full ROB" "stall.rob_full";
+    t_issue_slots =
+      Telemetry.counter sc ~unit_:"slots"
+        ~doc:"instructions issued to execution" "issue.slots";
+    t_commit_slots =
+      Telemetry.counter sc ~unit_:"slots" ~doc:"instructions committed"
+        "commit.slots";
+    t_brr_resolved =
+      Telemetry.counter sc ~doc:"branch-on-randoms resolved (correct path)"
+        "brr.resolved";
+    t_brr_taken =
+      Telemetry.counter sc ~doc:"branch-on-random resolutions that took"
+        "brr.taken";
+    t_flush_frontend =
+      Telemetry.counter sc
+        ~doc:"front-end flushes from taken branch-on-randoms"
+        "flush.frontend";
+    t_flush_backend =
+      Telemetry.counter sc ~doc:"back-end squashes from mispredictions"
+        "flush.backend";
+    t_squashed =
+      Telemetry.counter sc ~unit_:"instructions"
+        ~doc:"wrong-path instructions removed by back-end squashes"
+        "flush.squashed";
+    t_mispredict_cond =
+      Telemetry.counter sc ~doc:"committed conditional-branch mispredictions"
+        "mispredict.cond";
+    t_mispredict_return =
+      Telemetry.counter sc ~doc:"committed returns the RAS mispredicted"
+        "mispredict.return";
+    t_cycles =
+      Telemetry.counter sc ~unit_:"cycles" ~doc:"simulated cycles"
+        "cycles";
+    t_rob_occupancy =
+      Telemetry.histogram sc ~unit_:"entries"
+        ~doc:"ROB occupancy, observed once per cycle" "rob.occupancy";
+    t_run =
+      Telemetry.span sc ~unit_:"cycles"
+        ~doc:"whole simulated runs, in cycles" "run";
+  }
 
 type fetched = {
   fpc : int;
@@ -82,7 +172,7 @@ type fetched = {
   pred : Predictor.prediction option;  (* conditional branches *)
   stream_next : int;  (* where fetch went after this instruction *)
   ghist_at_fetch : int;
-  ras_at_fetch : ras_snapshot option;  (* cond / jalr / brr only *)
+  ras_at_fetch : Ras.snapshot option;  (* cond / jalr / brr only *)
 }
 
 type branch_info =
@@ -105,7 +195,7 @@ type rob_entry = {
   actual_next : int;  (* correct-path successor pc, -1 if unknown *)
   mem_addr : int;  (* -1 when not a memory op / wrong path *)
   ghist_at_fetch : int;
-  ras_at_fetch : ras_snapshot option;
+  ras_at_fetch : Ras.snapshot option;
   producer_snapshot : int array option;
       (* rename-table checkpoint, taken at decode of a mispredicted
          branch so the squash can restore mappings to still-in-flight
@@ -141,6 +231,7 @@ type t = {
   mutable roi_active : bool;
   mutable roi_frozen : bool;
   stats : stats;
+  tel : tel;
   mutable retired_brr : bool list;  (* newest first, capped *)
   mutable retired_brr_count : int;
   mutable tracer : (trace_event -> unit) option;
@@ -154,27 +245,8 @@ and trace_event =
 
 let retired_brr_cap = 200_000
 
-let snapshot_ras (r : Ras.t) =
-  (* Ras internals are opaque; rebuild via pops and pushes. To keep this
-     cheap and non-destructive we reach through a copy interface instead:
-     store depth and drained values. *)
-  let tmp = ref [] in
-  let rec drain () =
-    match Ras.pop r with
-    | Some v ->
-      tmp := v :: !tmp;
-      drain ()
-    | None -> ()
-  in
-  drain ();
-  let values = !tmp in
-  List.iter (fun v -> Ras.push r v) values;
-  { r_stack = Array.of_list values; r_top = 0; r_depth = List.length values }
-
-let restore_ras (r : Ras.t) snap =
-  let rec drain () = match Ras.pop r with Some _ -> drain () | None -> () in
-  drain ();
-  Array.iter (fun v -> Ras.push r v) snap.r_stack
+let snapshot_ras (r : Ras.t) = Ras.save r
+let restore_ras (r : Ras.t) snap = Ras.restore r snap
 
 let create ?(config = Config.default) (program : Bor_isa.Program.t) =
   let pending_brr = ref None in
@@ -218,6 +290,7 @@ let create ?(config = Config.default) (program : Bor_isa.Program.t) =
     roi_active = true;
     roi_frozen = false;
     stats = fresh_stats ();
+    tel = make_tel ();
     retired_brr = [];
     retired_brr_count = 0;
     tracer = None;
@@ -261,6 +334,7 @@ let fetch t =
       if not (Cache.probe (Hierarchy.l1i t.hier) pc) then begin
         let latency = Hierarchy.access t.hier Hierarchy.I pc in
         t.fetch_stall_until <- t.cycle + latency;
+        if roi t then Telemetry.incr t.tel.t_icache_stalls;
         continue_ := false
       end
       else begin
@@ -279,12 +353,16 @@ let fetch t =
             match instr with
             | Bor_isa.Instr.Jal (rd, off) ->
               if Bor_isa.Reg.equal rd Bor_isa.Reg.ra then Ras.push t.ras fall;
-              if roi t then
+              if roi t then begin
                 t.stats.predecode_redirects <- t.stats.predecode_redirects + 1;
+                Telemetry.incr t.tel.t_predecode
+              end;
               pc + (4 * off)
             | Bor_isa.Instr.Brr_always off ->
-              if roi t then
+              if roi t then begin
                 t.stats.predecode_redirects <- t.stats.predecode_redirects + 1;
+                Telemetry.incr t.tel.t_predecode
+              end;
               pc + (4 * off)
             | Bor_isa.Instr.Jalr _ when is_return instr -> (
               ras_snap := Some (snapshot_ras t.ras);
@@ -333,6 +411,7 @@ let fetch t =
             }
             t.fq;
           incr fetched;
+          if roi t then Telemetry.incr t.tel.t_fetch_slots;
           if stream_next = -1 then begin
             t.fetch_pc <- None;
             continue_ := false
@@ -344,8 +423,10 @@ let fetch t =
           end
       end)
   done;
-  if !fetched = t.cfg.Config.fetch_width && roi t then
-    t.stats.cycles_fetch_full <- t.stats.cycles_fetch_full + 1
+  if !fetched = t.cfg.Config.fetch_width && roi t then begin
+    t.stats.cycles_fetch_full <- t.stats.cycles_fetch_full + 1;
+    Telemetry.incr t.tel.t_fetch_full
+  end
 
 (* -------------------------------------------------------------- Decode *)
 
@@ -414,7 +495,11 @@ let decode_one t (e : fetched) =
       if roi t then begin
         t.stats.brr_executed <- t.stats.brr_executed + 1;
         t.stats.instructions <- t.stats.instructions + 1;
-        if outcome then t.stats.brr_taken <- t.stats.brr_taken + 1
+        Telemetry.incr t.tel.t_brr_resolved;
+        if outcome then begin
+          t.stats.brr_taken <- t.stats.brr_taken + 1;
+          Telemetry.incr t.tel.t_brr_taken
+        end
       end;
       if t.retired_brr_count < retired_brr_cap then begin
         t.retired_brr <- outcome :: t.retired_brr;
@@ -432,8 +517,10 @@ let decode_one t (e : fetched) =
         if outcome then Btb.insert t.btb ~pc:e.fpc ~target:actual_next
       | Some _ | None -> ());
       if e.stream_next <> actual_next then begin
-        if roi t then
+        if roi t then begin
           t.stats.frontend_flushes <- t.stats.frontend_flushes + 1;
+          Telemetry.incr t.tel.t_flush_frontend
+        end;
         frontend_redirect t e actual_next;
         (* The flush rewound the history to this brr's fetch point; with
            the pollution ablation its own direction is then replayed. *)
@@ -461,7 +548,11 @@ let decode_one t (e : fetched) =
           t.pending_brr := Some outcome;
           if roi t then begin
             t.stats.brr_executed <- t.stats.brr_executed + 1;
-            if outcome then t.stats.brr_taken <- t.stats.brr_taken + 1
+            Telemetry.incr t.tel.t_brr_resolved;
+            if outcome then begin
+              t.stats.brr_taken <- t.stats.brr_taken + 1;
+              Telemetry.incr t.tel.t_brr_taken
+            end
           end;
           if t.retired_brr_count < retired_brr_cap then begin
             t.retired_brr <- outcome :: t.retired_brr;
@@ -577,7 +668,10 @@ let decode t =
       if e.fetch_cycle + t.cfg.Config.decode_depth > t.cycle then
         continue_ := false
       else if (not is_brr) && rob_full () then begin
-        if roi t then t.stats.cycles_rob_full <- t.stats.cycles_rob_full + 1;
+        if roi t then begin
+          t.stats.cycles_rob_full <- t.stats.cycles_rob_full + 1;
+          Telemetry.incr t.tel.t_rob_full
+        end;
         continue_ := false
       end
       else if is_brr && !brr_decoded >= t.cfg.Config.lfsr_ports then
@@ -587,12 +681,15 @@ let decode t =
       else begin
         let e' = Queue.pop t.fq in
         incr decoded;
+        if roi t then Telemetry.incr t.tel.t_decode_slots;
         if is_brr then incr brr_decoded;
         if not (decode_one t e') then continue_ := false
       end
   done;
-  if !decoded = 0 && roi t then
-    t.stats.cycles_decode_starved <- t.stats.cycles_decode_starved + 1
+  if !decoded = 0 && roi t then begin
+    t.stats.cycles_decode_starved <- t.stats.cycles_decode_starved + 1;
+    Telemetry.incr t.tel.t_decode_starved
+  end
 
 (* --------------------------------------------------------------- Issue *)
 
@@ -629,6 +726,7 @@ let issue t =
         e.issued <- true;
         e.complete <- t.cycle + latency_of t e;
         incr issued;
+        if roi t then Telemetry.incr t.tel.t_issue_slots;
         if is_mem then incr mem
       end
     end
@@ -693,7 +791,9 @@ let squash t (resolver : rob_entry) =
        { cycle = t.cycle; resolver_pc = resolver.epc; squashed = !removed });
   if roi t then begin
     t.stats.backend_flushes <- t.stats.backend_flushes + 1;
-    t.stats.squashed <- t.stats.squashed + !removed
+    t.stats.squashed <- t.stats.squashed + !removed;
+    Telemetry.incr t.tel.t_flush_backend;
+    Telemetry.add t.tel.t_squashed !removed
   end
 
 let check_resolver t =
@@ -754,6 +854,7 @@ let commit t =
       if roi t then begin
         let s = t.stats in
         s.instructions <- s.instructions + 1;
+        Telemetry.incr t.tel.t_commit_slots;
         if Bor_isa.Instr.is_load e.instr then s.loads <- s.loads + 1;
         if Bor_isa.Instr.is_store e.instr then s.stores <- s.stores + 1
       end;
@@ -767,8 +868,10 @@ let commit t =
       | B_cond { pred; actual_taken } ->
         if roi t then begin
           t.stats.cond_branches <- t.stats.cond_branches + 1;
-          if e.mispredict then
-            t.stats.cond_mispredicts <- t.stats.cond_mispredicts + 1
+          if e.mispredict then begin
+            t.stats.cond_mispredicts <- t.stats.cond_mispredicts + 1;
+            Telemetry.incr t.tel.t_mispredict_cond
+          end
         end;
         Predictor.update t.pred ~pc:e.epc pred ~taken:actual_taken;
         if actual_taken then
@@ -779,8 +882,10 @@ let commit t =
       | B_jalr ->
         if roi t then begin
           t.stats.returns <- t.stats.returns + 1;
-          if e.mispredict then
-            t.stats.return_mispredicts <- t.stats.return_mispredicts + 1
+          if e.mispredict then begin
+            t.stats.return_mispredicts <- t.stats.return_mispredicts + 1;
+            Telemetry.incr t.tel.t_mispredict_return
+          end
         end
       | B_brr { pred = None; _ } | B_none -> ());
       (match e.instr with
@@ -805,7 +910,9 @@ let step_cycle t =
     fetch t;
     if roi t then begin
       t.stats.cycles <- t.stats.cycles + 1;
-      t.stats.rob_occupancy <- t.stats.rob_occupancy + Queue.length t.rob
+      t.stats.rob_occupancy <- t.stats.rob_occupancy + Queue.length t.rob;
+      Telemetry.incr t.tel.t_cycles;
+      Telemetry.observe t.tel.t_rob_occupancy (Queue.length t.rob)
     end;
     t.cycle <- t.cycle + 1
   end
@@ -819,6 +926,7 @@ let run ?(max_cycles = 2_000_000_000) t =
           t.stats.l1d_misses <- (Cache.stats (Hierarchy.l1d t.hier)).misses;
           t.stats.l2_misses <- (Cache.stats (Hierarchy.l2 t.hier)).misses
         end;
+        Telemetry.record t.tel.t_run t.cycle;
         Ok t.stats
       end
       else if t.cycle >= max_cycles then Error "cycle budget exhausted"

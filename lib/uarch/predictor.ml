@@ -1,20 +1,42 @@
+module Telemetry = Bor_telemetry.Telemetry
+
 type t = {
   gshare : int array;  (** 2-bit counters, 2^ghist_bits entries *)
   bimodal : int array;
   chooser : int array;  (** 2-bit: >=2 prefers gshare *)
   ghist_mask : int;
   mutable ghist : int;
+  tel_predictions : Telemetry.counter;
+  tel_gshare_chosen : Telemetry.counter;
+  tel_bimodal_chosen : Telemetry.counter;
+  tel_updates : Telemetry.counter;
+  tel_recoveries : Telemetry.counter;
 }
 
 type prediction = { taken : bool; ghist_snapshot : int; meta : int }
 
 let create (c : Config.t) =
+  let sc = Telemetry.scope "predictor" in
   {
     gshare = Array.make (1 lsl c.ghist_bits) 1;
     bimodal = Array.make c.bimodal_entries 1;
     chooser = Array.make c.bimodal_entries 2;
     ghist_mask = Bor_util.Bits.mask c.ghist_bits;
     ghist = 0;
+    tel_predictions =
+      Telemetry.counter sc ~doc:"fetch-stage direction predictions"
+        "predictions";
+    tel_gshare_chosen =
+      Telemetry.counter sc ~doc:"predictions where the chooser picked gshare"
+        "gshare_chosen";
+    tel_bimodal_chosen =
+      Telemetry.counter sc ~doc:"predictions where the chooser picked bimodal"
+        "bimodal_chosen";
+    tel_updates =
+      Telemetry.counter sc ~doc:"table trainings at resolution" "updates";
+    tel_recoveries =
+      Telemetry.counter sc ~doc:"global-history repairs after a squash"
+        "recoveries";
   }
 
 let gshare_index t pc = ((pc lsr 2) lxor t.ghist) land t.ghist_mask
@@ -29,6 +51,9 @@ let predict t ~pc =
   let gi = gshare_index t pc in
   let bi = bimodal_index t pc in
   let use_gshare = counter_taken t.chooser.(bi) in
+  Telemetry.incr t.tel_predictions;
+  Telemetry.incr
+    (if use_gshare then t.tel_gshare_chosen else t.tel_bimodal_chosen);
   let g = counter_taken t.gshare.(gi) in
   let b = counter_taken t.bimodal.(bi) in
   let taken = if use_gshare then g else b in
@@ -40,6 +65,7 @@ let predict t ~pc =
     meta = (gi lsl 2) lor (Bool.to_int g lsl 1) lor Bool.to_int b }
 
 let update t ~pc (p : prediction) ~taken =
+  Telemetry.incr t.tel_updates;
   let gi = p.meta lsr 2 in
   let g = (p.meta lsr 1) land 1 = 1 in
   let b = p.meta land 1 = 1 in
@@ -49,6 +75,7 @@ let update t ~pc (p : prediction) ~taken =
   if g <> b then bump t.chooser bi (g = taken)
 
 let recover t (p : prediction) ~taken =
+  Telemetry.incr t.tel_recoveries;
   t.ghist <- ((p.ghist_snapshot lsl 1) lor Bool.to_int taken) land t.ghist_mask
 
 let ghist t = t.ghist

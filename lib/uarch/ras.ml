@@ -1,20 +1,58 @@
-type t = { stack : int array; mutable top : int; mutable depth : int }
+module Telemetry = Bor_telemetry.Telemetry
+
+type t = {
+  stack : int array;
+  mutable top : int;
+  mutable depth : int;
+  tel_pushes : Telemetry.counter;
+  tel_pops : Telemetry.counter;
+  tel_underflows : Telemetry.counter;
+  tel_overflows : Telemetry.counter;
+}
 
 let create ~entries =
   if entries <= 0 then invalid_arg "Ras.create";
-  { stack = Array.make entries 0; top = 0; depth = 0 }
+  let sc = Telemetry.scope "ras" in
+  { stack = Array.make entries 0; top = 0; depth = 0;
+    tel_pushes = Telemetry.counter sc ~doc:"call-site pushes" "pushes";
+    tel_pops = Telemetry.counter sc ~doc:"successful return-target pops" "pops";
+    tel_underflows =
+      Telemetry.counter sc ~doc:"pops from an empty stack (no prediction)"
+        "underflows";
+    tel_overflows =
+      Telemetry.counter sc ~doc:"pushes that wrapped, losing the oldest entry"
+        "overflows" }
 
 let push t v =
+  if t.depth = Array.length t.stack then Telemetry.incr t.tel_overflows;
+  Telemetry.incr t.tel_pushes;
   t.stack.(t.top) <- v;
   t.top <- (t.top + 1) mod Array.length t.stack;
   t.depth <- min (t.depth + 1) (Array.length t.stack)
 
 let pop t =
-  if t.depth = 0 then None
+  if t.depth = 0 then begin
+    Telemetry.incr t.tel_underflows;
+    None
+  end
   else begin
+    Telemetry.incr t.tel_pops;
     t.top <- (t.top + Array.length t.stack - 1) mod Array.length t.stack;
     t.depth <- t.depth - 1;
     Some t.stack.(t.top)
   end
 
 let depth t = t.depth
+
+(* Snapshots are simulator bookkeeping (taken at fetch, restored on a
+   squash), not architectural stack traffic: they bypass the telemetry
+   counters on purpose. *)
+
+type snapshot = { s_stack : int array; s_top : int; s_depth : int }
+
+let save t = { s_stack = Array.copy t.stack; s_top = t.top; s_depth = t.depth }
+
+let restore t s =
+  Array.blit s.s_stack 0 t.stack 0 (Array.length t.stack);
+  t.top <- s.s_top;
+  t.depth <- s.s_depth

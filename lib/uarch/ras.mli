@@ -8,3 +8,14 @@ val create : entries:int -> t
 val push : t -> int -> unit
 val pop : t -> int option
 val depth : t -> int
+
+(** {2 Checkpointing}
+
+    Used by the pipeline to unwind speculative RAS motion on a flush.
+    Snapshots copy raw state and bypass the telemetry counters — they
+    are simulator bookkeeping, not architectural pushes/pops. *)
+
+type snapshot
+
+val save : t -> snapshot
+val restore : t -> snapshot -> unit

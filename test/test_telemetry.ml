@@ -1,0 +1,230 @@
+(* Tests for Bor_telemetry: the registry's enabled/disabled semantics,
+   JSON round-tripping, the SHA-256 used for bench digests, and the
+   determinism contract the @bench-check alias relies on (identical
+   counters across identical runs). *)
+
+let check = Alcotest.check
+
+module Telemetry = Bor_telemetry.Telemetry
+module Json = Bor_telemetry.Json
+module Sha256 = Bor_telemetry.Sha256
+
+(* Every test owns the global registry for its duration. *)
+let with_registry ?(enabled = true) f =
+  Telemetry.clear ();
+  Telemetry.set_enabled enabled;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.set_enabled false;
+      Telemetry.clear ())
+    f
+
+(* ----------------------------------------------------------- registry *)
+
+let test_counter_basics () =
+  with_registry (fun () ->
+      let sc = Telemetry.scope "t" in
+      let c = Telemetry.counter sc "hits" in
+      Telemetry.incr c;
+      Telemetry.incr c;
+      Telemetry.add c 40;
+      check Alcotest.int "value" 42 (Telemetry.value c);
+      check
+        Alcotest.(option int)
+        "find_counter" (Some 42)
+        (Telemetry.find_counter "t.hits");
+      check
+        Alcotest.(list (pair string int))
+        "counters" [ ("t.hits", 42) ] (Telemetry.counters ()))
+
+let test_same_name_aggregates () =
+  (* Creating the same instrument twice (as every fresh Pipeline.create
+     does) must return the same underlying cell. *)
+  with_registry (fun () ->
+      let sc = Telemetry.scope "t" in
+      let a = Telemetry.counter sc "n" in
+      let b = Telemetry.counter sc "n" in
+      Telemetry.incr a;
+      Telemetry.incr b;
+      check Alcotest.int "shared" 2 (Telemetry.value a);
+      check Alcotest.int "one entry" 1 (List.length (Telemetry.counters ()));
+      Alcotest.check_raises "kind clash" (Invalid_argument
+        "Telemetry: t.n re-registered as a different kind") (fun () ->
+          ignore (Telemetry.histogram sc "n")))
+
+let test_disabled_records_nothing () =
+  (* The zero-cost contract: instruments created while disabled are
+     dead — they never register and never accumulate. *)
+  with_registry ~enabled:false (fun () ->
+      let sc = Telemetry.scope "dead" in
+      let c = Telemetry.counter sc "c" in
+      let h = Telemetry.histogram sc "h" in
+      let s = Telemetry.span sc "s" in
+      Telemetry.incr c;
+      Telemetry.add c 10;
+      Telemetry.observe h 5;
+      Telemetry.record s 7;
+      check Alcotest.int "counter stays 0" 0 (Telemetry.value c);
+      check Alcotest.(list (pair string int)) "no counters" []
+        (Telemetry.counters ());
+      check Alcotest.string "empty registry json" "{}\n"
+        (Json.to_string (Telemetry.to_json ())))
+
+let test_reset_keeps_registrations () =
+  with_registry (fun () ->
+      let sc = Telemetry.scope "t" in
+      let c = Telemetry.counter sc "c" in
+      Telemetry.add c 9;
+      Telemetry.reset ();
+      check Alcotest.int "zeroed" 0 (Telemetry.value c);
+      check
+        Alcotest.(list (pair string int))
+        "still registered" [ ("t.c", 0) ] (Telemetry.counters ());
+      Telemetry.incr c;
+      check Alcotest.int "still live" 1 (Telemetry.value c))
+
+let test_histogram_buckets () =
+  with_registry (fun () ->
+      let h = Telemetry.histogram (Telemetry.scope "t") "lat" in
+      List.iter (Telemetry.observe h) [ 0; 1; 2; 3; 1024 ];
+      match Json.member "t.lat" (Telemetry.to_json ()) with
+      | None -> Alcotest.fail "histogram missing from snapshot"
+      | Some j ->
+        let int_of field =
+          match Json.member field j with
+          | Some (Json.Int n) -> n
+          | _ -> Alcotest.failf "bad %s" field
+        in
+        check Alcotest.int "count" 5 (int_of "count");
+        check Alcotest.int "sum" 1030 (int_of "sum");
+        check Alcotest.int "max" 1024 (int_of "max");
+        (match Json.member "buckets" j with
+        | Some (Json.List buckets) ->
+          (* value 0 → bucket 0; 1 → [1,1]; 2,3 → [2,3]; 1024 → bucket 11. *)
+          check Alcotest.int "bucket list trimmed to max" 12
+            (List.length buckets)
+        | _ -> Alcotest.fail "no bucket list"))
+
+let test_span_min_max () =
+  with_registry (fun () ->
+      let s = Telemetry.span (Telemetry.scope "t") "run" in
+      List.iter (Telemetry.record s) [ 30; 10; 20 ];
+      match Json.member "t.run" (Telemetry.to_json ()) with
+      | None -> Alcotest.fail "span missing"
+      | Some j ->
+        let int_of field =
+          match Json.member field j with
+          | Some (Json.Int n) -> n
+          | _ -> Alcotest.failf "bad %s" field
+        in
+        check Alcotest.int "count" 3 (int_of "count");
+        check Alcotest.int "total" 60 (int_of "total");
+        check Alcotest.int "min" 10 (int_of "min");
+        check Alcotest.int "max" 30 (int_of "max"))
+
+(* ---------------------------------------------------------------- JSON *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("bool", Json.Bool true);
+        ("int", Json.Int (-42));
+        ("str", Json.String "line\nwith \"quotes\" and \\ tab\t");
+        ("list", Json.List [ Json.Int 1; Json.String "two"; Json.Bool false ]);
+        ("nested", Json.Obj [ ("empty_list", Json.List []);
+                              ("empty_obj", Json.Obj []) ]);
+      ]
+  in
+  check Alcotest.bool "roundtrip" true
+    (Json.of_string (Json.to_string v) = v)
+
+let test_json_snapshot_roundtrip () =
+  with_registry (fun () ->
+      let sc = Telemetry.scope "t" in
+      Telemetry.add (Telemetry.counter sc "c") 7;
+      Telemetry.observe (Telemetry.histogram sc "h") 100;
+      Telemetry.record (Telemetry.span sc "s") 5;
+      let j = Telemetry.to_json () in
+      check Alcotest.bool "registry snapshot roundtrips" true
+        (Json.of_string (Json.to_string j) = j))
+
+(* -------------------------------------------------------------- SHA-256 *)
+
+let test_sha256_vectors () =
+  (* FIPS 180-4 test vectors. *)
+  check Alcotest.string "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.digest "");
+  check Alcotest.string "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.digest "abc");
+  check Alcotest.string "448-bit"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+
+(* --------------------------------------------------------- determinism *)
+
+let assemble src =
+  match Bor_isa.Asm.assemble src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "assembly failed: %a" Bor_isa.Asm.pp_error e
+
+let brr_loop =
+  {|
+main:   li   s1, 4000
+loop:   brr  1/2, hit
+        j    next
+hit:    addi t2, t2, 1
+next:   addi s1, s1, -1
+        bne  s1, zero, loop
+        halt
+      |}
+
+let snapshot_of_run program =
+  Telemetry.clear ();
+  let t = Bor_uarch.Pipeline.create program in
+  (match Bor_uarch.Pipeline.run t with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Telemetry.counters ()
+
+let test_same_seed_runs_identical () =
+  (* The property @bench-check is built on: the full counter snapshot is
+     a pure function of the simulated work. *)
+  with_registry (fun () ->
+      let p = assemble brr_loop in
+      let a = snapshot_of_run p in
+      let b = snapshot_of_run p in
+      check Alcotest.bool "non-trivial snapshot" true (List.length a > 10);
+      check Alcotest.(list (pair string int)) "identical counters" a b)
+
+let () =
+  Alcotest.run "bor_telemetry"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "same name aggregates" `Quick
+            test_same_name_aggregates;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_records_nothing;
+          Alcotest.test_case "reset keeps registrations" `Quick
+            test_reset_keeps_registrations;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "span min/max" `Quick test_span_min_max;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "snapshot roundtrip" `Quick
+            test_json_snapshot_roundtrip;
+        ] );
+      ("sha256", [ Alcotest.test_case "vectors" `Quick test_sha256_vectors ]);
+      ( "determinism",
+        [
+          Alcotest.test_case "same-seed runs identical" `Quick
+            test_same_seed_runs_identical;
+        ] );
+    ]

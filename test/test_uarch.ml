@@ -7,7 +7,7 @@ let check = Alcotest.check
 (* ---------------------------------------------------------------- Cache *)
 
 let test_cache_hit_after_miss () =
-  let c = Bor_uarch.Cache.create ~size:1024 ~assoc:2 ~line_bytes:64 in
+  let c = Bor_uarch.Cache.create ~size:1024 ~assoc:2 ~line_bytes:64 () in
   check Alcotest.bool "first is a miss" false (Bor_uarch.Cache.access c 0x100);
   check Alcotest.bool "second hits" true (Bor_uarch.Cache.access c 0x100);
   check Alcotest.bool "same line hits" true (Bor_uarch.Cache.access c 0x13C);
@@ -17,7 +17,7 @@ let test_cache_hit_after_miss () =
 let test_cache_lru_eviction () =
   (* 2-way set: fill both ways, touch the first, add a third — the
      second (least recent) must be evicted. *)
-  let c = Bor_uarch.Cache.create ~size:1024 ~assoc:2 ~line_bytes:64 in
+  let c = Bor_uarch.Cache.create ~size:1024 ~assoc:2 ~line_bytes:64 () in
   let sets = Bor_uarch.Cache.sets c in
   let stride = sets * 64 in
   ignore (Bor_uarch.Cache.access c 0);
@@ -28,7 +28,7 @@ let test_cache_lru_eviction () =
   check Alcotest.bool "way 1 evicted" false (Bor_uarch.Cache.probe c stride)
 
 let test_cache_stats () =
-  let c = Bor_uarch.Cache.create ~size:1024 ~assoc:2 ~line_bytes:64 in
+  let c = Bor_uarch.Cache.create ~size:1024 ~assoc:2 ~line_bytes:64 () in
   ignore (Bor_uarch.Cache.access c 0);
   ignore (Bor_uarch.Cache.access c 0);
   let s = Bor_uarch.Cache.stats c in
@@ -41,7 +41,7 @@ let test_cache_geometry_checks () =
   Alcotest.check_raises "non power-of-two sets"
     (Invalid_argument "Cache.create: set count must be a power of two")
     (fun () ->
-      ignore (Bor_uarch.Cache.create ~size:3072 ~assoc:4 ~line_bytes:64))
+      ignore (Bor_uarch.Cache.create ~size:3072 ~assoc:4 ~line_bytes:64 ()))
 
 let test_hierarchy_latencies () =
   let h = Bor_uarch.Hierarchy.create Bor_uarch.Config.default in
@@ -287,6 +287,67 @@ tgt:    addi t1, t1, 1
      and loop exit); the branch-on-randoms must add none. *)
   check Alcotest.bool "backend flushes only from the loop branch" true
     (st.backend_flushes <= 5)
+
+let test_telemetry_matches_stats () =
+  (* pipeline.* telemetry increments at the same sites and under the
+     same ROI gating as the stats record, so on a marker-less program
+     the two views must agree exactly -- including the known penalty
+     identities (one front-end flush per taken brr, one back-end flush
+     per committed mispredict). *)
+  let module Telemetry = Bor_telemetry.Telemetry in
+  Telemetry.clear ();
+  Telemetry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.set_enabled false;
+      Telemetry.clear ())
+    (fun () ->
+      let src =
+        {|
+main:   li   s1, 20000
+loop:   brr  1/2, tgt
+back:   addi s1, s1, -1
+        bne  s1, zero, loop
+        halt
+tgt:    addi t1, t1, 1
+        brra back
+      |}
+      in
+      let _, st = run_pipeline (assemble src) in
+      let tel name =
+        match Telemetry.find_counter name with
+        | Some v -> v
+        | None -> Alcotest.failf "counter %s not registered" name
+      in
+      check Alcotest.int "cycles" st.cycles (tel "pipeline.cycles");
+      (* brrs retire at decode resolution, not through the ROB, so they
+         count in instructions but not in commit slots. *)
+      check Alcotest.int "instructions = commit slots + resolved brrs"
+        st.instructions
+        (tel "pipeline.commit.slots" + tel "pipeline.brr.resolved");
+      check Alcotest.int "brr resolved" st.brr_executed
+        (tel "pipeline.brr.resolved");
+      check Alcotest.int "brr taken" st.brr_taken (tel "pipeline.brr.taken");
+      check Alcotest.int "one frontend flush per taken brr" st.brr_taken
+        (tel "pipeline.flush.frontend");
+      check Alcotest.int "frontend flushes" st.frontend_flushes
+        (tel "pipeline.flush.frontend");
+      check Alcotest.int "one backend flush per committed mispredict"
+        (st.cond_mispredicts + st.return_mispredicts)
+        (tel "pipeline.flush.backend");
+      check Alcotest.int "cond mispredicts" st.cond_mispredicts
+        (tel "pipeline.mispredict.cond");
+      check Alcotest.int "squashed" st.squashed
+        (tel "pipeline.flush.squashed");
+      check Alcotest.int "fetch-full cycles" st.cycles_fetch_full
+        (tel "pipeline.fetch.full_packets");
+      check Alcotest.int "rob-full cycles" st.cycles_rob_full
+        (tel "pipeline.stall.rob_full");
+      check Alcotest.int "l1i misses" st.l1i_misses
+        (tel "cache.l1i.misses");
+      check Alcotest.int "l1d misses" st.l1d_misses
+        (tel "cache.l1d.misses");
+      check Alcotest.int "l2 misses" st.l2_misses (tel "cache.l2.misses"))
 
 let test_roi_markers () =
   let src =
@@ -687,6 +748,8 @@ let () =
             test_brr_committed_at_decode;
           Alcotest.test_case "brr taken = frontend flush" `Quick
             test_brr_taken_frontend_flush;
+          Alcotest.test_case "telemetry matches stats" `Quick
+            test_telemetry_matches_stats;
           Alcotest.test_case "roi markers" `Quick test_roi_markers;
           Alcotest.test_case "trace events" `Quick test_trace_events;
           Alcotest.test_case "dependent-miss latency" `Quick
