@@ -10,23 +10,32 @@
      bench/main.exe --chars 100000 fig13
      bench/main.exe --csv out/ fig9 fig14   # also dump CSV per experiment
      bench/main.exe --json out/ fig9 fig14  # BENCH_<name>.json + DIGESTS.txt
+     bench/main.exe --jobs 4                # fork experiments in parallel
    Experiments: fig6 fig9 fig10 sensitivity fig12 fig13 fig14 baseline
-                hwcost determinism bechamel
+                hwcost determinism bechamel perf
 
    --json DIR writes one BENCH_<name>.json per experiment (schema in
    docs/TELEMETRY.md: the printed tables plus the telemetry registry
    snapshot) and DIGESTS.txt with a SHA-256 per file. Everything in
    those files is a pure function of the simulated work, so two runs
    with the same arguments produce byte-identical digests -- that is
-   what the @bench-check dune alias asserts. bechamel (wall-clock
-   ns/op) is deliberately excluded. *)
+   what the @bench-check dune alias asserts. bechamel and perf
+   (wall-clock timing of the host) are deliberately excluded.
+
+   --jobs N forks independent experiments into subprocesses, each
+   writing its own BENCH_<name>.json; per-file output is identical to
+   running that experiment alone in one process (cross-experiment
+   caches are per-process, so a file can differ from what a combined
+   sequential run of several experiments would produce -- the
+   @bench-check rule therefore stays sequential). *)
 
 module Json = Bor_telemetry.Json
 module Telemetry = Bor_telemetry.Telemetry
 
 let scale = ref 32
-let chars = ref 15_000
+let chars = ref 60_000
 let seeds = ref 5
+let jobs = ref 1
 let csv_dir = ref None
 let json_dir = ref None
 let current_experiment = ref "experiment"
@@ -835,6 +844,70 @@ let convergent () =
   table ~headers:[ "policy"; "samples"; "accuracy" ]
     [ fixed 2; fixed 64; fixed 1024; conv; per_site ]
 
+(* ----------------------------------------------------------------- perf *)
+
+(* Wall-clock throughput of the timing simulator. Everything here
+   measures the host, not simulated behavior, so like [bechamel] this
+   experiment is excluded from the --json digests. Best-of-3 timing
+   per kernel dampens scheduler noise. *)
+
+let throughput_row name prog =
+  let best = ref infinity in
+  let stats = ref None in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    let t = Bor_uarch.Pipeline.create prog in
+    (match Bor_uarch.Pipeline.run t with
+    | Ok st -> stats := Some st
+    | Error e -> failwith e);
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  match !stats with
+  | None -> assert false
+  | Some st ->
+    [
+      name;
+      string_of_int st.Bor_uarch.Pipeline.instructions;
+      string_of_int st.Bor_uarch.Pipeline.cycles;
+      Printf.sprintf "%.2f"
+        (Float.of_int st.Bor_uarch.Pipeline.instructions /. !best /. 1e6);
+      Printf.sprintf "%.2f"
+        (Float.of_int st.Bor_uarch.Pipeline.cycles /. !best /. 1e6);
+    ]
+
+let throughput_headers =
+  [ "kernel"; "instructions"; "cycles"; "M instr/s"; "M cycles/s" ]
+
+let alu_loop_src =
+  "int main() { int i; int s = 0; for (i = 0; i < 1000000; i = i + 1) s = \
+   s + i; return s; }"
+
+let perf () =
+  section "Simulator throughput (wall-clock)"
+    "Committed instructions and cycles simulated per second of\n\
+     wall-clock time, per experiment kernel (best of 3 runs). The\n\
+     digest-checked experiments depend only on simulated behavior;\n\
+     this table is where host timing is reported.";
+  let brr64 =
+    Bor_minic.Instrument.(
+      Sampled (Brr (Bor_core.Freq.of_period 64), No_duplication))
+  in
+  let rows =
+    throughput_row "alu-loop"
+      (Bor_minic.Driver.compile_exn alu_loop_src).Bor_minic.Driver.program
+    :: throughput_row
+         (Printf.sprintf "micro-%d" !chars)
+         (Bor_workload.Micro.compile ~chars:!chars brr64)
+           .Bor_minic.Driver.program
+    :: List.map
+         (fun n ->
+           throughput_row n
+             (Bor_workload.Apps.compile n brr64).Bor_minic.Driver.program)
+         Bor_workload.Apps.all_names
+  in
+  table ~headers:throughput_headers rows
+
 (* ------------------------------------------------------------- bechamel *)
 
 let bechamel () =
@@ -889,7 +962,20 @@ let bechamel () =
       rows := [ name; ns; r2 ] :: !rows)
     results;
   table ~headers:[ "operation"; "ns/op"; "r2" ]
-    (List.sort compare !rows)
+    (List.sort compare !rows);
+  (* Timing-simulator throughput on two reference kernels; the full
+     per-kernel table is the [perf] experiment. *)
+  table ~headers:throughput_headers
+    [
+      throughput_row "pipeline alu-loop"
+        (Bor_minic.Driver.compile_exn alu_loop_src).Bor_minic.Driver.program;
+      throughput_row
+        (Printf.sprintf "pipeline micro-%d" (min !chars 60_000))
+        (Bor_workload.Micro.compile ~chars:(min !chars 60_000)
+           Bor_minic.Instrument.(
+             Sampled (Brr (Bor_core.Freq.of_period 64), No_duplication)))
+          .Bor_minic.Driver.program;
+    ]
 
 (* ----------------------------------------------------------- JSON dump *)
 
@@ -950,7 +1036,11 @@ let experiments =
     ("accuracy-compiled", accuracy_compiled);
     ("convergent", convergent);
     ("bechamel", bechamel);
+    ("perf", perf);
   ]
+
+(* Host-timing experiments: never part of DIGESTS.txt. *)
+let digest_excluded = [ "bechamel"; "perf" ]
 
 let () =
   let selected = ref [] in
@@ -964,6 +1054,9 @@ let () =
       parse rest
     | "--seeds" :: v :: rest ->
       seeds := int_of_string v;
+      parse rest
+    | "--jobs" :: v :: rest ->
+      jobs := max 1 (int_of_string v);
       parse rest
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
@@ -992,35 +1085,114 @@ let () =
        simulator component; instruments register at creation time. *)
     Telemetry.set_enabled true
   | None -> ());
-  let digests = ref [] in
-  let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun (name, f) ->
-      current_experiment := name;
-      json_title := "";
-      json_paper := "";
-      json_tables := [];
-      (* Isolate each experiment's telemetry. Cross-experiment caches
-         (timing_cache, micro_sweep) mean a snapshot depends on which
-         experiments ran EARLIER in this process -- the canonical
-         experiment order above makes that deterministic per subset. *)
-      Telemetry.clear ();
-      f ();
+  let run_one (name, f) =
+    current_experiment := name;
+    json_title := "";
+    json_paper := "";
+    json_tables := [];
+    (* Isolate each experiment's telemetry. Cross-experiment caches
+       (timing_cache, micro_sweep) mean a snapshot depends on which
+       experiments ran EARLIER in this process -- the canonical
+       experiment order above makes that deterministic per subset. *)
+    Telemetry.clear ();
+    f ();
+    match !json_dir with
+    | Some dir when not (List.mem name digest_excluded) ->
+      let doc = Json.to_string (bench_json name) in
+      let file = "BENCH_" ^ name ^ ".json" in
+      let oc = open_out (Filename.concat dir file) in
+      output_string oc doc;
+      close_out oc
+    | _ -> ()
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    let doc = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    doc
+  in
+  (* --jobs: fork each experiment into its own subprocess, at most
+     [jobs] live at once, each with a private stdout replayed by the
+     parent in canonical order once everything has finished. *)
+  let run_parallel n =
+    let outdir =
       match !json_dir with
-      | Some dir when name <> "bechamel" ->
-        let doc = Json.to_string (bench_json name) in
-        let file = "BENCH_" ^ name ^ ".json" in
-        let oc = open_out (Filename.concat dir file) in
-        output_string oc doc;
-        close_out oc;
-        digests := (Bor_telemetry.Sha256.digest doc, file) :: !digests
-      | _ -> ())
-    to_run;
-  (match (!json_dir, List.rev !digests) with
-  | Some dir, (_ :: _ as ds) ->
-    let oc = open_out (Filename.concat dir "DIGESTS.txt") in
-    List.iter (fun (d, f) -> Printf.fprintf oc "%s  %s\n" d f) ds;
-    close_out oc
-  | _ -> ());
+      | Some d -> d
+      | None -> Filename.get_temp_dir_name ()
+    in
+    let outfile name =
+      Filename.concat outdir
+        (Printf.sprintf "OUT_%s.%d.txt" name (Unix.getpid ()))
+    in
+    let pending = ref to_run in
+    let live = ref 0 in
+    let failed = ref false in
+    flush stdout;
+    while !pending <> [] || !live > 0 do
+      while !pending <> [] && !live < n do
+        match !pending with
+        | [] -> ()
+        | ((name, _) as job) :: rest -> (
+          pending := rest;
+          match Unix.fork () with
+          | 0 ->
+            let fd =
+              Unix.openfile (outfile name)
+                [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+                0o644
+            in
+            Unix.dup2 fd Unix.stdout;
+            Unix.close fd;
+            let code =
+              try
+                run_one job;
+                flush stdout;
+                0
+              with e ->
+                Printf.eprintf "%s: %s\n%!" name (Printexc.to_string e);
+                1
+            in
+            exit code
+          | _pid -> incr live)
+      done;
+      if !live > 0 then begin
+        let _pid, status = Unix.wait () in
+        decr live;
+        match status with Unix.WEXITED 0 -> () | _ -> failed := true
+      end
+    done;
+    List.iter
+      (fun (name, _) ->
+        let p = outfile name in
+        if Sys.file_exists p then begin
+          print_string (read_file p);
+          Sys.remove p
+        end)
+      to_run;
+    if !failed then begin
+      Printf.eprintf "bench: an experiment subprocess failed\n%!";
+      exit 1
+    end
+  in
+  let t0 = Unix.gettimeofday () in
+  if !jobs > 1 then run_parallel !jobs else List.iter run_one to_run;
+  (match !json_dir with
+  | Some dir ->
+    let ds =
+      List.filter_map
+        (fun (name, _) ->
+          if List.mem name digest_excluded then None
+          else
+            let file = "BENCH_" ^ name ^ ".json" in
+            Some (Bor_telemetry.Sha256.digest (read_file (Filename.concat dir file)), file))
+        to_run
+    in
+    (match ds with
+    | [] -> ()
+    | _ ->
+      let oc = open_out (Filename.concat dir "DIGESTS.txt") in
+      List.iter (fun (d, f) -> Printf.fprintf oc "%s  %s\n" d f) ds;
+      close_out oc)
+  | None -> ());
   Printf.printf "\n[%d experiment(s), %.1fs]\n" (List.length to_run)
     (Unix.gettimeofday () -. t0)

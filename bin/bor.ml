@@ -131,12 +131,18 @@ let run_timing ?(stats = Stats_off) (program : Bor_isa.Program.t) =
      register at component-creation time. *)
   if stats <> Stats_off then Bor_telemetry.Telemetry.set_enabled true;
   let t = Bor_uarch.Pipeline.create program in
+  let t0 = Unix.gettimeofday () in
   match Bor_uarch.Pipeline.run t with
   | Error e ->
     Printf.eprintf "%s\n" e;
     exit 1
   | Ok st -> (
+    let dt = Unix.gettimeofday () -. t0 in
     Format.printf "%a@." Bor_uarch.Pipeline.pp_stats st;
+    if dt > 0. then
+      Format.printf "host: %.3fs wall, %.2f M instr/s, %.2f M cycles/s@." dt
+        (Float.of_int st.Bor_uarch.Pipeline.instructions /. dt /. 1e6)
+        (Float.of_int st.Bor_uarch.Pipeline.cycles /. dt /. 1e6);
     match stats with
     | Stats_off -> ()
     | Stats_text ->

@@ -135,6 +135,10 @@ let brr_outcome t freq =
       false
     end
 
+(* Module-level so [step] does not allocate a closure per instruction
+   on the non-flambda compiler. *)
+let[@inline] rv regs r = Array.unsafe_get regs (Bor_isa.Reg.to_int r)
+
 let exec_brr t freq off =
   t.stats.brr_executed <- t.stats.brr_executed + 1;
   if brr_outcome t freq then begin
@@ -150,12 +154,15 @@ let step t =
     let idx = (pc - t.program.text_base) asr 2 in
     if pc land 3 <> 0 || idx < 0 || idx >= Array.length t.code then
       fault pc "fetch outside text segment";
-    (match Hashtbl.find_opt t.site_index pc with
-    | Some id -> List.iter (fun f -> f id) t.site_hooks
-    | None -> ());
+    (match t.site_hooks with
+    | [] -> () (* skip the site lookup entirely when nobody listens *)
+    | hooks -> (
+      match Hashtbl.find_opt t.site_index pc with
+      | Some id -> List.iter (fun f -> f id) hooks
+      | None -> ()));
     let s = t.stats in
     s.instructions <- s.instructions + 1;
-    let rv r = t.regs.(Bor_isa.Reg.to_int r) in
+    let regs = t.regs in
     let open Bor_isa.Instr in
     match t.code.(idx) with
     | Illegal_word w -> (
@@ -169,17 +176,17 @@ let step t =
     | Decoded i -> (
       match i with
       | Alu (op, rd, rs1, rs2) ->
-        set_reg t rd (eval_alu op (rv rs1) (rv rs2));
+        set_reg t rd (eval_alu op (rv regs rs1) (rv regs rs2));
         t.pc <- pc + 4
       | Alui (op, rd, rs1, imm) ->
-        set_reg t rd (eval_alu op (rv rs1) imm);
+        set_reg t rd (eval_alu op (rv regs rs1) imm);
         t.pc <- pc + 4
       | Lui (rd, imm) ->
         set_reg t rd (Bor_util.Bits.wrap32 (imm lsl 12));
         t.pc <- pc + 4
       | Load (w, rd, rs1, off) -> (
         s.loads <- s.loads + 1;
-        let addr = rv rs1 + off in
+        let addr = rv regs rs1 + off in
         (try
            match w with
            | Word -> set_reg t rd (Memory.read_word t.mem addr)
@@ -188,16 +195,16 @@ let step t =
         t.pc <- pc + 4)
       | Store (w, rsrc, rbase, off) -> (
         s.stores <- s.stores + 1;
-        let addr = rv rbase + off in
+        let addr = rv regs rbase + off in
         (try
            match w with
-           | Word -> Memory.write_word t.mem addr (rv rsrc)
-           | Byte -> Memory.write_byte t.mem addr (rv rsrc)
+           | Word -> Memory.write_word t.mem addr (rv regs rsrc)
+           | Byte -> Memory.write_byte t.mem addr (rv regs rsrc)
          with Memory.Fault m -> fault pc "%s" m);
         t.pc <- pc + 4)
       | Branch (c, rs1, rs2, off) ->
         s.cond_branches <- s.cond_branches + 1;
-        if eval_cond c (rv rs1) (rv rs2) then begin
+        if eval_cond c (rv regs rs1) (rv regs rs2) then begin
           s.cond_taken <- s.cond_taken + 1;
           t.pc <- pc + (4 * off)
         end
@@ -206,7 +213,7 @@ let step t =
         set_reg t rd (pc + 4);
         t.pc <- pc + (4 * off)
       | Jalr (rd, rs1, imm) ->
-        let target = Bor_util.Bits.wrap32 (rv rs1 + imm) in
+        let target = Bor_util.Bits.wrap32 (rv regs rs1 + imm) in
         set_reg t rd (pc + 4);
         t.pc <- target
       | Brr (freq, off) -> exec_brr t freq off

@@ -21,13 +21,24 @@ let check t addr len align what =
     fault "%s out of bounds at 0x%x" what addr;
   if addr land (align - 1) <> 0 then fault "misaligned %s at 0x%x" what addr
 
+(* Words are composed/decomposed by hand: [Bytes.get_int32_le] would
+   box an [Int32] on every access, and loads/stores are the memory hot
+   path of both simulators. *)
+
 let read_word t addr =
   check t addr 4 4 "word read";
-  Bor_util.Bits.wrap32 (Int32.to_int (Bytes.get_int32_le t addr))
+  let b0 = Char.code (Bytes.unsafe_get t addr)
+  and b1 = Char.code (Bytes.unsafe_get t (addr + 1))
+  and b2 = Char.code (Bytes.unsafe_get t (addr + 2))
+  and b3 = Char.code (Bytes.unsafe_get t (addr + 3)) in
+  Bor_util.Bits.wrap32 (b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24))
 
 let write_word t addr v =
   check t addr 4 4 "word write";
-  Bytes.set_int32_le t addr (Int32.of_int v)
+  Bytes.unsafe_set t addr (Char.unsafe_chr (v land 0xFF));
+  Bytes.unsafe_set t (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+  Bytes.unsafe_set t (addr + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+  Bytes.unsafe_set t (addr + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF))
 
 let read_byte t addr =
   check t addr 1 1 "byte read";

@@ -25,16 +25,22 @@ let create ~entries =
 
 let slot t pc = (pc lsr 2) land (Array.length t.tags - 1)
 
-let lookup t ~pc =
+(* [lookup_target] is the hot-path variant: -1 instead of [None] so
+   the fetch stage never allocates an option. *)
+let lookup_target t ~pc =
   t.lookups <- t.lookups + 1;
   Telemetry.incr t.tel_lookups;
   let i = slot t pc in
   if t.tags.(i) = pc then begin
     t.hits <- t.hits + 1;
     Telemetry.incr t.tel_hits;
-    Some t.targets.(i)
+    t.targets.(i)
   end
-  else None
+  else -1
+
+let lookup t ~pc =
+  let g = lookup_target t ~pc in
+  if g >= 0 then Some g else None
 
 let insert t ~pc ~target =
   let i = slot t pc in

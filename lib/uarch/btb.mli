@@ -11,6 +11,11 @@ type t
 
 val create : entries:int -> t
 val lookup : t -> pc:int -> int option
+
+val lookup_target : t -> pc:int -> int
+(** Like {!lookup} but -1 on a miss: the fetch-stage hot path, no
+    option allocation. *)
+
 val insert : t -> pc:int -> target:int -> unit
 val hits : t -> int
 val lookups : t -> int

@@ -6,6 +6,8 @@ type t = {
   sets : int;
   assoc : int;
   line_bytes : int;
+  line_shift : int;  (** log2 line_bytes, -1 when not a power of two *)
+  sets_shift : int;  (** log2 sets (always a power of two) *)
   tags : int array;  (** [set * assoc + way]; -1 = invalid *)
   lru : int array;  (** smaller = older *)
   mutable clock : int;
@@ -24,10 +26,22 @@ let create ?(name = "cache") ~size ~assoc ~line_bytes () =
   if not (Bor_util.Bits.is_power_of_two sets) then
     invalid_arg "Cache.create: set count must be a power of two";
   let sc = Telemetry.scope ("cache." ^ name) in
+  let log2 n =
+    if not (Bor_util.Bits.is_power_of_two n) then -1
+    else begin
+      let s = ref 0 in
+      while 1 lsl !s < n do
+        incr s
+      done;
+      !s
+    end
+  in
   {
     sets;
     assoc;
     line_bytes;
+    line_shift = log2 line_bytes;
+    sets_shift = log2 sets;
     tags = Array.make (sets * assoc) (-1);
     lru = Array.make (sets * assoc) 0;
     clock = 0;
@@ -39,33 +53,42 @@ let create ?(name = "cache") ~size ~assoc ~line_bytes () =
         "evictions";
   }
 
-let index t addr =
-  let line = addr / t.line_bytes in
-  (line land (t.sets - 1), line / t.sets)
+(* The hot path avoids divisions (shifts when the geometry is a power
+   of two) and allocation: [find] yields a slot index, -1 on a miss. *)
 
+let line_of t addr =
+  if t.line_shift >= 0 then addr lsr t.line_shift else addr / t.line_bytes
+
+(* A [while] with a mutable index: a local [let rec] would cost a
+   closure allocation per call on the non-flambda compiler. *)
 let find t set tag =
   let base = set * t.assoc in
-  let rec go w =
-    if w = t.assoc then None
-    else if t.tags.(base + w) = tag then Some (base + w)
-    else go (w + 1)
-  in
-  go 0
+  let tags = t.tags in
+  let w = ref 0 in
+  let slot = ref (-1) in
+  while !slot < 0 && !w < t.assoc do
+    if Array.unsafe_get tags (base + !w) = tag then slot := base + !w
+    else incr w
+  done;
+  !slot
 
 let probe t addr =
-  let set, tag = index t addr in
-  find t set tag <> None
+  let line = line_of t addr in
+  find t (line land (t.sets - 1)) (line lsr t.sets_shift) >= 0
 
 let access t addr =
-  let set, tag = index t addr in
+  let line = line_of t addr in
+  let set = line land (t.sets - 1) in
+  let tag = line lsr t.sets_shift in
   t.clock <- t.clock + 1;
   t.stats.accesses <- t.stats.accesses + 1;
-  match find t set tag with
-  | Some slot ->
+  let slot = find t set tag in
+  if slot >= 0 then begin
     t.lru.(slot) <- t.clock;
     Telemetry.incr t.tel_hits;
     true
-  | None ->
+  end
+  else begin
     t.stats.misses <- t.stats.misses + 1;
     Telemetry.incr t.tel_misses;
     let base = set * t.assoc in
@@ -77,6 +100,7 @@ let access t addr =
     t.tags.(!victim) <- tag;
     t.lru.(!victim) <- t.clock;
     false
+  end
 
 let stats t = t.stats
 

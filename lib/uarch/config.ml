@@ -27,6 +27,7 @@ type t = {
   lfsr_ports : int;
   brr_resolve_in_backend : bool;
   brr_in_predictor : bool;
+  retired_brr_cap : int;
 }
 
 let default =
@@ -59,4 +60,5 @@ let default =
     lfsr_ports = 4;
     brr_resolve_in_backend = false;
     brr_in_predictor = false;
+    retired_brr_cap = 200_000;
   }

@@ -55,6 +55,11 @@ type t = {
           global history and BTB like a conditional branch — quantifies
           the §3.3 point-6 pollution the paper avoids by keeping it
           out *)
+  retired_brr_cap : int;
+      (** how many committed branch-on-random outcomes
+          {!Pipeline.retired_brr_outcomes} keeps (the oldest ones;
+          200k by default). The first overflow of a run warns once on
+          stderr and {!Pipeline.retired_brr_dropped} counts the rest. *)
 }
 
 val default : t

@@ -31,6 +31,16 @@ let access t port addr =
   else if Cache.access t.l2 addr then t.l2_latency
   else t.mem_latency
 
+(* Hot-path variant for the front end: a single pass that returns -1 on
+   an L1 hit and the miss latency otherwise, replacing the old
+   probe-then-access double tag walk. State evolution (LRU, fills,
+   statistics, telemetry) is identical to [access]. *)
+let access_miss t port addr =
+  let l1 = match port with I -> t.l1i | D -> t.l1d in
+  if Cache.access l1 addr then -1
+  else if Cache.access t.l2 addr then t.l2_latency
+  else t.mem_latency
+
 let l1i t = t.l1i
 let l1d t = t.l1d
 let l2 t = t.l2

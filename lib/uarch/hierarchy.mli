@@ -11,6 +11,11 @@ val access : t -> port -> int -> int
 (** [access t port addr] returns the load-to-use latency in cycles and
     updates the cache state (allocations in L1 and L2). *)
 
+val access_miss : t -> port -> int -> int
+(** Like {!access} but returns -1 on an L1 hit and the miss latency
+    otherwise, in one tag walk — the front end's probe-or-stall hot
+    path. Cache state evolves exactly as under {!access}. *)
+
 val l1i : t -> Cache.t
 val l1d : t -> Cache.t
 val l2 : t -> Cache.t

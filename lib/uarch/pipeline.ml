@@ -165,46 +165,61 @@ let make_tel () =
         ~doc:"whole simulated runs, in cycles" "run";
   }
 
-type fetched = {
-  fpc : int;
-  instr : Bor_isa.Instr.t;
-  fetch_cycle : int;
-  pred : Predictor.prediction option;  (* conditional branches *)
-  stream_next : int;  (* where fetch went after this instruction *)
-  ghist_at_fetch : int;
-  ras_at_fetch : Ras.snapshot option;  (* cond / jalr / brr only *)
-}
+(* ------------------------------------------------------------------ *)
 
-type branch_info =
-  | B_none
-  | B_cond of { pred : Predictor.prediction; actual_taken : bool }
-  | B_jalr
-  | B_brr of { pred : Predictor.prediction option; taken : bool }
-      (* ablation: a branch-on-random resolved in the back end *)
+(* The per-cycle core runs entirely over flat, preallocated rings: the
+   fetch queue and the ROB are struct-of-arrays rings addressed by
+   absolute monotonic positions ([head]/[tail] never wrap; slot =
+   position land mask), so pops, squashes and occupancy checks are
+   pointer arithmetic and the steady-state cycle loop allocates
+   nothing.
 
-type rob_entry = {
-  seq : int;
-  epc : int;
-  instr : Bor_isa.Instr.t;
-  wrong_path : bool;
-  deps : int list;
-  mutable issued : bool;
-  mutable complete : int;  (* -1 until execution completes *)
-  binfo : branch_info;
-  mispredict : bool;
-  actual_next : int;  (* correct-path successor pc, -1 if unknown *)
-  mem_addr : int;  (* -1 when not a memory op / wrong path *)
-  ghist_at_fetch : int;
-  ras_at_fetch : Ras.snapshot option;
-  producer_snapshot : int array option;
-      (* rename-table checkpoint, taken at decode of a mispredicted
-         branch so the squash can restore mappings to still-in-flight
-         older producers *)
-}
+   Sequence numbers stay globally monotonic (never reset), but
+   wrong-path squashes leave gaps in the live sequence window —
+   entries are therefore addressed by ring *position* everywhere: the
+   rename (producer) table and the store-forwarding table hand out
+   positions directly, so no seq->position search ever runs. This is
+   sound because positions are absolute (never reused), and the only
+   entries those tables can name are correct-path ones, which leave
+   the ROB through commit alone.
+
+   Dependencies are two/three intrusive position fields per entry plus
+   a lazy scoreboard: [r_nwait] counts still-unissued producers and
+   [r_ready_at] accumulates the max completion cycle of resolved ones.
+   A dependency position below [rob_head] means the producer committed
+   (positions below head are never reused); a live producer can never
+   be squashed out from under a live consumer, because a squash only
+   removes a contiguous youngest suffix and producers are strictly
+   older. *)
+
+(* Fetch-queue slot flags. *)
+let fqf_pred = 1 (* slot carries a direction prediction *)
+let fqf_ras = 2 (* slot carries a RAS snapshot *)
+
+(* ROB slot flags. *)
+let rf_wrong = 1
+let rf_issued = 2
+let rf_mispredict = 4
+let rf_mem = 8
+let rf_load = 16
+let rf_store = 32
+let rf_pred = 64 (* [r_pred] is valid *)
+let rf_ras = 128 (* [r_ras] is valid *)
+let rf_btaken = 256 (* actual direction of a resolved branch/brr *)
+
+(* Branch kinds (the old [binfo] variant, flattened). *)
+let k_none = 0
+let k_cond = 1
+let k_jalr = 2
+let k_brr = 3
+
+let reg_zero = Bor_isa.Reg.to_int Bor_isa.Reg.zero
 
 type t = {
   cfg : Config.t;
   program : Bor_isa.Program.t;
+  code : Bor_isa.Instr.t array; (* program.text, for option-free fetch *)
+  code_base : int;
   oracle : Bor_sim.Machine.t;
   engine : Bor_core.Engine.t;
   hier : Hierarchy.t;
@@ -213,27 +228,76 @@ type t = {
   ras : Ras.t;
   pending_brr : bool option ref;  (* decode -> oracle outcome channel *)
   mutable cycle : int;
-  mutable fetch_pc : int option;
+  mutable fetch_pc : int;  (* -1 = fetch lost (wrong path / stalled) *)
   mutable fetch_stall_until : int;
-  fq : fetched Queue.t;
-  mutable rob : rob_entry Queue.t;
-  inflight : (int, rob_entry) Hashtbl.t;
-  producer : int array;  (* arch reg -> producing seq, -1 = ready *)
+  (* Fetch queue: a struct-of-arrays ring. *)
+  fq_mask : int;
+  fq_pc : int array;
+  fq_instr : Bor_isa.Instr.t array;
+  fq_cycle : int array;
+  fq_flags : int array;
+  fq_pred : Predictor.prediction array;  (* valid iff fqf_pred *)
+  fq_stream_next : int array;  (* where fetch went after this slot *)
+  fq_ghist : int array;
+  fq_ras : Ras.snapshot array;  (* pooled buffers; valid iff fqf_ras *)
+  mutable fq_head : int;
+  mutable fq_tail : int;
+  (* ROB: a struct-of-arrays ring (fields mutable only for rob_grow). *)
+  mutable rob_mask : int;
+  mutable r_seq : int array;
+  mutable r_epc : int array;
+  mutable r_instr : Bor_isa.Instr.t array;
+  mutable r_flags : int array;
+  mutable r_kind : int array;
+  mutable r_complete : int array;  (* -1 until execution completes *)
+  mutable r_actual_next : int array;  (* correct-path successor, -1 *)
+  mutable r_mem_addr : int array;  (* -1 when not a memory op *)
+  mutable r_ghist : int array;
+  mutable r_pred : Predictor.prediction array;  (* valid iff rf_pred *)
+  mutable r_ras : Ras.snapshot array;  (* valid iff rf_ras *)
+  mutable r_dep0 : int array;  (* producer positions; -1 = free slot *)
+  mutable r_dep1 : int array;
+  mutable r_dep2 : int array;
+  mutable r_nwait : int array;  (* outstanding producers *)
+  mutable r_ready_at : int array;  (* max completion of resolved deps *)
+  mutable rob_head : int;
+  mutable rob_tail : int;
+  mutable issue_scan : int;
+  mutable idle_cycle : bool;
+      (* no stage did anything in the cycle just simulated: the run
+         loop may fast-forward to the next event (see [quiesce_skip]) *)
+      (* every entry at a position below this has issued: the issue
+         scan resumes here instead of at [rob_head]. Monotone except
+         for squash truncation (clamped to the new tail). *)
+  producer : int array;  (* arch reg -> producing ROB position, -1 = ready *)
+  snap_producer : int array;
+      (* pooled rename checkpoint, filled at decode of a mispredicted
+         branch so the squash can restore mappings to still-in-flight
+         older producers. A single buffer suffices: while a resolver is
+         pending, every younger decode is wrong-path and never takes a
+         checkpoint of its own. *)
   last_store : (int, int) Hashtbl.t;
-  (* word address -> seq of the youngest in-flight store: loads take a
-     dependency on it (store-to-load forwarding through the LSQ) *)
+  (* word address -> ROB position of the youngest in-flight store:
+     loads take a dependency on it (store-to-load forwarding through
+     the LSQ). Positions are absolute and never reused, and a
+     correct-path store is never squashed (everything younger than a
+     resolver is wrong-path and wrong-path memory ops never get here),
+     so a stale entry always sits below [rob_head] = satisfied. *)
   mutable next_seq : int;
   mutable wrong_path_decode : bool;
   mutable resolver : int;  (* seq of the pending mispredicted branch, -1 *)
-  mutable spec_brr_log : bool list;  (* banked shift-out bits, newest first *)
+  mutable resolver_pos : int;  (* its ring position *)
+  mutable spec_brr_log : Bytes.t;  (* banked shift-out bits, a stack *)
+  mutable spec_brr_len : int;
   mutable halted_decoded : bool;
   mutable halt_committed : bool;
   mutable roi_active : bool;
   mutable roi_frozen : bool;
   stats : stats;
   tel : tel;
-  mutable retired_brr : bool list;  (* newest first, capped *)
-  mutable retired_brr_count : int;
+  mutable retired_brr : Bytes.t;  (* oldest first, grown up to the cap *)
+  mutable retired_brr_len : int;  (* stored = min (total, cap) *)
+  mutable retired_brr_total : int;
   mutable tracer : (trace_event -> unit) option;
 }
 
@@ -243,10 +307,12 @@ and trace_event =
   | Front_flush of { cycle : int; target : int }
   | Back_flush of { cycle : int; resolver_pc : int; squashed : int }
 
-let retired_brr_cap = 200_000
-
-let snapshot_ras (r : Ras.t) = Ras.save r
-let restore_ras (r : Ras.t) snap = Ras.restore r snap
+let pow2_at_least n =
+  let c = ref 1 in
+  while !c < n do
+    c := !c * 2
+  done;
+  !c
 
 let create ?(config = Config.default) (program : Bor_isa.Program.t) =
   let pending_brr = ref None in
@@ -261,9 +327,18 @@ let create ?(config = Config.default) (program : Bor_isa.Program.t) =
   let engine =
     Bor_core.Engine.create ~seed:config.Config.lfsr_seed ()
   in
+  let ras = Ras.create ~entries:config.Config.ras_entries in
+  let fq_cap = pow2_at_least (max 2 config.Config.fetch_queue) in
+  (* Twice [rob_entries]: the brr-in-backend ablation admits
+     branch-on-randoms past the ROB-full gate, so occupancy can
+     transiently overshoot; [rob_grow] covers the pathological rest. *)
+  let rob_cap = pow2_at_least (max 4 (2 * config.Config.rob_entries)) in
+  let dummy_pred = Predictor.none in
   {
     cfg = config;
     program;
+    code = program.Bor_isa.Program.text;
+    code_base = program.Bor_isa.Program.text_base;
     oracle =
       Bor_sim.Machine.create ~brr_mode:(Bor_sim.Machine.External decide)
         program;
@@ -271,44 +346,120 @@ let create ?(config = Config.default) (program : Bor_isa.Program.t) =
     hier = Hierarchy.create config;
     pred = Predictor.create config;
     btb = Btb.create ~entries:config.Config.btb_entries;
-    ras = Ras.create ~entries:config.Config.ras_entries;
+    ras;
     pending_brr;
     cycle = 0;
-    fetch_pc = Some program.entry;
+    fetch_pc = program.entry;
     fetch_stall_until = 0;
-    fq = Queue.create ();
-    rob = Queue.create ();
-    inflight = Hashtbl.create 128;
+    fq_mask = fq_cap - 1;
+    fq_pc = Array.make fq_cap 0;
+    fq_instr = Array.make fq_cap Bor_isa.Instr.Nop;
+    fq_cycle = Array.make fq_cap 0;
+    fq_flags = Array.make fq_cap 0;
+    fq_pred = Array.make fq_cap dummy_pred;
+    fq_stream_next = Array.make fq_cap 0;
+    fq_ghist = Array.make fq_cap 0;
+    fq_ras = Array.init fq_cap (fun _ -> Ras.blank_snapshot ras);
+    fq_head = 0;
+    fq_tail = 0;
+    rob_mask = rob_cap - 1;
+    r_seq = Array.make rob_cap 0;
+    r_epc = Array.make rob_cap 0;
+    r_instr = Array.make rob_cap Bor_isa.Instr.Nop;
+    r_flags = Array.make rob_cap 0;
+    r_kind = Array.make rob_cap k_none;
+    r_complete = Array.make rob_cap 0;
+    r_actual_next = Array.make rob_cap 0;
+    r_mem_addr = Array.make rob_cap (-1);
+    r_ghist = Array.make rob_cap 0;
+    r_pred = Array.make rob_cap dummy_pred;
+    r_ras = Array.init rob_cap (fun _ -> Ras.blank_snapshot ras);
+    r_dep0 = Array.make rob_cap (-1);
+    r_dep1 = Array.make rob_cap (-1);
+    r_dep2 = Array.make rob_cap (-1);
+    r_nwait = Array.make rob_cap 0;
+    r_ready_at = Array.make rob_cap 0;
+    rob_head = 0;
+    rob_tail = 0;
+    issue_scan = 0;
+    idle_cycle = false;
     producer = Array.make Bor_isa.Reg.count (-1);
+    snap_producer = Array.make Bor_isa.Reg.count (-1);
     last_store = Hashtbl.create 64;
     next_seq = 0;
     wrong_path_decode = false;
     resolver = -1;
-    spec_brr_log = [];
+    resolver_pos = -1;
+    spec_brr_log = Bytes.create 64;
+    spec_brr_len = 0;
     halted_decoded = false;
     halt_committed = false;
     roi_active = true;
     roi_frozen = false;
     stats = fresh_stats ();
     tel = make_tel ();
-    retired_brr = [];
-    retired_brr_count = 0;
+    retired_brr =
+      Bytes.create (max 0 (min config.Config.retired_brr_cap 1024));
+    retired_brr_len = 0;
+    retired_brr_total = 0;
     tracer = None;
   }
 
 let oracle t = t.oracle
 let engine t = t.engine
 let config t = t.cfg
-let retired_brr_outcomes t = List.rev t.retired_brr
-let set_tracer t f = t.tracer <- Some f
 
-let trace t ev =
-  match t.tracer with None -> () | Some f -> f ev
+let retired_brr_outcomes t =
+  let acc = ref [] in
+  for i = t.retired_brr_len - 1 downto 0 do
+    acc := (Bytes.unsafe_get t.retired_brr i <> '\000') :: !acc
+  done;
+  !acc
+
+let retired_brr_dropped t = t.retired_brr_total - t.retired_brr_len
+let set_tracer t f = t.tracer <- Some f
 let roi t = t.roi_active && not t.roi_frozen
+let rob_occ t = t.rob_tail - t.rob_head
 
 exception Sim_error of string
 
 let sim_error fmt = Printf.ksprintf (fun m -> raise (Sim_error m)) fmt
+
+let retired_brr_warned = ref false
+
+let log_retired_brr t outcome =
+  let cap = t.cfg.Config.retired_brr_cap in
+  if t.retired_brr_len < cap then begin
+    let len = Bytes.length t.retired_brr in
+    if t.retired_brr_len >= len then begin
+      let grown = Bytes.create (min cap (max 64 (2 * len))) in
+      Bytes.blit t.retired_brr 0 grown 0 len;
+      t.retired_brr <- grown
+    end;
+    Bytes.unsafe_set t.retired_brr t.retired_brr_len
+      (if outcome then '\001' else '\000');
+    t.retired_brr_len <- t.retired_brr_len + 1
+  end
+  else if t.retired_brr_total = cap && not !retired_brr_warned then begin
+    retired_brr_warned := true;
+    Printf.eprintf
+      "bor_uarch: branch-on-random outcome log hit its cap (%d); keeping \
+       the oldest, dropping the rest (raise Config.retired_brr_cap to \
+       keep more)\n%!"
+      cap
+  end;
+  t.retired_brr_total <- t.retired_brr_total + 1
+
+let push_spec_brr t bank =
+  let len = Bytes.length t.spec_brr_log in
+  if t.spec_brr_len >= len then begin
+    let grown = Bytes.create (2 * len) in
+    Bytes.blit t.spec_brr_log 0 grown 0 len;
+    t.spec_brr_log <- grown
+  end;
+  Bytes.unsafe_set t.spec_brr_log t.spec_brr_len
+    (if bank then '\001' else '\000');
+  t.spec_brr_len <- t.spec_brr_len + 1
 
 (* --------------------------------------------------------------- Fetch *)
 
@@ -323,106 +474,116 @@ let fetch t =
   while
     !continue_
     && !fetched < t.cfg.Config.fetch_width
-    && Queue.length t.fq < t.cfg.Config.fetch_queue
+    && t.fq_tail - t.fq_head < t.cfg.Config.fetch_queue
     && t.cycle >= t.fetch_stall_until
     && not t.halted_decoded
   do
-    match t.fetch_pc with
-    | None -> continue_ := false
-    | Some pc -> (
-      (* Instruction cache: a miss blocks the front end. *)
-      if not (Cache.probe (Hierarchy.l1i t.hier) pc) then begin
-        let latency = Hierarchy.access t.hier Hierarchy.I pc in
-        t.fetch_stall_until <- t.cycle + latency;
+    let pc = t.fetch_pc in
+    if pc < 0 then continue_ := false
+    else begin
+      (* Instruction cache, single tag walk: -1 = L1 hit, otherwise the
+         miss latency blocks the front end. *)
+      let miss = Hierarchy.access_miss t.hier Hierarchy.I pc in
+      if miss >= 0 then begin
+        t.fetch_stall_until <- t.cycle + miss;
         if roi t then Telemetry.incr t.tel.t_icache_stalls;
         continue_ := false
       end
       else begin
-        ignore (Hierarchy.access t.hier Hierarchy.I pc);
-        match Bor_isa.Program.instr_at t.program pc with
-        | None ->
-          (* Wrong-path fetch wandered outside the text segment. *)
-          t.fetch_pc <- None;
+      let off = pc - t.code_base in
+      if off < 0 || off land 3 <> 0 || off lsr 2 >= Array.length t.code
+      then begin
+        (* Wrong-path fetch wandered outside the text segment. *)
+        t.fetch_pc <- -1;
+        continue_ := false
+      end
+      else begin
+        let instr = Array.unsafe_get t.code (off lsr 2) in
+        let slot = t.fq_tail land t.fq_mask in
+        let ghist_at_fetch = Predictor.ghist t.pred in
+        let fall = pc + 4 in
+        let flags = ref 0 in
+        let stream_next =
+          match instr with
+          | Bor_isa.Instr.Jal (rd, joff) ->
+            if Bor_isa.Reg.equal rd Bor_isa.Reg.ra then Ras.push t.ras fall;
+            if roi t then begin
+              t.stats.predecode_redirects <- t.stats.predecode_redirects + 1;
+              Telemetry.incr t.tel.t_predecode
+            end;
+            pc + (4 * joff)
+          | Bor_isa.Instr.Brr_always joff ->
+            if roi t then begin
+              t.stats.predecode_redirects <- t.stats.predecode_redirects + 1;
+              Telemetry.incr t.tel.t_predecode
+            end;
+            pc + (4 * joff)
+          | Bor_isa.Instr.Jalr _ when is_return instr ->
+            Ras.save_into t.ras t.fq_ras.(slot);
+            flags := !flags lor fqf_ras;
+            (* -1 (underflow) = no prediction: stall fetch *)
+            Ras.pop_target t.ras
+          | Bor_isa.Instr.Jalr _ ->
+            Ras.save_into t.ras t.fq_ras.(slot);
+            flags := !flags lor fqf_ras;
+            -1
+          | Bor_isa.Instr.Brr _ when t.cfg.Config.brr_in_predictor -> (
+            (* Ablation: the brr consults the direction predictor,
+               shifts the global history and uses the BTB, like any
+               conditional branch. *)
+            Ras.save_into t.ras t.fq_ras.(slot);
+            flags := !flags lor fqf_ras;
+            let p = Predictor.predict t.pred ~pc in
+            t.fq_pred.(slot) <- p;
+            flags := !flags lor fqf_pred;
+            if Predictor.taken p then begin
+              let target = Btb.lookup_target t.btb ~pc in
+              if target >= 0 then target else fall
+            end
+            else fall)
+          | Bor_isa.Instr.Brr _ ->
+            Ras.save_into t.ras t.fq_ras.(slot);
+            flags := !flags lor fqf_ras;
+            fall
+          | Bor_isa.Instr.Branch _ -> (
+            Ras.save_into t.ras t.fq_ras.(slot);
+            flags := !flags lor fqf_ras;
+            let p = Predictor.predict t.pred ~pc in
+            t.fq_pred.(slot) <- p;
+            flags := !flags lor fqf_pred;
+            if Predictor.taken p then begin
+              (* a BTB miss leaves a predicted-taken branch falling
+                 through: no target known *)
+              let target = Btb.lookup_target t.btb ~pc in
+              if target >= 0 then target else fall
+            end
+            else fall)
+          | Bor_isa.Instr.Halt -> -1
+          | _ -> fall
+        in
+        t.fq_pc.(slot) <- pc;
+        t.fq_instr.(slot) <- instr;
+        t.fq_cycle.(slot) <- t.cycle;
+        t.fq_flags.(slot) <- !flags;
+        t.fq_stream_next.(slot) <- stream_next;
+        t.fq_ghist.(slot) <- ghist_at_fetch;
+        t.fq_tail <- t.fq_tail + 1;
+        incr fetched;
+        if roi t then Telemetry.incr t.tel.t_fetch_slots;
+        if stream_next = -1 then begin
+          t.fetch_pc <- -1;
           continue_ := false
-        | Some instr ->
-          let ghist_at_fetch = Predictor.ghist t.pred in
-          let fall = pc + 4 in
-          let pred = ref None in
-          let ras_snap = ref None in
-          let stream_next =
-            match instr with
-            | Bor_isa.Instr.Jal (rd, off) ->
-              if Bor_isa.Reg.equal rd Bor_isa.Reg.ra then Ras.push t.ras fall;
-              if roi t then begin
-                t.stats.predecode_redirects <- t.stats.predecode_redirects + 1;
-                Telemetry.incr t.tel.t_predecode
-              end;
-              pc + (4 * off)
-            | Bor_isa.Instr.Brr_always off ->
-              if roi t then begin
-                t.stats.predecode_redirects <- t.stats.predecode_redirects + 1;
-                Telemetry.incr t.tel.t_predecode
-              end;
-              pc + (4 * off)
-            | Bor_isa.Instr.Jalr _ when is_return instr -> (
-              ras_snap := Some (snapshot_ras t.ras);
-              match Ras.pop t.ras with
-              | Some target -> target
-              | None -> -1 (* no prediction: stall fetch *))
-            | Bor_isa.Instr.Jalr _ ->
-              ras_snap := Some (snapshot_ras t.ras);
-              -1
-            | Bor_isa.Instr.Brr _ when t.cfg.Config.brr_in_predictor -> (
-              (* Ablation: the brr consults the direction predictor,
-                 shifts the global history and uses the BTB, like any
-                 conditional branch. *)
-              ras_snap := Some (snapshot_ras t.ras);
-              let p = Predictor.predict t.pred ~pc in
-              pred := Some p;
-              if p.Predictor.taken then
-                match Btb.lookup t.btb ~pc with
-                | Some target -> target
-                | None -> fall
-              else fall)
-            | Bor_isa.Instr.Brr _ ->
-              ras_snap := Some (snapshot_ras t.ras);
-              fall
-            | Bor_isa.Instr.Branch _ -> (
-              ras_snap := Some (snapshot_ras t.ras);
-              let p = Predictor.predict t.pred ~pc in
-              pred := Some p;
-              if p.Predictor.taken then
-                match Btb.lookup t.btb ~pc with
-                | Some target -> target
-                | None -> fall (* predicted taken, no target known *)
-              else fall)
-            | Bor_isa.Instr.Halt -> -1
-            | _ -> fall
-          in
-          Queue.add
-            {
-              fpc = pc;
-              instr;
-              fetch_cycle = t.cycle;
-              pred = !pred;
-              stream_next;
-              ghist_at_fetch;
-              ras_at_fetch = !ras_snap;
-            }
-            t.fq;
-          incr fetched;
-          if roi t then Telemetry.incr t.tel.t_fetch_slots;
-          if stream_next = -1 then begin
-            t.fetch_pc <- None;
-            continue_ := false
-          end
-          else begin
-            t.fetch_pc <- Some stream_next;
-            (* Fetch stops at any redirecting instruction. *)
-            if stream_next <> fall then continue_ := false
-          end
-      end)
+        end
+        else begin
+          t.fetch_pc <- stream_next;
+          (* Fetch stops at any redirecting instruction. *)
+          if stream_next <> fall then continue_ := false
+        end
+      end
+      end
+    end
   done;
+  if !fetched > 0 then t.idle_cycle <- false;
   if !fetched = t.cfg.Config.fetch_width && roi t then begin
     t.stats.cycles_fetch_full <- t.stats.cycles_fetch_full + 1;
     Telemetry.incr t.tel.t_fetch_full
@@ -431,23 +592,6 @@ let fetch t =
 (* -------------------------------------------------------------- Decode *)
 
 let oracle_reg t r = Bor_sim.Machine.reg t.oracle r
-
-(* Pre-compute the architectural behaviour of the next oracle
-   instruction (before stepping it). *)
-let capture t (i : Bor_isa.Instr.t) pc =
-  let open Bor_isa.Instr in
-  match i with
-  | Branch (c, r1, r2, off) ->
-    let taken = eval_cond c (oracle_reg t r1) (oracle_reg t r2) in
-    (taken, (if taken then pc + (4 * off) else pc + 4), -1)
-  | Jalr (_, rs1, imm) ->
-    (false, Bor_util.Bits.wrap32 (oracle_reg t rs1 + imm), -1)
-  | Load (_, _, rs1, off) -> (false, pc + 4, oracle_reg t rs1 + off)
-  | Store (_, _, rbase, off) -> (false, pc + 4, oracle_reg t rbase + off)
-  | Jal (_, off) -> (false, pc + (4 * off), -1)
-  | Brr_always off -> (false, pc + (4 * off), -1)
-  | Alu _ | Alui _ | Lui _ | Brr _ | Rdlfsr _ | Marker _ | Halt | Nop ->
-    (false, pc + 4, -1)
 
 let completes_at_decode (i : Bor_isa.Instr.t) =
   match i with
@@ -459,32 +603,122 @@ let completes_at_decode (i : Bor_isa.Instr.t) =
   | Bor_isa.Instr.Jalr _ | Bor_isa.Instr.Brr _ ->
     false
 
+(* Record a dependency of the (not yet appended) entry in ROB slot
+   [rslot] on the producer at ring position [dpos]. The producer and
+   [last_store] tables hand out positions directly (positions are
+   absolute and never reused, so no seq->position search is needed): a
+   position below [rob_head] means the producer committed = already
+   satisfied; an issued one only constrains the ready cycle; an
+   unissued one occupies an intrusive dependency slot and bumps the
+   outstanding count. *)
+let add_dep_pos t rslot dpos =
+  if dpos >= t.rob_head then begin
+    let ds = dpos land t.rob_mask in
+    let c = t.r_complete.(ds) in
+    if c >= 0 then begin
+      if c > t.r_ready_at.(rslot) then t.r_ready_at.(rslot) <- c
+    end
+    else begin
+      if t.r_dep0.(rslot) < 0 then t.r_dep0.(rslot) <- dpos
+      else if t.r_dep1.(rslot) < 0 then t.r_dep1.(rslot) <- dpos
+      else t.r_dep2.(rslot) <- dpos;
+      t.r_nwait.(rslot) <- t.r_nwait.(rslot) + 1
+    end
+  end
+
+let add_reg_dep t rslot r =
+  let p = t.producer.(r) in
+  if p >= 0 then add_dep_pos t rslot p
+
+(* Double the ROB ring. Positions are absolute, so live entries only
+   move between slots; dependency references are unaffected. *)
+let rob_grow t =
+  let old_mask = t.rob_mask in
+  let cap = 2 * (old_mask + 1) in
+  let mask = cap - 1 in
+  let seq = Array.make cap 0 in
+  let epc = Array.make cap 0 in
+  let instr = Array.make cap Bor_isa.Instr.Nop in
+  let flags = Array.make cap 0 in
+  let kind = Array.make cap k_none in
+  let complete = Array.make cap 0 in
+  let actual_next = Array.make cap 0 in
+  let mem_addr = Array.make cap (-1) in
+  let ghist = Array.make cap 0 in
+  let pred = Array.make cap t.r_pred.(0) in
+  let ras = Array.init cap (fun _ -> Ras.blank_snapshot t.ras) in
+  let dep0 = Array.make cap (-1) in
+  let dep1 = Array.make cap (-1) in
+  let dep2 = Array.make cap (-1) in
+  let nwait = Array.make cap 0 in
+  let ready_at = Array.make cap 0 in
+  for pos = t.rob_head to t.rob_tail - 1 do
+    let os = pos land old_mask and ns = pos land mask in
+    seq.(ns) <- t.r_seq.(os);
+    epc.(ns) <- t.r_epc.(os);
+    instr.(ns) <- t.r_instr.(os);
+    flags.(ns) <- t.r_flags.(os);
+    kind.(ns) <- t.r_kind.(os);
+    complete.(ns) <- t.r_complete.(os);
+    actual_next.(ns) <- t.r_actual_next.(os);
+    mem_addr.(ns) <- t.r_mem_addr.(os);
+    ghist.(ns) <- t.r_ghist.(os);
+    pred.(ns) <- t.r_pred.(os);
+    ras.(ns) <- t.r_ras.(os);
+    dep0.(ns) <- t.r_dep0.(os);
+    dep1.(ns) <- t.r_dep1.(os);
+    dep2.(ns) <- t.r_dep2.(os);
+    nwait.(ns) <- t.r_nwait.(os);
+    ready_at.(ns) <- t.r_ready_at.(os)
+  done;
+  t.rob_mask <- mask;
+  t.r_seq <- seq;
+  t.r_epc <- epc;
+  t.r_instr <- instr;
+  t.r_flags <- flags;
+  t.r_kind <- kind;
+  t.r_complete <- complete;
+  t.r_actual_next <- actual_next;
+  t.r_mem_addr <- mem_addr;
+  t.r_ghist <- ghist;
+  t.r_pred <- pred;
+  t.r_ras <- ras;
+  t.r_dep0 <- dep0;
+  t.r_dep1 <- dep1;
+  t.r_dep2 <- dep2;
+  t.r_nwait <- nwait;
+  t.r_ready_at <- ready_at
+
 (* A decode-stage redirect flushes the younger half of the front end;
    their speculative history updates and RAS motion must be unwound to
-   the redirecting instruction's fetch point. *)
-let frontend_redirect t (e : fetched) target =
-  trace t (Front_flush { cycle = t.cycle; target });
-  Queue.clear t.fq;
-  Predictor.restore_ghist t.pred e.ghist_at_fetch;
-  (match e.ras_at_fetch with
-  | Some snap -> restore_ras t.ras snap
-  | None -> ());
-  t.fetch_pc <- Some target;
+   the redirecting instruction's fetch point. [fslot] is the (already
+   popped, still intact) fetch-queue slot of that instruction. *)
+let frontend_redirect t fslot target =
+  (match t.tracer with
+  | None -> ()
+  | Some f -> f (Front_flush { cycle = t.cycle; target }));
+  t.fq_head <- t.fq_tail;
+  Predictor.restore_ghist t.pred t.fq_ghist.(fslot);
+  if t.fq_flags.(fslot) land fqf_ras <> 0 then
+    Ras.restore t.ras t.fq_ras.(fslot);
+  t.fetch_pc <- target;
   t.fetch_stall_until <- t.cycle + 1
 
-let decode_one t (e : fetched) =
+let decode_one t fslot =
   let open Bor_isa.Instr in
+  let instr = t.fq_instr.(fslot) in
+  let fpc = t.fq_pc.(fslot) in
+  let fflags = t.fq_flags.(fslot) in
   (* Returns [true] if decode may continue this cycle. *)
-  match e.instr with
-  | Brr (freq, off) when not t.cfg.Config.brr_resolve_in_backend ->
+  match instr with
+  | Brr (freq, boff) when not t.cfg.Config.brr_resolve_in_backend ->
     let outcome, bank = Bor_core.Engine.decide_recorded t.engine freq in
     if t.wrong_path_decode then begin
-      if t.cfg.Config.deterministic_lfsr then
-        t.spec_brr_log <- bank :: t.spec_brr_log;
+      if t.cfg.Config.deterministic_lfsr then push_spec_brr t bank;
       if outcome then begin
         (* Wrong-path front-end redirect: speculation within
            speculation, exactly what the hardware would do. *)
-        frontend_redirect t e (e.fpc + (4 * off));
+        frontend_redirect t fslot (fpc + (4 * boff));
         false
       end
       else true
@@ -501,33 +735,29 @@ let decode_one t (e : fetched) =
           Telemetry.incr t.tel.t_brr_taken
         end
       end;
-      if t.retired_brr_count < retired_brr_cap then begin
-        t.retired_brr <- outcome :: t.retired_brr;
-        t.retired_brr_count <- t.retired_brr_count + 1
-      end;
-      trace t (Brr_resolved { cycle = t.cycle; pc = e.fpc; taken = outcome });
-      let actual_next =
-        if outcome then e.fpc + (4 * off) else e.fpc + 4
-      in
+      log_retired_brr t outcome;
+      (match t.tracer with
+      | None -> ()
+      | Some f ->
+        f (Brr_resolved { cycle = t.cycle; pc = fpc; taken = outcome }));
+      let actual_next = if outcome then fpc + (4 * boff) else fpc + 4 in
       (* Pollution ablation: even though resolution stays in decode, the
          predictor tables, history and BTB see this branch. *)
-      (match e.pred with
-      | Some p when t.cfg.Config.brr_in_predictor ->
-        Predictor.update t.pred ~pc:e.fpc p ~taken:outcome;
-        if outcome then Btb.insert t.btb ~pc:e.fpc ~target:actual_next
-      | Some _ | None -> ());
-      if e.stream_next <> actual_next then begin
+      if fflags land fqf_pred <> 0 && t.cfg.Config.brr_in_predictor
+      then begin
+        Predictor.update t.pred ~pc:fpc t.fq_pred.(fslot) ~taken:outcome;
+        if outcome then Btb.insert t.btb ~pc:fpc ~target:actual_next
+      end;
+      if t.fq_stream_next.(fslot) <> actual_next then begin
         if roi t then begin
           t.stats.frontend_flushes <- t.stats.frontend_flushes + 1;
           Telemetry.incr t.tel.t_flush_frontend
         end;
-        frontend_redirect t e actual_next;
+        frontend_redirect t fslot actual_next;
         (* The flush rewound the history to this brr's fetch point; with
            the pollution ablation its own direction is then replayed. *)
-        (match e.pred with
-        | Some p when t.cfg.Config.brr_in_predictor ->
-          Predictor.recover t.pred p ~taken:outcome
-        | Some _ | None -> ());
+        if fflags land fqf_pred <> 0 && t.cfg.Config.brr_in_predictor then
+          Predictor.recover t.pred t.fq_pred.(fslot) ~taken:outcome;
         false
       end
       else true
@@ -536,120 +766,187 @@ let decode_one t (e : fetched) =
     (* Includes Brr under the backend-resolution ablation: the brr then
        occupies a ROB slot and resolves at execute like a conditional
        branch. *)
-    let brr_info =
-      match e.instr with
-      | Brr (freq, off) ->
-        let outcome, bank = Bor_core.Engine.decide_recorded t.engine freq in
-        if t.wrong_path_decode then begin
-          if t.cfg.Config.deterministic_lfsr then
-            t.spec_brr_log <- bank :: t.spec_brr_log
-        end
-        else begin
-          t.pending_brr := Some outcome;
-          if roi t then begin
-            t.stats.brr_executed <- t.stats.brr_executed + 1;
-            Telemetry.incr t.tel.t_brr_resolved;
-            if outcome then begin
-              t.stats.brr_taken <- t.stats.brr_taken + 1;
-              Telemetry.incr t.tel.t_brr_taken
-            end
-          end;
-          if t.retired_brr_count < retired_brr_cap then begin
-            t.retired_brr <- outcome :: t.retired_brr;
-            t.retired_brr_count <- t.retired_brr_count + 1
+    let is_brr_i = match instr with Brr _ -> true | _ -> false in
+    let brr_outcome = ref false in
+    let brr_next = ref (-1) in
+    (match instr with
+    | Brr (freq, boff) ->
+      let outcome, bank = Bor_core.Engine.decide_recorded t.engine freq in
+      if t.wrong_path_decode then begin
+        if t.cfg.Config.deterministic_lfsr then push_spec_brr t bank
+      end
+      else begin
+        t.pending_brr := Some outcome;
+        if roi t then begin
+          t.stats.brr_executed <- t.stats.brr_executed + 1;
+          Telemetry.incr t.tel.t_brr_resolved;
+          if outcome then begin
+            t.stats.brr_taken <- t.stats.brr_taken + 1;
+            Telemetry.incr t.tel.t_brr_taken
           end
         end;
-        Some (outcome, (if outcome then e.fpc + (4 * off) else e.fpc + 4))
-      | _ -> None
-    in
+        log_retired_brr t outcome
+      end;
+      brr_outcome := outcome;
+      brr_next := (if outcome then fpc + (4 * boff) else fpc + 4)
+    | _ -> ());
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
-    let reg_deps =
-      List.filter_map
-        (fun r ->
-          let p = t.producer.(Bor_isa.Reg.to_int r) in
-          if p >= 0 then Some p else None)
-        (sources e.instr)
-    in
+    if t.rob_tail - t.rob_head > t.rob_mask then rob_grow t;
+    let rslot = t.rob_tail land t.rob_mask in
+    t.r_dep0.(rslot) <- -1;
+    t.r_dep1.(rslot) <- -1;
+    t.r_dep2.(rslot) <- -1;
+    t.r_nwait.(rslot) <- 0;
+    t.r_ready_at.(rslot) <- 0;
+    (* Register sources, mirroring [Instr.sources] (zero filtered). *)
+    (match instr with
+    | Alu (_, _, rs1, rs2) | Branch (_, rs1, rs2, _) | Store (_, rs1, rs2, _)
+      ->
+      let s1 = Bor_isa.Reg.to_int rs1 and s2 = Bor_isa.Reg.to_int rs2 in
+      if s1 <> reg_zero then add_reg_dep t rslot s1;
+      if s2 <> reg_zero then add_reg_dep t rslot s2
+    | Alui (_, _, rs1, _) | Load (_, _, rs1, _) | Jalr (_, rs1, _) ->
+      let s1 = Bor_isa.Reg.to_int rs1 in
+      if s1 <> reg_zero then add_reg_dep t rslot s1
+    | Lui _ | Jal _ | Brr _ | Brr_always _ | Rdlfsr _ | Marker _ | Halt
+    | Nop ->
+      ());
     let wrong_path = t.wrong_path_decode in
-    if (not wrong_path) && Bor_sim.Machine.pc t.oracle <> e.fpc then
-      sim_error "timing/functional divergence: decode pc 0x%x, oracle 0x%x"
-        e.fpc (Bor_sim.Machine.pc t.oracle);
-    let actual_taken, actual_next, mem_addr =
-      if wrong_path then (false, -1, -1)
-      else
-        match brr_info with
-        | Some (_, next) -> (false, next, -1)
-        | None -> capture t e.instr e.fpc
-    in
+    (* Architectural outcome, fused with the oracle step: the memory
+       address is read *before* stepping (a load may overwrite its own
+       base register), then the next pc falls out of the oracle and a
+       branch's direction out of its taken-counter delta — no second
+       evaluation of the instruction's semantics. *)
+    let actual_taken = ref false in
+    let actual_next = ref (-1) in
+    let mem_addr = ref (-1) in
+    if wrong_path then ()
+    else begin
+      if Bor_sim.Machine.pc t.oracle <> fpc then
+        sim_error "timing/functional divergence: decode pc 0x%x, oracle 0x%x"
+          fpc (Bor_sim.Machine.pc t.oracle);
+      if is_brr_i then begin
+        (* Backend-resolution ablation: the recorded outcome is already
+           in [pending_brr], which the oracle's decide hook replays. *)
+        Bor_sim.Machine.step t.oracle;
+        actual_next := !brr_next
+      end
+      else begin
+      (match instr with
+      | Load (_, _, rs1, off) -> mem_addr := oracle_reg t rs1 + off
+      | Store (_, _, rbase, off) -> mem_addr := oracle_reg t rbase + off
+      | _ -> ());
+      (match instr with
+      | Branch _ ->
+        let ost = Bor_sim.Machine.stats t.oracle in
+        let taken0 = ost.Bor_sim.Machine.cond_taken in
+        Bor_sim.Machine.step t.oracle;
+        actual_taken := ost.Bor_sim.Machine.cond_taken > taken0
+      | _ -> Bor_sim.Machine.step t.oracle);
+      (* For a halt the oracle pc does not advance; the stored
+         next-pc of a non-redirecting instruction is never read. *)
+        actual_next := Bor_sim.Machine.pc t.oracle
+      end
+    end;
+    let actual_taken = !actual_taken in
+    let actual_next = !actual_next in
+    let mem_addr = !mem_addr in
     (* Memory dependencies: a load waits for the youngest in-flight
        store to the same word (store-to-load forwarding); a store
        becomes the new youngest. *)
-    let deps =
-      if mem_addr < 0 then reg_deps
-      else begin
-        let word = mem_addr asr 2 in
-        if Bor_isa.Instr.is_store e.instr then begin
-          Hashtbl.replace t.last_store word seq;
-          reg_deps
-        end
-        else
-          match Hashtbl.find_opt t.last_store word with
-          | Some s when Hashtbl.mem t.inflight s -> s :: reg_deps
-          | Some _ | None -> reg_deps
-      end
-    in
-    let binfo =
-      match e.instr with
-      | Branch _ when not wrong_path ->
-        B_cond { pred = Option.get e.pred; actual_taken }
-      | Jalr _ when not wrong_path -> B_jalr
-      | Brr _ when not wrong_path ->
-        B_brr { pred = e.pred; taken = Option.get brr_info |> fst }
-      | _ -> B_none
+    if mem_addr >= 0 then begin
+      let word = mem_addr asr 2 in
+      match instr with
+      | Store _ -> Hashtbl.replace t.last_store word t.rob_tail
+      | _ -> (
+        match Hashtbl.find_opt t.last_store word with
+        | Some p -> add_dep_pos t rslot p
+        | None -> ())
+    end;
+    let kind, bflags =
+      if wrong_path then (k_none, 0)
+      else
+        match instr with
+        | Branch _ ->
+          if fflags land fqf_pred = 0 then
+            sim_error "conditional branch without a prediction at pc 0x%x"
+              fpc;
+          (k_cond, rf_pred lor (if actual_taken then rf_btaken else 0))
+        | Jalr _ -> (k_jalr, 0)
+        | Brr _ ->
+          ( k_brr,
+            (if fflags land fqf_pred <> 0 then rf_pred else 0)
+            lor (if !brr_outcome then rf_btaken else 0) )
+        | _ -> (k_none, 0)
     in
     let mispredict =
       (not wrong_path)
       &&
-      match e.instr with
-      | Branch _ | Jalr _ | Brr _ -> e.stream_next <> actual_next
+      match instr with
+      | Branch _ | Jalr _ | Brr _ -> t.fq_stream_next.(fslot) <> actual_next
       | _ -> false
     in
-    if not wrong_path then Bor_sim.Machine.step t.oracle;
     (* The destination mapping must be installed before the rename
-       checkpoint so a restore reflects this instruction too. *)
-    (match dest e.instr with
-    | Some rd -> t.producer.(Bor_isa.Reg.to_int rd) <- seq
-    | None -> ());
-    let entry =
-      {
-        seq;
-        epc = e.fpc;
-        instr = e.instr;
-        wrong_path;
-        deps;
-        issued = completes_at_decode e.instr;
-        complete = (if completes_at_decode e.instr then t.cycle else -1);
-        binfo;
-        mispredict;
-        actual_next;
-        mem_addr;
-        ghist_at_fetch = e.ghist_at_fetch;
-        ras_at_fetch = e.ras_at_fetch;
-        producer_snapshot =
-          (if mispredict then Some (Array.copy t.producer) else None);
-      }
+       checkpoint so a restore reflects this instruction too
+       (mirroring [Instr.dest], zero filtered). *)
+    (match instr with
+    | Alu (_, rd, _, _)
+    | Alui (_, rd, _, _)
+    | Lui (rd, _)
+    | Load (_, rd, _, _)
+    | Jal (rd, _)
+    | Jalr (rd, _, _)
+    | Rdlfsr rd ->
+      let rdi = Bor_isa.Reg.to_int rd in
+      if rdi <> reg_zero then t.producer.(rdi) <- t.rob_tail
+    | Store _ | Branch _ | Brr _ | Brr_always _ | Marker _ | Halt | Nop ->
+      ());
+    if mispredict then
+      Array.blit t.producer 0 t.snap_producer 0 (Array.length t.producer);
+    let completes = completes_at_decode instr in
+    t.r_seq.(rslot) <- seq;
+    t.r_epc.(rslot) <- fpc;
+    t.r_instr.(rslot) <- instr;
+    t.r_kind.(rslot) <- kind;
+    t.r_complete.(rslot) <- (if completes then t.cycle else -1);
+    t.r_actual_next.(rslot) <- actual_next;
+    t.r_mem_addr.(rslot) <- mem_addr;
+    t.r_ghist.(rslot) <- t.fq_ghist.(fslot);
+    if fflags land fqf_pred <> 0 then t.r_pred.(rslot) <- t.fq_pred.(fslot);
+    let flags =
+      bflags
+      lor (if wrong_path then rf_wrong else 0)
+      lor (if completes then rf_issued else 0)
+      lor (if mispredict then rf_mispredict else 0)
+      lor
+      match instr with
+      | Load _ -> rf_mem lor rf_load
+      | Store _ -> rf_mem lor rf_store
+      | _ -> 0
     in
-    Queue.add entry t.rob;
-    Hashtbl.replace t.inflight seq entry;
+    let flags =
+      if fflags land fqf_ras <> 0 then begin
+        (* Hand the pooled snapshot buffer over to the ROB slot (and
+           take its old one back for the fetch queue): O(1), no copy. *)
+        let snap = t.fq_ras.(fslot) in
+        t.fq_ras.(fslot) <- t.r_ras.(rslot);
+        t.r_ras.(rslot) <- snap;
+        flags lor rf_ras
+      end
+      else flags
+    in
+    t.r_flags.(rslot) <- flags;
+    t.rob_tail <- t.rob_tail + 1;
     if mispredict then begin
       t.wrong_path_decode <- true;
-      t.resolver <- seq
+      t.resolver <- seq;
+      t.resolver_pos <- t.rob_tail - 1
     end;
-    (match e.instr with
+    (match instr with
     | Halt when not wrong_path ->
       t.halted_decoded <- true;
-      t.fetch_pc <- None
+      t.fetch_pc <- -1
     | _ -> ());
     true
 
@@ -657,17 +954,18 @@ let decode t =
   let decoded = ref 0 in
   let brr_decoded = ref 0 in
   let continue_ = ref true in
-  let rob_full () = Queue.length t.rob >= t.cfg.Config.rob_entries in
   while !continue_ && !decoded < t.cfg.Config.decode_width do
-    match Queue.peek_opt t.fq with
-    | None -> continue_ := false
-    | Some e ->
+    if t.fq_head >= t.fq_tail then continue_ := false
+    else begin
+      let fslot = t.fq_head land t.fq_mask in
       let is_brr =
-        match e.instr with Bor_isa.Instr.Brr _ -> true | _ -> false
+        match t.fq_instr.(fslot) with Bor_isa.Instr.Brr _ -> true | _ -> false
       in
-      if e.fetch_cycle + t.cfg.Config.decode_depth > t.cycle then
+      if t.fq_cycle.(fslot) + t.cfg.Config.decode_depth > t.cycle then
         continue_ := false
-      else if (not is_brr) && rob_full () then begin
+      else if
+        (not is_brr) && t.rob_tail - t.rob_head >= t.cfg.Config.rob_entries
+      then begin
         if roi t then begin
           t.stats.cycles_rob_full <- t.stats.cycles_rob_full + 1;
           Telemetry.incr t.tel.t_rob_full
@@ -679,13 +977,15 @@ let decode t =
            the extra branch-on-randoms decode next cycle. *)
         continue_ := false
       else begin
-        let e' = Queue.pop t.fq in
+        t.fq_head <- t.fq_head + 1;
         incr decoded;
         if roi t then Telemetry.incr t.tel.t_decode_slots;
         if is_brr then incr brr_decoded;
-        if not (decode_one t e') then continue_ := false
+        if not (decode_one t fslot) then continue_ := false
       end
+    end
   done;
+  if !decoded > 0 then t.idle_cycle <- false;
   if !decoded = 0 && roi t then begin
     t.stats.cycles_decode_starved <- t.stats.cycles_decode_starved + 1;
     Telemetry.incr t.tel.t_decode_starved
@@ -693,115 +993,169 @@ let decode t =
 
 (* --------------------------------------------------------------- Issue *)
 
-let dep_ready t cycle d =
-  match Hashtbl.find_opt t.inflight d with
-  | None -> true (* committed or squashed *)
-  | Some e -> e.complete >= 0 && e.complete <= cycle
-
-let latency_of t (e : rob_entry) =
+let latency_of t s =
   let open Bor_isa.Instr in
-  match e.instr with
+  match t.r_instr.(s) with
   | Load _ ->
-    if e.wrong_path || e.mem_addr < 0 then t.cfg.Config.l1_latency
-    else Hierarchy.access t.hier Hierarchy.D e.mem_addr
+    if t.r_flags.(s) land rf_wrong <> 0 || t.r_mem_addr.(s) < 0 then
+      t.cfg.Config.l1_latency
+    else Hierarchy.access t.hier Hierarchy.D t.r_mem_addr.(s)
   | Store _ ->
-    if not e.wrong_path && e.mem_addr >= 0 then
-      ignore (Hierarchy.access t.hier Hierarchy.D e.mem_addr);
+    if t.r_flags.(s) land rf_wrong = 0 && t.r_mem_addr.(s) >= 0 then
+      ignore (Hierarchy.access t.hier Hierarchy.D t.r_mem_addr.(s));
     1
   | Alu (Mul, _, _, _) -> t.cfg.Config.mul_latency
   | _ -> t.cfg.Config.alu_latency
 
-let issue t =
-  let issued = ref 0 and mem = ref 0 in
-  let consider (e : rob_entry) =
-    if
-      (not e.issued)
-      && !issued < t.cfg.Config.issue_width
-      && List.for_all (dep_ready t t.cycle) e.deps
-    then begin
-      let is_mem =
-        Bor_isa.Instr.is_load e.instr || Bor_isa.Instr.is_store e.instr
-      in
-      if not (is_mem && !mem >= t.cfg.Config.mem_ports) then begin
-        e.issued <- true;
-        e.complete <- t.cycle + latency_of t e;
-        incr issued;
-        if roi t then Telemetry.incr t.tel.t_issue_slots;
-        if is_mem then incr mem
-      end
+(* True if the dependency at position [dpos] no longer blocks issue:
+   committed (below head) or issued. An issued producer folds its
+   completion cycle into the consumer's ready cycle. *)
+let resolve_dep_slot t s dpos =
+  if dpos < t.rob_head then true
+  else begin
+    let c = t.r_complete.(dpos land t.rob_mask) in
+    if c >= 0 then begin
+      if c > t.r_ready_at.(s) then t.r_ready_at.(s) <- c;
+      true
     end
-  in
-  Queue.iter consider t.rob
+    else false
+  end
+
+let resolve_deps t s =
+  let d0 = t.r_dep0.(s) in
+  if d0 >= 0 && resolve_dep_slot t s d0 then begin
+    t.r_dep0.(s) <- -1;
+    t.r_nwait.(s) <- t.r_nwait.(s) - 1
+  end;
+  let d1 = t.r_dep1.(s) in
+  if d1 >= 0 && resolve_dep_slot t s d1 then begin
+    t.r_dep1.(s) <- -1;
+    t.r_nwait.(s) <- t.r_nwait.(s) - 1
+  end;
+  let d2 = t.r_dep2.(s) in
+  if d2 >= 0 && resolve_dep_slot t s d2 then begin
+    t.r_dep2.(s) <- -1;
+    t.r_nwait.(s) <- t.r_nwait.(s) - 1
+  end
+
+let issue t =
+  let width = t.cfg.Config.issue_width in
+  let ports = t.cfg.Config.mem_ports in
+  let issued = ref 0 and mem = ref 0 in
+  (* Entries below [issue_scan] have all issued; skip them wholesale
+     instead of re-testing their flags every cycle. *)
+  let start = if t.issue_scan > t.rob_head then t.issue_scan else t.rob_head in
+  let pos = ref start in
+  let tail = t.rob_tail in
+  let scan = ref start in
+  let scanning = ref true in
+  while !issued < width && !pos < tail do
+    let s = !pos land t.rob_mask in
+    let fl = t.r_flags.(s) in
+    if fl land rf_issued = 0 then begin
+      if t.r_nwait.(s) > 0 then resolve_deps t s;
+      if t.r_nwait.(s) = 0 && t.r_ready_at.(s) <= t.cycle then begin
+        let is_mem = fl land rf_mem <> 0 in
+        if not (is_mem && !mem >= ports) then begin
+          t.r_flags.(s) <- fl lor rf_issued;
+          t.r_complete.(s) <- t.cycle + latency_of t s;
+          incr issued;
+          if roi t then Telemetry.incr t.tel.t_issue_slots;
+          if is_mem then incr mem
+        end
+      end
+    end;
+    if !scanning then begin
+      if t.r_flags.(s) land rf_issued <> 0 then scan := !pos + 1
+      else scanning := false
+    end;
+    incr pos
+  done;
+  if !issued > 0 then t.idle_cycle <- false;
+  t.issue_scan <- !scan
 
 (* -------------------------------------------------------------- Squash *)
 
-let squash t (resolver : rob_entry) =
-  (* Remove everything younger than the resolver. *)
-  let keep = Queue.create () in
-  let removed = ref 0 in
-  Queue.iter
-    (fun e ->
-      if e.seq <= resolver.seq then Queue.add e keep
-      else begin
-        incr removed;
-        Hashtbl.remove t.inflight e.seq
-      end)
-    t.rob;
-  t.rob <- keep;
-  (match resolver.producer_snapshot with
-  | Some snap -> Array.blit snap 0 t.producer 0 (Array.length snap)
-  | None ->
+let squash t rp =
+  (* Remove everything younger than the resolver (at position [rp]):
+     tail truncation. Squashed positions will be reallocated, but no
+     surviving entry can reference one (producers are older than their
+     consumers), and sequence numbers are never reused. *)
+  let rs = rp land t.rob_mask in
+  let removed = t.rob_tail - (rp + 1) in
+  t.idle_cycle <- false;
+  t.rob_tail <- rp + 1;
+  if t.issue_scan > t.rob_tail then t.issue_scan <- t.rob_tail;
+  if t.r_flags.(rs) land rf_mispredict <> 0 then
+    Array.blit t.snap_producer 0 t.producer 0 (Array.length t.producer)
+  else begin
     (* Unpredicted jalr: nothing younger was fetched, the table only
        needs wrong-path entries dropped (there are none). *)
-    Array.iteri
-      (fun i p -> if p > resolver.seq then t.producer.(i) <- -1)
-      t.producer);
-  Queue.clear t.fq;
+    let p = t.producer in
+    for i = 0 to Array.length p - 1 do
+      if p.(i) > rp then p.(i) <- -1
+    done
+  end;
+  t.fq_head <- t.fq_tail;
   (* Deterministic LFSR recovery (§3.4): shift back once per squashed
      speculative branch-on-random decode, newest first. *)
   if t.cfg.Config.deterministic_lfsr then
-    List.iter
-      (fun bank -> Bor_core.Engine.undo t.engine ~shifted_out:bank)
-      t.spec_brr_log;
-  t.spec_brr_log <- [];
+    for i = t.spec_brr_len - 1 downto 0 do
+      Bor_core.Engine.undo t.engine
+        ~shifted_out:(Bytes.unsafe_get t.spec_brr_log i <> '\000')
+    done;
+  t.spec_brr_len <- 0;
   (* Global-history and RAS recovery to the resolver's fetch point. *)
-  (match resolver.binfo with
-  | B_cond { pred; actual_taken } ->
-    Predictor.recover t.pred pred ~taken:actual_taken
-  | B_brr { pred = Some p; taken } -> Predictor.recover t.pred p ~taken
-  | B_jalr | B_brr { pred = None; _ } ->
-    Predictor.restore_ghist t.pred resolver.ghist_at_fetch
-  | B_none -> ());
-  (match resolver.ras_at_fetch with
-  | Some snap ->
-    restore_ras t.ras snap;
+  let flags = t.r_flags.(rs) in
+  (match t.r_kind.(rs) with
+  | 1 (* cond *) ->
+    Predictor.recover t.pred t.r_pred.(rs) ~taken:(flags land rf_btaken <> 0)
+  | 3 (* brr *) ->
+    if flags land rf_pred <> 0 then
+      Predictor.recover t.pred t.r_pred.(rs)
+        ~taken:(flags land rf_btaken <> 0)
+    else Predictor.restore_ghist t.pred t.r_ghist.(rs)
+  | 2 (* jalr *) -> Predictor.restore_ghist t.pred t.r_ghist.(rs)
+  | _ -> ());
+  if flags land rf_ras <> 0 then begin
+    Ras.restore t.ras t.r_ras.(rs);
     (* Replay the resolver's own RAS effect. *)
-    (match resolver.instr with
-    | Bor_isa.Instr.Jalr _ when is_return resolver.instr ->
+    match t.r_instr.(rs) with
+    | Bor_isa.Instr.Jalr _ when is_return t.r_instr.(rs) ->
       ignore (Ras.pop t.ras)
-    | _ -> ())
-  | None -> ());
+    | _ -> ()
+  end;
   t.wrong_path_decode <- false;
   t.resolver <- -1;
+  t.resolver_pos <- -1;
   t.halted_decoded <- false;
-  t.fetch_pc <- Some resolver.actual_next;
+  t.fetch_pc <- t.r_actual_next.(rs);
   t.fetch_stall_until <- t.cycle + t.cfg.Config.backend_redirect;
-  trace t
-    (Back_flush
-       { cycle = t.cycle; resolver_pc = resolver.epc; squashed = !removed });
+  (match t.tracer with
+  | None -> ()
+  | Some f ->
+    f
+      (Back_flush
+         { cycle = t.cycle; resolver_pc = t.r_epc.(rs); squashed = removed }));
   if roi t then begin
     t.stats.backend_flushes <- t.stats.backend_flushes + 1;
-    t.stats.squashed <- t.stats.squashed + !removed;
+    t.stats.squashed <- t.stats.squashed + removed;
     Telemetry.incr t.tel.t_flush_backend;
-    Telemetry.add t.tel.t_squashed !removed
+    Telemetry.add t.tel.t_squashed removed
   end
 
 let check_resolver t =
-  if t.resolver >= 0 then
-    match Hashtbl.find_opt t.inflight t.resolver with
-    | Some e when e.complete >= 0 && e.complete <= t.cycle -> squash t e
-    | Some _ -> ()
-    | None -> sim_error "resolver %d vanished" t.resolver
+  if t.resolver >= 0 then begin
+    let rp = t.resolver_pos in
+    if
+      rp < t.rob_head || rp >= t.rob_tail
+      || t.r_seq.(rp land t.rob_mask) <> t.resolver
+    then sim_error "resolver %d vanished" t.resolver
+    else begin
+      let c = t.r_complete.(rp land t.rob_mask) in
+      if c >= 0 && c <= t.cycle then squash t rp
+    end
+  end
 
 (* -------------------------------------------------------------- Commit *)
 
@@ -842,58 +1196,69 @@ let marker_commit t n =
 let commit t =
   let n = ref 0 in
   let continue_ = ref true in
-  while !continue_ && !n < t.cfg.Config.commit_width do
-    match Queue.peek_opt t.rob with
-    | Some e when e.complete >= 0 && e.complete <= t.cycle ->
-      if e.wrong_path then
-        sim_error "wrong-path instruction reached commit at pc 0x%x" e.epc;
-      ignore (Queue.pop t.rob);
-      Hashtbl.remove t.inflight e.seq;
-      incr n;
-      trace t (Commit { cycle = t.cycle; pc = e.epc; instr = e.instr });
-      if roi t then begin
-        let s = t.stats in
-        s.instructions <- s.instructions + 1;
-        Telemetry.incr t.tel.t_commit_slots;
-        if Bor_isa.Instr.is_load e.instr then s.loads <- s.loads + 1;
-        if Bor_isa.Instr.is_store e.instr then s.stores <- s.stores + 1
-      end;
-      (match e.binfo with
-      | B_brr _ when roi t ->
-        (* brr statistics were taken at decode; keep committed-instruction
-           counting here but do not re-count the brr events. *)
-        ()
-      | _ -> ());
-      (match e.binfo with
-      | B_cond { pred; actual_taken } ->
+  let width = t.cfg.Config.commit_width in
+  while !continue_ && !n < width do
+    if t.rob_head >= t.rob_tail then continue_ := false
+    else begin
+      let s = t.rob_head land t.rob_mask in
+      let c = t.r_complete.(s) in
+      if c >= 0 && c <= t.cycle then begin
+        let flags = t.r_flags.(s) in
+        let epc = t.r_epc.(s) in
+        let instr = t.r_instr.(s) in
+        if flags land rf_wrong <> 0 then
+          sim_error "wrong-path instruction reached commit at pc 0x%x" epc;
+        t.rob_head <- t.rob_head + 1;
+        incr n;
+        (match t.tracer with
+        | None -> ()
+        | Some f -> f (Commit { cycle = t.cycle; pc = epc; instr }));
         if roi t then begin
-          t.stats.cond_branches <- t.stats.cond_branches + 1;
-          if e.mispredict then begin
-            t.stats.cond_mispredicts <- t.stats.cond_mispredicts + 1;
-            Telemetry.incr t.tel.t_mispredict_cond
-          end
+          let st = t.stats in
+          st.instructions <- st.instructions + 1;
+          Telemetry.incr t.tel.t_commit_slots;
+          if flags land rf_load <> 0 then st.loads <- st.loads + 1;
+          if flags land rf_store <> 0 then st.stores <- st.stores + 1
         end;
-        Predictor.update t.pred ~pc:e.epc pred ~taken:actual_taken;
-        if actual_taken then
-          Btb.insert t.btb ~pc:e.epc ~target:e.actual_next
-      | B_brr { pred = Some p; taken } ->
-        Predictor.update t.pred ~pc:e.epc p ~taken;
-        if taken then Btb.insert t.btb ~pc:e.epc ~target:e.actual_next
-      | B_jalr ->
-        if roi t then begin
-          t.stats.returns <- t.stats.returns + 1;
-          if e.mispredict then begin
-            t.stats.return_mispredicts <- t.stats.return_mispredicts + 1;
-            Telemetry.incr t.tel.t_mispredict_return
+        (match t.r_kind.(s) with
+        | 1 (* cond *) ->
+          let actual_taken = flags land rf_btaken <> 0 in
+          if roi t then begin
+            t.stats.cond_branches <- t.stats.cond_branches + 1;
+            if flags land rf_mispredict <> 0 then begin
+              t.stats.cond_mispredicts <- t.stats.cond_mispredicts + 1;
+              Telemetry.incr t.tel.t_mispredict_cond
+            end
+          end;
+          Predictor.update t.pred ~pc:epc t.r_pred.(s) ~taken:actual_taken;
+          if actual_taken then
+            Btb.insert t.btb ~pc:epc ~target:t.r_actual_next.(s)
+        | 3 (* brr, backend-resolution ablation *) ->
+          (* brr statistics were taken at decode; committed-instruction
+             counting above, but the brr events are not re-counted. *)
+          if flags land rf_pred <> 0 then begin
+            let taken = flags land rf_btaken <> 0 in
+            Predictor.update t.pred ~pc:epc t.r_pred.(s) ~taken;
+            if taken then Btb.insert t.btb ~pc:epc ~target:t.r_actual_next.(s)
           end
-        end
-      | B_brr { pred = None; _ } | B_none -> ());
-      (match e.instr with
-      | Bor_isa.Instr.Marker m -> marker_commit t m
-      | Bor_isa.Instr.Halt -> t.halt_committed <- true
-      | _ -> ())
-    | Some _ | None -> continue_ := false
-  done
+        | 2 (* jalr *) ->
+          if roi t then begin
+            t.stats.returns <- t.stats.returns + 1;
+            if flags land rf_mispredict <> 0 then begin
+              t.stats.return_mispredicts <- t.stats.return_mispredicts + 1;
+              Telemetry.incr t.tel.t_mispredict_return
+            end
+          end
+        | _ -> ());
+        (match instr with
+        | Bor_isa.Instr.Marker m -> marker_commit t m
+        | Bor_isa.Instr.Halt -> t.halt_committed <- true
+        | _ -> ())
+      end
+      else continue_ := false
+    end
+  done;
+  if !n > 0 then t.idle_cycle <- false
 
 (* ----------------------------------------------------------------- Run *)
 
@@ -903,6 +1268,7 @@ let halted t = t.halt_committed
 let step_cycle t =
   if t.halt_committed then ()
   else begin
+    t.idle_cycle <- true;
     check_resolver t;
     commit t;
     issue t;
@@ -910,11 +1276,107 @@ let step_cycle t =
     fetch t;
     if roi t then begin
       t.stats.cycles <- t.stats.cycles + 1;
-      t.stats.rob_occupancy <- t.stats.rob_occupancy + Queue.length t.rob;
+      t.stats.rob_occupancy <- t.stats.rob_occupancy + rob_occ t;
       Telemetry.incr t.tel.t_cycles;
-      Telemetry.observe t.tel.t_rob_occupancy (Queue.length t.rob)
+      Telemetry.observe t.tel.t_rob_occupancy (rob_occ t)
     end;
     t.cycle <- t.cycle + 1
+  end
+
+(* Fast-forward over provably idle cycles. Called only right after a
+   cycle in which no stage did anything ([t.idle_cycle]); the machine
+   state is then frozen except for the clock, so nothing can happen
+   before the earliest of: the fetch stall lifting, the fetch-queue
+   head reaching decode age, or an in-flight completion / ready time.
+   Jump the clock there, replaying the per-cycle accounting (which is
+   constant across the window) for every skipped cycle — simulated
+   behavior, statistics, telemetry and cycle counts are identical to
+   stepping cycle by cycle, which the bench digest gate checks.
+
+   Soundness of the event scan: in a fully idle cycle the issue stage
+   scanned every live entry (width was never consumed), so each
+   still-unissued entry has either [nwait = 0] and a future [ready_at]
+   (a direct event), or dependencies that all point at *unissued*
+   producers — whose own events cover it transitively. *)
+let quiesce_skip t ~limit =
+  let c = t.cycle in
+  let next = ref limit in
+  let note x = if x < !next then next := x else () in
+  (* Front end: fetch wakes when its stall lifts (if it can run at
+     all). A fetch that could run right now means the idle cycle was
+     not frozen after all — [note c] suppresses the skip. *)
+  if
+    t.fetch_pc >= 0 && (not t.halted_decoded)
+    && t.fq_tail - t.fq_head < t.cfg.Config.fetch_queue
+  then note (if t.fetch_stall_until > c then t.fetch_stall_until else c);
+  (* Decode: the queue head wakes when it reaches decode age; an aged
+     head blocked on a full ROB (or an LFSR port) wakes via a
+     completion, already covered by the ROB scan below. An aged,
+     unblocked head could decode right now: suppress the skip. *)
+  if t.fq_head < t.fq_tail then begin
+    let fslot = t.fq_head land t.fq_mask in
+    let aged_at = t.fq_cycle.(fslot) + t.cfg.Config.decode_depth in
+    if aged_at > c then note aged_at
+    else begin
+      let is_brr =
+        match t.fq_instr.(fslot) with Bor_isa.Instr.Brr _ -> true | _ -> false
+      in
+      let blocked =
+        if is_brr then t.cfg.Config.lfsr_ports <= 0
+        else t.rob_tail - t.rob_head >= t.cfg.Config.rob_entries
+      in
+      if not blocked then note c
+    end
+  end;
+  (* Back end: future completions (commit, the resolver) and ready
+     times of fully-resolved unissued entries. *)
+  let pos = ref t.rob_head in
+  while !pos < t.rob_tail do
+    let s = !pos land t.rob_mask in
+    let cm = t.r_complete.(s) in
+    (* [cm = c] wakes commit (and the resolver) at [c] itself: no skip.
+       A stale [cm < c] is a non-head entry stuck behind the head and
+       needs no event of its own -- the head's completion covers it. *)
+    if cm >= 0 then begin if cm >= c then note cm else () end
+    else if t.r_nwait.(s) = 0 then
+      (* ready in the past yet unissued: a port-starved entry; don't
+         risk the skip *)
+      note (if t.r_ready_at.(s) > c then t.r_ready_at.(s) else c)
+    else ();
+    incr pos
+  done;
+  let k = !next - c in
+  if k > 0 then begin
+    if roi t then begin
+      let st = t.stats in
+      let occ = rob_occ t in
+      (* Decode-starved holds for every skipped cycle (nothing
+         decodes); the ROB-full stall counter additionally ticks when
+         an aged non-brr head sits before a full ROB — conditions that
+         are all frozen across the window. *)
+      let rob_full_blocked =
+        t.fq_head < t.fq_tail
+        && begin
+             let fslot = t.fq_head land t.fq_mask in
+             t.fq_cycle.(fslot) + t.cfg.Config.decode_depth <= c
+             && (match t.fq_instr.(fslot) with
+                | Bor_isa.Instr.Brr _ -> false
+                | _ -> true)
+             && t.rob_tail - t.rob_head >= t.cfg.Config.rob_entries
+           end
+      in
+      st.cycles <- st.cycles + k;
+      st.rob_occupancy <- st.rob_occupancy + (k * occ);
+      st.cycles_decode_starved <- st.cycles_decode_starved + k;
+      if rob_full_blocked then st.cycles_rob_full <- st.cycles_rob_full + k;
+      for _ = 1 to k do
+        Telemetry.incr t.tel.t_cycles;
+        Telemetry.observe t.tel.t_rob_occupancy occ;
+        Telemetry.incr t.tel.t_decode_starved;
+        if rob_full_blocked then Telemetry.incr t.tel.t_rob_full
+      done
+    end;
+    t.cycle <- c + k
   end
 
 let run ?(max_cycles = 2_000_000_000) t =
@@ -931,11 +1393,13 @@ let run ?(max_cycles = 2_000_000_000) t =
       end
       else if t.cycle >= max_cycles then Error "cycle budget exhausted"
       else if
-        Queue.is_empty t.rob && Queue.is_empty t.fq && t.fetch_pc = None
+        rob_occ t = 0 && t.fq_head >= t.fq_tail && t.fetch_pc < 0
         && not t.halted_decoded
       then Error "front end deadlocked (fetch lost with empty ROB)"
       else begin
         step_cycle t;
+        if t.idle_cycle && not t.halt_committed then
+          quiesce_skip t ~limit:max_cycles;
         go ()
       end
     in

@@ -87,7 +87,14 @@ val engine : t -> Bor_core.Engine.t
 
 val retired_brr_outcomes : t -> bool list
 (** The committed branch-on-random outcome sequence, oldest first —
-    used by the §3.4 determinism experiments. *)
+    used by the §3.4 determinism experiments. Only the first
+    [Config.retired_brr_cap] outcomes are kept (stored flat in a
+    preallocated byte buffer); the first overflow warns once on
+    stderr. *)
+
+val retired_brr_dropped : t -> int
+(** How many branch-on-random outcomes were dropped after the log
+    reached [Config.retired_brr_cap] (0 when nothing was lost). *)
 
 val config : t -> Config.t
 

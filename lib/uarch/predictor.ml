@@ -5,6 +5,8 @@ type t = {
   bimodal : int array;
   chooser : int array;  (** 2-bit: >=2 prefers gshare *)
   ghist_mask : int;
+  bimodal_mask : int;  (** entries - 1 when a power of two, else -1 *)
+  snap_shift : int;  (** bit offset of the history snapshot in a packed prediction *)
   mutable ghist : int;
   tel_predictions : Telemetry.counter;
   tel_gshare_chosen : Telemetry.counter;
@@ -13,7 +15,17 @@ type t = {
   tel_recoveries : Telemetry.counter;
 }
 
-type prediction = { taken : bool; ghist_snapshot : int; meta : int }
+(* A prediction is a single immediate int (the fetch queue and the ROB
+   store one per in-flight branch; a record would cost an allocation
+   per fetched branch):
+   bit 0 = overall direction, bit 1 = gshare's vote, bit 2 = bimodal's
+   vote, then [ghist_bits] of gshare index (computed pre-shift, for
+   training), then the global-history snapshot (for recovery). *)
+type prediction = int
+
+let taken (p : prediction) = p land 1 <> 0
+
+let none : prediction = 0
 
 let create (c : Config.t) =
   let sc = Telemetry.scope "predictor" in
@@ -22,6 +34,11 @@ let create (c : Config.t) =
     bimodal = Array.make c.bimodal_entries 1;
     chooser = Array.make c.bimodal_entries 2;
     ghist_mask = Bor_util.Bits.mask c.ghist_bits;
+    bimodal_mask =
+      (if Bor_util.Bits.is_power_of_two c.bimodal_entries then
+         c.bimodal_entries - 1
+       else -1);
+    snap_shift = 3 + c.ghist_bits;
     ghist = 0;
     tel_predictions =
       Telemetry.counter sc ~doc:"fetch-stage direction predictions"
@@ -40,7 +57,11 @@ let create (c : Config.t) =
   }
 
 let gshare_index t pc = ((pc lsr 2) lxor t.ghist) land t.ghist_mask
-let bimodal_index t pc = (pc lsr 2) mod Array.length t.bimodal
+
+let bimodal_index t pc =
+  if t.bimodal_mask >= 0 then (pc lsr 2) land t.bimodal_mask
+  else (pc lsr 2) mod Array.length t.bimodal
+
 let counter_taken v = v >= 2
 
 let bump a i taken =
@@ -56,19 +77,20 @@ let predict t ~pc =
     (if use_gshare then t.tel_gshare_chosen else t.tel_bimodal_chosen);
   let g = counter_taken t.gshare.(gi) in
   let b = counter_taken t.bimodal.(bi) in
-  let taken = if use_gshare then g else b in
+  let dir = if use_gshare then g else b in
   let snapshot = t.ghist in
-  t.ghist <- ((t.ghist lsl 1) lor Bool.to_int taken) land t.ghist_mask;
-  (* meta packs the gshare index (computed pre-history-update) and the
-     two component predictions for chooser training. *)
-  { taken; ghist_snapshot = snapshot;
-    meta = (gi lsl 2) lor (Bool.to_int g lsl 1) lor Bool.to_int b }
+  t.ghist <- ((t.ghist lsl 1) lor Bool.to_int dir) land t.ghist_mask;
+  Bool.to_int dir
+  lor (Bool.to_int g lsl 1)
+  lor (Bool.to_int b lsl 2)
+  lor (gi lsl 3)
+  lor (snapshot lsl t.snap_shift)
 
 let update t ~pc (p : prediction) ~taken =
   Telemetry.incr t.tel_updates;
-  let gi = p.meta lsr 2 in
-  let g = (p.meta lsr 1) land 1 = 1 in
-  let b = p.meta land 1 = 1 in
+  let gi = (p lsr 3) land t.ghist_mask in
+  let g = (p lsr 1) land 1 = 1 in
+  let b = (p lsr 2) land 1 = 1 in
   let bi = bimodal_index t pc in
   bump t.gshare gi taken;
   bump t.bimodal bi taken;
@@ -76,7 +98,7 @@ let update t ~pc (p : prediction) ~taken =
 
 let recover t (p : prediction) ~taken =
   Telemetry.incr t.tel_recoveries;
-  t.ghist <- ((p.ghist_snapshot lsl 1) lor Bool.to_int taken) land t.ghist_mask
+  t.ghist <- (((p lsr t.snap_shift) lsl 1) lor Bool.to_int taken) land t.ghist_mask
 
 let ghist t = t.ghist
 let restore_ghist t h = t.ghist <- h land t.ghist_mask

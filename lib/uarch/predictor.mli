@@ -10,11 +10,18 @@
 
 type t
 
-type prediction = {
-  taken : bool;
-  ghist_snapshot : int;  (** for recovery on squash *)
-  meta : int;  (** opaque; pass back to [update] *)
-}
+type prediction = int
+(** Packed prediction (direction, component votes, training index and
+    history snapshot in one immediate int, so in-flight queues can hold
+    predictions in flat [int array]s with no allocation per fetched
+    branch). Treat as opaque: read with {!taken}, pass back to
+    [update]/[recover]. *)
+
+val taken : prediction -> bool
+(** The predicted direction. *)
+
+val none : prediction
+(** Placeholder for slots that carry no prediction. *)
 
 val create : Config.t -> t
 

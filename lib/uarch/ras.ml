@@ -30,17 +30,24 @@ let push t v =
   t.top <- (t.top + 1) mod Array.length t.stack;
   t.depth <- min (t.depth + 1) (Array.length t.stack)
 
-let pop t =
+(* [pop_target] is the hot-path variant: -1 instead of [None] so the
+   fetch stage never allocates an option (return addresses are always
+   non-negative). *)
+let pop_target t =
   if t.depth = 0 then begin
     Telemetry.incr t.tel_underflows;
-    None
+    -1
   end
   else begin
     Telemetry.incr t.tel_pops;
     t.top <- (t.top + Array.length t.stack - 1) mod Array.length t.stack;
     t.depth <- t.depth - 1;
-    Some t.stack.(t.top)
+    t.stack.(t.top)
   end
+
+let pop t =
+  let g = pop_target t in
+  if g >= 0 then Some g else None
 
 let depth t = t.depth
 
@@ -48,9 +55,21 @@ let depth t = t.depth
    squash), not architectural stack traffic: they bypass the telemetry
    counters on purpose. *)
 
-type snapshot = { s_stack : int array; s_top : int; s_depth : int }
+type snapshot = {
+  s_stack : int array;
+  mutable s_top : int;
+  mutable s_depth : int;
+}
 
 let save t = { s_stack = Array.copy t.stack; s_top = t.top; s_depth = t.depth }
+
+let blank_snapshot t =
+  { s_stack = Array.make (Array.length t.stack) 0; s_top = 0; s_depth = 0 }
+
+let save_into t s =
+  Array.blit t.stack 0 s.s_stack 0 (Array.length t.stack);
+  s.s_top <- t.top;
+  s.s_depth <- t.depth
 
 let restore t s =
   Array.blit s.s_stack 0 t.stack 0 (Array.length t.stack);

@@ -7,6 +7,11 @@ type t
 val create : entries:int -> t
 val push : t -> int -> unit
 val pop : t -> int option
+
+val pop_target : t -> int
+(** Like {!pop} but -1 on underflow: the fetch-stage hot path, no
+    option allocation (return addresses are non-negative). *)
+
 val depth : t -> int
 
 (** {2 Checkpointing}
@@ -18,4 +23,14 @@ val depth : t -> int
 type snapshot
 
 val save : t -> snapshot
+
+val blank_snapshot : t -> snapshot
+(** A fresh buffer matching [t]'s geometry, for {!save_into} — lets a
+    caller pool snapshots instead of allocating one per {!save}. *)
+
+val save_into : t -> snapshot -> unit
+(** [save_into t s] overwrites [s] with the current state; [s] must
+    come from {!blank_snapshot} (or {!save}) on a stack of the same
+    size. Allocation-free. *)
+
 val restore : t -> snapshot -> unit

@@ -70,7 +70,7 @@ let test_predictor_learns_bias () =
   let p = Bor_uarch.Predictor.create Bor_uarch.Config.default in
   train p 0x1000 ~taken:true ~times:8;
   let pred = Bor_uarch.Predictor.predict p ~pc:0x1000 in
-  check Alcotest.bool "predicts taken" true pred.taken
+  check Alcotest.bool "predicts taken" true (Bor_uarch.Predictor.taken pred)
 
 let test_predictor_learns_alternation () =
   (* gshare with history learns a strict T/N alternation. *)
@@ -80,11 +80,11 @@ let test_predictor_learns_alternation () =
   for i = 1 to 600 do
     taken := not !taken;
     let pred = Bor_uarch.Predictor.predict p ~pc:0x2000 in
-    if i > 300 && pred.taken <> !taken then incr wrong;
+    if i > 300 && Bor_uarch.Predictor.taken pred <> !taken then incr wrong;
     Bor_uarch.Predictor.update p ~pc:0x2000 pred ~taken:!taken;
     (* As in hardware: a misprediction repairs the speculative global
        history. *)
-    if pred.taken <> !taken then
+    if Bor_uarch.Predictor.taken pred <> !taken then
       Bor_uarch.Predictor.recover p pred ~taken:!taken
   done;
   check Alcotest.bool
@@ -347,7 +347,25 @@ tgt:    addi t1, t1, 1
         (tel "cache.l1i.misses");
       check Alcotest.int "l1d misses" st.l1d_misses
         (tel "cache.l1d.misses");
-      check Alcotest.int "l2 misses" st.l2_misses (tel "cache.l2.misses"))
+      check Alcotest.int "l2 misses" st.l2_misses (tel "cache.l2.misses");
+      (* The occupancy histogram is fed once per simulated cycle --
+         including cycles the quiescent-skip fast path replays in bulk
+         -- so its count and sum must equal the stats accumulators. *)
+      let module Json = Bor_telemetry.Json in
+      let occ =
+        match Json.member "pipeline.rob.occupancy" (Telemetry.to_json ()) with
+        | Some h -> h
+        | None -> Alcotest.fail "histogram pipeline.rob.occupancy missing"
+      in
+      let field f =
+        match Json.member f occ with
+        | Some (Json.Int v) -> v
+        | _ -> Alcotest.failf "histogram field %s missing" f
+      in
+      check Alcotest.int "occupancy observed once per cycle" st.cycles
+        (field "count");
+      check Alcotest.int "occupancy sum = stats accumulator" st.rob_occupancy
+        (field "sum"))
 
 let test_roi_markers () =
   let src =
@@ -466,6 +484,75 @@ let test_nondeterministic_loses_transitions () =
     (Float.abs (rate timing -. 0.25) < 0.02);
   check Alcotest.bool "brr executed count architecturally equal" true
     (st.brr_executed = 30000)
+
+let test_minic_differential_matches_functional () =
+  (* The §3.4 determinism experiment at compiler scale: seeded minic
+     binaries (the §5.3 microbenchmark under brr sampling) through the
+     ring-buffer pipeline must retire exactly the outcome stream a
+     purely functional, no-speculation run draws from the same seed. *)
+  let cfg = { Bor_uarch.Config.default with deterministic_lfsr = true } in
+  List.iter
+    (fun seed ->
+      let compiled =
+        Bor_workload.Micro.compile ~chars:2_000 ~seed
+          Bor_minic.Instrument.(
+            Sampled (Brr (Bor_core.Freq.of_period 64), No_duplication))
+      in
+      let p = compiled.Bor_minic.Driver.program in
+      let t = Bor_uarch.Pipeline.create ~config:cfg p in
+      let st =
+        match Bor_uarch.Pipeline.run t with
+        | Ok st -> st
+        | Error e -> Alcotest.fail e
+      in
+      let timing = Bor_uarch.Pipeline.retired_brr_outcomes t in
+      check Alcotest.int
+        (Printf.sprintf "seed %d: nothing truncated" seed)
+        0
+        (Bor_uarch.Pipeline.retired_brr_dropped t);
+      let engine = Bor_core.Engine.create ~seed:cfg.lfsr_seed () in
+      let functional = ref [] in
+      let decide freq =
+        let o = Bor_core.Engine.decide engine freq in
+        functional := o :: !functional;
+        o
+      in
+      let m =
+        Bor_sim.Machine.create ~brr_mode:(Bor_sim.Machine.External decide) p
+      in
+      (match Bor_sim.Machine.run m with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      check Alcotest.int
+        (Printf.sprintf "seed %d: one retired outcome per executed brr" seed)
+        st.brr_executed (List.length timing);
+      check Alcotest.bool
+        (Printf.sprintf "seed %d: timing = functional stream" seed)
+        true
+        (timing = List.rev !functional))
+    [ 1; 42; 2008 ]
+
+let test_retired_brr_cap_truncates () =
+  (* A small [retired_brr_cap] keeps only the oldest outcomes and counts
+     the overflow, without perturbing simulated behavior. *)
+  let cfg = { Bor_uarch.Config.default with deterministic_lfsr = true } in
+  let full, st = retired_outcomes cfg in
+  let p = assemble determinism_src in
+  let capped_cfg = { cfg with retired_brr_cap = 100 } in
+  let t = Bor_uarch.Pipeline.create ~config:capped_cfg p in
+  let st' =
+    match Bor_uarch.Pipeline.run t with
+    | Ok st' -> st'
+    | Error e -> Alcotest.fail e
+  in
+  let capped = Bor_uarch.Pipeline.retired_brr_outcomes t in
+  check Alcotest.int "cycles unchanged by the cap" st.cycles st'.cycles;
+  check Alcotest.int "kept exactly the cap" 100 (List.length capped);
+  check Alcotest.bool "kept the oldest outcomes" true
+    (capped = List.filteri (fun i _ -> i < 100) full);
+  check Alcotest.int "dropped count covers the rest"
+    (st'.brr_executed - 100)
+    (Bor_uarch.Pipeline.retired_brr_dropped t)
 
 let test_trace_events () =
   let p =
@@ -774,6 +861,10 @@ let () =
             test_deterministic_lfsr_repeatable;
           Alcotest.test_case "checkpointed = functional" `Quick
             test_deterministic_matches_functional;
+          Alcotest.test_case "minic differential = functional" `Quick
+            test_minic_differential_matches_functional;
+          Alcotest.test_case "retired-brr cap truncates" `Quick
+            test_retired_brr_cap_truncates;
           Alcotest.test_case "lossy preserves rates" `Quick
             test_nondeterministic_loses_transitions;
         ] );
