@@ -12,7 +12,8 @@
      bench/main.exe --json out/ fig9 fig14  # BENCH_<name>.json + DIGESTS.txt
      bench/main.exe --jobs 4                # fork experiments in parallel
    Experiments: fig6 fig9 fig10 sensitivity fig12 fig13 fig14 baseline
-                hwcost determinism bechamel perf
+                hwcost determinism bechamel perf sampled
+   --sample W:D:P[:SEED] sets the plan used by the sampled experiment.
 
    --json DIR writes one BENCH_<name>.json per experiment (schema in
    docs/TELEMETRY.md: the printed tables plus the telemetry registry
@@ -908,6 +909,115 @@ let perf () =
   in
   table ~headers:throughput_headers rows
 
+(* -------------------------------------------------------------- sampled *)
+
+(* Default plan: W=2000 warmup, D=1000 detailed, one window per 200k
+   instructions, phase seed 13 — the plan recorded in EXPERIMENTS.md
+   (every experiment kernel within 2% of full-detail CPI at >= 5x).
+   The estimate is deterministic for a fixed plan; only host wall
+   clock varies run to run. *)
+let sample_spec = ref "2000:1000:200000:13"
+
+(* Whole-run numbers on both sides (total cycles via [Pipeline.cycle],
+   total instructions via the oracle), so kernels that bracket a region
+   of interest with markers compare like for like. Wall-clock is the
+   best of two runs on each side, like [throughput_row] — the simulated
+   numbers are deterministic across runs, only host time varies. *)
+let sampled_row plan name prog =
+  (* Simulation time only: [Pipeline.create] happens outside the timed
+     region on both sides (as in bor time's host line) — construction
+     cost is identical for the two modes and would otherwise just
+     dilute the ratio on short kernels. *)
+  let best_of_2 run =
+    let measure () =
+      let t = Bor_uarch.Pipeline.create prog in
+      (* Level the GC field so earlier kernels' garbage is not charged
+         to this run. *)
+      Gc.full_major ();
+      let t0 = Unix.gettimeofday () in
+      let r = run t in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let r, d1 = measure () in
+    let _, d2 = measure () in
+    (r, Float.min d1 d2)
+  in
+  let full, t_full =
+    best_of_2 (fun full ->
+        match Bor_uarch.Pipeline.run full with
+        | Ok _ -> full
+        | Error e -> failwith (name ^ ": " ^ e))
+  in
+  let full_cycles = Float.of_int (Bor_uarch.Pipeline.cycle full) in
+  let full_instr =
+    (Bor_sim.Machine.stats (Bor_uarch.Pipeline.oracle full))
+      .Bor_sim.Machine.instructions
+  in
+  let full_cpi = full_cycles /. Float.of_int full_instr in
+  let s, t_samp =
+    best_of_2 (fun t ->
+        match Bor_uarch.Pipeline.run_sampled ~plan t with
+        | Ok s -> s
+        | Error e -> failwith (name ^ " (sampled): " ^ e))
+  in
+  let open Bor_uarch.Pipeline in
+  let err = (s.sp_cycles_estimate -. full_cycles) /. full_cycles in
+  [
+    name;
+    string_of_int full_instr;
+    Printf.sprintf "%.0f" full_cycles;
+    Printf.sprintf "%.0f" s.sp_cycles_estimate;
+    Printf.sprintf "%+.2f%%" (100. *. err);
+    Printf.sprintf "%.4f±%.4f" s.sp_cpi s.sp_cpi_ci95;
+    (if Float.abs (s.sp_cpi -. full_cpi) <= s.sp_cpi_ci95 then "yes"
+     else "no");
+    Printf.sprintf "%.3f" t_full;
+    Printf.sprintf "%.3f" t_samp;
+    Printf.sprintf "%.1fx" (t_full /. t_samp);
+  ]
+
+let sampled () =
+  section "Sampled simulation vs full detail"
+    "SMARTS-style sampling (functional warming plus periodic detailed\n\
+     windows, bor --sample W:D:P[:SEED]) against the full-detail run,\n\
+     per experiment kernel: extrapolated cycles, CPI error, whether\n\
+     the 95% confidence interval covers the full-detail CPI, and the\n\
+     wall-clock speedup. Host timing, so digest-excluded.";
+  let plan =
+    match Bor_uarch.Sampling_plan.of_string !sample_spec with
+    | Ok p -> p
+    | Error e -> failwith ("--sample " ^ !sample_spec ^ ": " ^ e)
+  in
+  Printf.printf "\n(plan %s)\n" (Bor_uarch.Sampling_plan.to_string plan);
+  let brr64 =
+    Bor_minic.Instrument.(
+      Sampled (Brr (Bor_core.Freq.of_period 64), No_duplication))
+  in
+  (* Sampling needs workloads spanning many periods; the default micro
+     size (2000 chars, ~73k instructions) is smaller than one period,
+     so the sampled experiment floors it. *)
+  let mchars = max !chars 200_000 in
+  let rows =
+    sampled_row plan "alu-loop"
+      (Bor_minic.Driver.compile_exn alu_loop_src).Bor_minic.Driver.program
+    :: sampled_row plan
+         (Printf.sprintf "micro-%d" mchars)
+         (Bor_workload.Micro.compile ~chars:mchars brr64)
+           .Bor_minic.Driver.program
+    :: List.map
+         (fun n ->
+           sampled_row plan n
+             (Bor_workload.Apps.compile n brr64).Bor_minic.Driver.program)
+         Bor_workload.Apps.all_names
+  in
+  table
+    ~headers:
+      [
+        "kernel"; "instructions"; "cycles"; "est cycles"; "err";
+        "CPI (95% CI)"; "covers"; "full s"; "sampled s"; "speedup";
+      ]
+    rows
+
 (* ------------------------------------------------------------- bechamel *)
 
 let bechamel () =
@@ -1037,10 +1147,11 @@ let experiments =
     ("convergent", convergent);
     ("bechamel", bechamel);
     ("perf", perf);
+    ("sampled", sampled);
   ]
 
 (* Host-timing experiments: never part of DIGESTS.txt. *)
-let digest_excluded = [ "bechamel"; "perf" ]
+let digest_excluded = [ "bechamel"; "perf"; "sampled" ]
 
 let () =
   let selected = ref [] in
@@ -1063,6 +1174,9 @@ let () =
       parse rest
     | "--json" :: dir :: rest ->
       json_dir := Some dir;
+      parse rest
+    | "--sample" :: spec :: rest ->
+      sample_spec := spec;
       parse rest
     | "all" :: rest -> parse rest
     | name :: rest when List.mem_assoc name experiments ->
@@ -1105,12 +1219,7 @@ let () =
       close_out oc
     | _ -> ()
   in
-  let read_file path =
-    let ic = open_in_bin path in
-    let doc = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    doc
-  in
+  let read_file = Bor_isa.Toolchain.read_file in
   (* --jobs: fork each experiment into its own subprocess, at most
      [jobs] live at once, each with a private stdout replayed by the
      parent in canonical order once everything has finished. *)

@@ -13,7 +13,10 @@
    Timing-run options: --stats[=json] prints the telemetry registry
    (per-stage pipeline, cache, predictor, BTB, RAS and LFSR-engine
    counters — the schema is documented in docs/TELEMETRY.md) after the
-   run, as text or as one JSON object. *)
+   run, as text or as one JSON object. --sample W:D:P[:SEED] switches
+   the timing run to SMARTS-style sampled simulation (functional
+   warming plus periodic detailed windows of D instructions after a W
+   warmup, every P instructions, optional random window phase). *)
 
 type stats_mode = Stats_off | Stats_text | Stats_json
 
@@ -28,38 +31,26 @@ type cc_options = {
   mutable trace : int;  (* print the first N executed instructions *)
   mutable dot : bool;
   mutable stats : stats_mode;
+  mutable sample : Bor_uarch.Sampling_plan.t option;
 }
 
 let usage () =
   prerr_endline
     "usage: bor {asm|run|time|cc|ccrun|cctime} FILE [-o OUT.bor] [--trace N] [--framework \
      none|full|cbs|brr] [--interval N] [--fulldup] [--edges] [--yieldpoints] \
-     [--empty-payload] [--stats[=json]]\nFILE may be assembly (.s), minic (.c for cc*) or a \
-     BOR1 object image";
+     [--empty-payload] [--stats[=json]] [--sample W:D:P[:SEED]]\nFILE may be assembly (.s), \
+     minic (.c for cc*) or a BOR1 object image";
   exit 2
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+let read_file = Bor_isa.Toolchain.read_file
 
 (* Accept both assembly source and BOR1 object images. *)
 let assemble path =
-  let contents = read_file path in
-  if Bor_isa.Objfile.is_object_file contents then
-    match Bor_isa.Objfile.load contents with
-    | Ok p -> p
-    | Error e ->
-      Printf.eprintf "%s: %s\n" path e;
-      exit 1
-  else
-    match Bor_isa.Asm.assemble contents with
-    | Ok p -> p
-    | Error e ->
-      Format.eprintf "%s: %a@." path Bor_isa.Asm.pp_error e;
-      exit 1
+  match Bor_isa.Toolchain.load_program_file path with
+  | Ok p -> p
+  | Error e ->
+    Printf.eprintf "%s\n" e;
+    exit 1
 
 let driver_config opts =
   let check =
@@ -126,30 +117,45 @@ let run_functional ?(trace = 0) (program : Bor_isa.Program.t) =
     st.loads st.stores st.cond_branches st.cond_taken st.brr_executed
     st.brr_taken
 
-let run_timing ?(stats = Stats_off) (program : Bor_isa.Program.t) =
+let print_registry = function
+  | Stats_off -> ()
+  | Stats_text -> Format.printf "@.%a@." Bor_telemetry.Telemetry.pp ()
+  | Stats_json ->
+    print_string
+      (Bor_telemetry.Json.to_string (Bor_telemetry.Telemetry.to_json ()))
+
+let run_timing ?(stats = Stats_off) ?sample (program : Bor_isa.Program.t) =
   (* Telemetry must be live before the pipeline is created: instruments
      register at component-creation time. *)
   if stats <> Stats_off then Bor_telemetry.Telemetry.set_enabled true;
   let t = Bor_uarch.Pipeline.create program in
   let t0 = Unix.gettimeofday () in
-  match Bor_uarch.Pipeline.run t with
-  | Error e ->
-    Printf.eprintf "%s\n" e;
-    exit 1
-  | Ok st -> (
-    let dt = Unix.gettimeofday () -. t0 in
-    Format.printf "%a@." Bor_uarch.Pipeline.pp_stats st;
-    if dt > 0. then
-      Format.printf "host: %.3fs wall, %.2f M instr/s, %.2f M cycles/s@." dt
-        (Float.of_int st.Bor_uarch.Pipeline.instructions /. dt /. 1e6)
-        (Float.of_int st.Bor_uarch.Pipeline.cycles /. dt /. 1e6);
-    match stats with
-    | Stats_off -> ()
-    | Stats_text ->
-      Format.printf "@.%a@." Bor_telemetry.Telemetry.pp ()
-    | Stats_json ->
-      print_string
-        (Bor_telemetry.Json.to_string (Bor_telemetry.Telemetry.to_json ())))
+  match sample with
+  | Some plan -> (
+    match Bor_uarch.Pipeline.run_sampled ~plan t with
+    | Error e ->
+      Printf.eprintf "%s\n" e;
+      exit 1
+    | Ok st ->
+      let dt = Unix.gettimeofday () -. t0 in
+      Format.printf "%a@." Bor_uarch.Pipeline.pp_sampled st;
+      if dt > 0. then
+        Format.printf "host: %.3fs wall, %.2f M instr/s@." dt
+          (Float.of_int st.Bor_uarch.Pipeline.sp_instructions /. dt /. 1e6);
+      print_registry stats)
+  | None -> (
+    match Bor_uarch.Pipeline.run t with
+    | Error e ->
+      Printf.eprintf "%s\n" e;
+      exit 1
+    | Ok st ->
+      let dt = Unix.gettimeofday () -. t0 in
+      Format.printf "%a@." Bor_uarch.Pipeline.pp_stats st;
+      if dt > 0. then
+        Format.printf "host: %.3fs wall, %.2f M instr/s, %.2f M cycles/s@." dt
+          (Float.of_int st.Bor_uarch.Pipeline.instructions /. dt /. 1e6)
+          (Float.of_int st.Bor_uarch.Pipeline.cycles /. dt /. 1e6);
+      print_registry stats)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -167,6 +173,7 @@ let () =
         trace = 0;
         dot = false;
         stats = Stats_off;
+        sample = None;
       }
     in
     let rec parse = function
@@ -204,6 +211,13 @@ let () =
       | "--stats=json" :: r ->
         opts.stats <- Stats_json;
         parse r
+      | "--sample" :: v :: r ->
+        (match Bor_uarch.Sampling_plan.of_string v with
+        | Ok plan -> opts.sample <- Some plan
+        | Error e ->
+          Printf.eprintf "--sample %s: %s\n" v e;
+          exit 2);
+        parse r
       | _ -> usage ()
     in
     parse rest;
@@ -217,7 +231,7 @@ let () =
           (Bor_isa.Program.instr_count p)
       | None -> Format.printf "%a" Bor_isa.Program.pp_listing p)
     | "run" -> run_functional ~trace:opts.trace (assemble path)
-    | "time" -> run_timing ~stats:opts.stats (assemble path)
+    | "time" -> run_timing ~stats:opts.stats ?sample:opts.sample (assemble path)
     | "cc" when opts.dot -> (
       match Bor_minic.Driver.dot ~cfg:(driver_config opts) (read_file path) with
       | Ok d -> print_string d
@@ -234,6 +248,8 @@ let () =
           (List.length c.sites)
       | None -> print_string c.asm)
     | "ccrun" -> run_functional ~trace:opts.trace (compile opts path).program
-    | "cctime" -> run_timing ~stats:opts.stats (compile opts path).program
+    | "cctime" ->
+      run_timing ~stats:opts.stats ?sample:opts.sample
+        (compile opts path).program
     | _ -> usage ())
   | _ -> usage ()

@@ -1,0 +1,20 @@
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_program contents =
+  if Objfile.is_object_file contents then Objfile.load contents
+  else
+    match Asm.assemble contents with
+    | Ok p -> Ok p
+    | Error e -> Error (Format.asprintf "%a" Asm.pp_error e)
+
+let load_program_file path =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+    match load_program contents with
+    | Ok p -> Ok p
+    | Error e -> Error (Printf.sprintf "%s: %s" path e))

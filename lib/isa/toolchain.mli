@@ -1,0 +1,18 @@
+(** Shared front-door helpers for drivers that consume BRISC inputs —
+    reading a file and turning assembly source or a BOR1 object image
+    into a loaded {!Program.t}. Factored out of [bor] and the bench
+    runner, which had drifted their own copies. *)
+
+val read_file : string -> string
+(** Whole file, binary-safe. The channel is closed even on error.
+    @raise Sys_error when the file cannot be opened or read. *)
+
+val load_program : string -> (Program.t, string) result
+(** [load_program contents] accepts either a BOR1 object image
+    (detected by magic, see {!Objfile.is_object_file}) or assembly
+    source; errors are rendered ready to print. *)
+
+val load_program_file : string -> (Program.t, string) result
+(** {!read_file} composed with {!load_program}; [Sys_error] becomes
+    [Error] with the message, other errors are prefixed with the
+    path. *)

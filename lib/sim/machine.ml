@@ -147,6 +147,161 @@ let exec_brr t freq off =
   end
   else t.pc <- t.pc + 4
 
+(* Execute one already-decoded instruction as the instruction at the
+   current pc. This is [step] minus the halted check, the fetch bounds
+   check and the site-hook lookup — the dispatch core, exported for the
+   sampled-simulation warmer, which has already fetched and
+   bounds-checked the instruction itself. The caller guarantees [i] is
+   the decoded instruction at [pc t], the machine is not halted, and no
+   site hooks are registered (they are not consulted here). *)
+let exec_decoded t (i : Bor_isa.Instr.t) =
+  let pc = t.pc in
+  let s = t.stats in
+  s.instructions <- s.instructions + 1;
+  let regs = t.regs in
+  let open Bor_isa.Instr in
+  match i with
+  | Alu (op, rd, rs1, rs2) ->
+    set_reg t rd (eval_alu op (rv regs rs1) (rv regs rs2));
+    t.pc <- pc + 4
+  | Alui (op, rd, rs1, imm) ->
+    set_reg t rd (eval_alu op (rv regs rs1) imm);
+    t.pc <- pc + 4
+  | Lui (rd, imm) ->
+    set_reg t rd (Bor_util.Bits.wrap32 (imm lsl 12));
+    t.pc <- pc + 4
+  | Load (w, rd, rs1, off) -> (
+    s.loads <- s.loads + 1;
+    let addr = rv regs rs1 + off in
+    (try
+       match w with
+       | Word -> set_reg t rd (Memory.read_word t.mem addr)
+       | Byte -> set_reg t rd (Memory.read_byte t.mem addr)
+     with Memory.Fault m -> fault pc "%s" m);
+    t.pc <- pc + 4)
+  | Store (w, rsrc, rbase, off) -> (
+    s.stores <- s.stores + 1;
+    let addr = rv regs rbase + off in
+    (try
+       match w with
+       | Word -> Memory.write_word t.mem addr (rv regs rsrc)
+       | Byte -> Memory.write_byte t.mem addr (rv regs rsrc)
+     with Memory.Fault m -> fault pc "%s" m);
+    t.pc <- pc + 4)
+  | Branch (c, rs1, rs2, off) ->
+    s.cond_branches <- s.cond_branches + 1;
+    if eval_cond c (rv regs rs1) (rv regs rs2) then begin
+      s.cond_taken <- s.cond_taken + 1;
+      t.pc <- pc + (4 * off)
+    end
+    else t.pc <- pc + 4
+  | Jal (rd, off) ->
+    set_reg t rd (pc + 4);
+    t.pc <- pc + (4 * off)
+  | Jalr (rd, rs1, imm) ->
+    let target = Bor_util.Bits.wrap32 (rv regs rs1 + imm) in
+    set_reg t rd (pc + 4);
+    t.pc <- target
+  | Brr (freq, off) -> exec_brr t freq off
+  | Brr_always off ->
+    s.brr_executed <- s.brr_executed + 1;
+    s.brr_taken <- s.brr_taken + 1;
+    t.pc <- pc + (4 * off)
+  | Rdlfsr rd ->
+    let v =
+      match t.mode with
+      | Hardware e | Trap_emulated e ->
+        Bor_lfsr.Lfsr.peek (Bor_core.Engine.lfsr e)
+      | Fixed_interval | External _ -> 0
+    in
+    set_reg t rd v;
+    t.pc <- pc + 4
+  | Marker n ->
+    s.markers <- s.markers + 1;
+    List.iter (fun f -> f n) t.marker_hooks;
+    t.pc <- pc + 4
+  | Halt -> t.halted <- true
+  | Nop -> t.pc <- pc + 4
+
+(* Branch-on-random whose outcome the caller already decided (the
+   sampled-simulation warmer drives the LFSR engine itself): apply the
+   architectural effect directly, skipping the decide hook and the
+   per-instruction outcome channel. Same caller contract as
+   [exec_decoded]. *)
+let exec_brr_decided t ~taken ~offset =
+  let s = t.stats in
+  s.instructions <- s.instructions + 1;
+  s.brr_executed <- s.brr_executed + 1;
+  if taken then begin
+    s.brr_taken <- s.brr_taken + 1;
+    t.pc <- t.pc + (4 * offset)
+  end
+  else t.pc <- t.pc + 4
+
+(* Field-level executors for the event kinds the warmer dispatches on
+   itself. Each mirrors the corresponding [exec_decoded] arm exactly;
+   they exist so the warmer's own match is the only dispatch — the
+   fields it just destructured go straight in instead of through a
+   second full match. Same caller contract as [exec_decoded]. *)
+
+let exec_branch t c rs1 rs2 off =
+  let s = t.stats in
+  s.instructions <- s.instructions + 1;
+  s.cond_branches <- s.cond_branches + 1;
+  let regs = t.regs in
+  if Bor_isa.Instr.eval_cond c (rv regs rs1) (rv regs rs2) then begin
+    s.cond_taken <- s.cond_taken + 1;
+    t.pc <- t.pc + (4 * off);
+    true
+  end
+  else begin
+    t.pc <- t.pc + 4;
+    false
+  end
+
+let exec_load t w rd rs1 off =
+  let s = t.stats in
+  s.instructions <- s.instructions + 1;
+  s.loads <- s.loads + 1;
+  let pc = t.pc in
+  let addr = rv t.regs rs1 + off in
+  (try
+     match (w : Bor_isa.Instr.width) with
+     | Word -> set_reg t rd (Memory.read_word t.mem addr)
+     | Byte -> set_reg t rd (Memory.read_byte t.mem addr)
+   with Memory.Fault m -> fault pc "%s" m);
+  t.pc <- pc + 4;
+  addr
+
+let exec_store t w rsrc rbase off =
+  let s = t.stats in
+  s.instructions <- s.instructions + 1;
+  s.stores <- s.stores + 1;
+  let pc = t.pc in
+  let regs = t.regs in
+  let addr = rv regs rbase + off in
+  (try
+     match (w : Bor_isa.Instr.width) with
+     | Word -> Memory.write_word t.mem addr (rv regs rsrc)
+     | Byte -> Memory.write_byte t.mem addr (rv regs rsrc)
+   with Memory.Fault m -> fault pc "%s" m);
+  t.pc <- pc + 4;
+  addr
+
+let exec_jal t rd off =
+  t.stats.instructions <- t.stats.instructions + 1;
+  let pc = t.pc in
+  set_reg t rd (pc + 4);
+  t.pc <- pc + (4 * off)
+
+let exec_jalr t rd rs1 imm =
+  t.stats.instructions <- t.stats.instructions + 1;
+  let pc = t.pc in
+  let target = Bor_util.Bits.wrap32 (rv t.regs rs1 + imm) in
+  set_reg t rd (pc + 4);
+  t.pc <- target;
+  target
+
 let step t =
   if t.halted then ()
   else begin
@@ -160,82 +315,67 @@ let step t =
       match Hashtbl.find_opt t.site_index pc with
       | Some id -> List.iter (fun f -> f id) hooks
       | None -> ()));
-    let s = t.stats in
-    s.instructions <- s.instructions + 1;
-    let regs = t.regs in
-    let open Bor_isa.Instr in
     match t.code.(idx) with
     | Illegal_word w -> (
       (* The §3.4 SIGILL path: the O/S vectors to the registered handler,
          which emulates the branch-on-random in software. *)
       match Bor_isa.Encoding.decode_illegal_brr w with
       | Some (freq, off) ->
+        let s = t.stats in
+        s.instructions <- s.instructions + 1;
         s.traps <- s.traps + 1;
         exec_brr t freq off
       | None -> fault pc "illegal instruction 0x%08x" w)
-    | Decoded i -> (
-      match i with
-      | Alu (op, rd, rs1, rs2) ->
-        set_reg t rd (eval_alu op (rv regs rs1) (rv regs rs2));
-        t.pc <- pc + 4
-      | Alui (op, rd, rs1, imm) ->
-        set_reg t rd (eval_alu op (rv regs rs1) imm);
-        t.pc <- pc + 4
-      | Lui (rd, imm) ->
-        set_reg t rd (Bor_util.Bits.wrap32 (imm lsl 12));
-        t.pc <- pc + 4
-      | Load (w, rd, rs1, off) -> (
-        s.loads <- s.loads + 1;
-        let addr = rv regs rs1 + off in
-        (try
-           match w with
-           | Word -> set_reg t rd (Memory.read_word t.mem addr)
-           | Byte -> set_reg t rd (Memory.read_byte t.mem addr)
-         with Memory.Fault m -> fault pc "%s" m);
-        t.pc <- pc + 4)
-      | Store (w, rsrc, rbase, off) -> (
-        s.stores <- s.stores + 1;
-        let addr = rv regs rbase + off in
-        (try
-           match w with
-           | Word -> Memory.write_word t.mem addr (rv regs rsrc)
-           | Byte -> Memory.write_byte t.mem addr (rv regs rsrc)
-         with Memory.Fault m -> fault pc "%s" m);
-        t.pc <- pc + 4)
-      | Branch (c, rs1, rs2, off) ->
-        s.cond_branches <- s.cond_branches + 1;
-        if eval_cond c (rv regs rs1) (rv regs rs2) then begin
-          s.cond_taken <- s.cond_taken + 1;
-          t.pc <- pc + (4 * off)
-        end
-        else t.pc <- pc + 4
-      | Jal (rd, off) ->
-        set_reg t rd (pc + 4);
-        t.pc <- pc + (4 * off)
-      | Jalr (rd, rs1, imm) ->
-        let target = Bor_util.Bits.wrap32 (rv regs rs1 + imm) in
-        set_reg t rd (pc + 4);
-        t.pc <- target
-      | Brr (freq, off) -> exec_brr t freq off
-      | Brr_always off ->
-        s.brr_executed <- s.brr_executed + 1;
-        s.brr_taken <- s.brr_taken + 1;
-        t.pc <- pc + (4 * off)
-      | Rdlfsr rd ->
-        let v =
-          match t.mode with
-          | Hardware e | Trap_emulated e ->
-            Bor_lfsr.Lfsr.peek (Bor_core.Engine.lfsr e)
-          | Fixed_interval | External _ -> 0
-        in
-        set_reg t rd v;
-        t.pc <- pc + 4
-      | Marker n ->
-        s.markers <- s.markers + 1;
-        List.iter (fun f -> f n) t.marker_hooks;
-        t.pc <- pc + 4
-      | Halt -> t.halted <- true
-      | Nop -> t.pc <- pc + 4)
+    | Decoded i -> exec_decoded t i
+  end
+
+(* Fast-forward a straight-line stretch: consecutive register-only
+   instructions (ALU, ALU-immediate, LUI, NOP) execute in a tight loop
+   that skips the per-step halted check, site lookup and stats
+   increment. The loop stops *before* the first instruction of any
+   other kind — or any instrumented site address, misaligned/out-of-text
+   pc, or once [max_steps] ran — leaving it for the caller to handle
+   with [step]. Used by the sampled-simulation warmer, where dispatch
+   otherwise happens twice per instruction. *)
+let run_plain ?(max_steps = max_int) t =
+  if t.halted then 0
+  else begin
+    let code = t.code in
+    let base = t.program.text_base in
+    let len = Array.length code in
+    let regs = t.regs in
+    let check_sites =
+      t.site_hooks <> [] && Hashtbl.length t.site_index > 0
+    in
+    let open Bor_isa.Instr in
+    (* Tail-recursive with int accumulators — no ref cells on the
+       per-instruction path. Plain stretches are strictly sequential,
+       so the final pc is recovered as [start + 4n]. *)
+    let rec go p n =
+      if n >= max_steps then n
+      else
+        let idx = (p - base) asr 2 in
+        if p land 3 <> 0 || idx < 0 || idx >= len then n
+        else if check_sites && Hashtbl.mem t.site_index p then n
+        else
+          match Array.unsafe_get code idx with
+          | Decoded (Alu (op, rd, rs1, rs2)) ->
+            set_reg t rd (eval_alu op (rv regs rs1) (rv regs rs2));
+            go (p + 4) (n + 1)
+          | Decoded (Alui (op, rd, rs1, imm)) ->
+            set_reg t rd (eval_alu op (rv regs rs1) imm);
+            go (p + 4) (n + 1)
+          | Decoded (Lui (rd, imm)) ->
+            set_reg t rd (Bor_util.Bits.wrap32 (imm lsl 12));
+            go (p + 4) (n + 1)
+          | Decoded Nop -> go (p + 4) (n + 1)
+          | Decoded _ | Illegal_word _ -> n
+    in
+    let start = t.pc in
+    let n = go start 0 in
+    t.pc <- start + (4 * n);
+    t.stats.instructions <- t.stats.instructions + n;
+    n
   end
 
 let run ?(max_steps = 1_000_000_000) t =

@@ -21,24 +21,34 @@ let check t addr len align what =
     fault "%s out of bounds at 0x%x" what addr;
   if addr land (align - 1) <> 0 then fault "misaligned %s at 0x%x" what addr
 
-(* Words are composed/decomposed by hand: [Bytes.get_int32_le] would
-   box an [Int32] on every access, and loads/stores are the memory hot
-   path of both simulators. *)
+(* Words are composed/decomposed from 16-bit halves: the 32-bit
+   accessors ([Bytes.get_int32_le]) box an [Int32] on every call,
+   while the 16-bit primitives traffic in immediate ints, and
+   loads/stores are the memory hot path of both simulators. [check]
+   has already validated [addr..addr+3], so the unchecked variants are
+   safe; they read native byte order, hence the (statically decided)
+   swap on big-endian hosts. *)
+
+external unsafe_get_uint16 : Bytes.t -> int -> int = "%caml_bytes_get16u"
+external unsafe_set_uint16 : Bytes.t -> int -> int -> unit = "%caml_bytes_set16u"
+
+let[@inline] swap16 v = ((v land 0xFF) lsl 8) lor ((v lsr 8) land 0xFF)
+
+let[@inline] get16_le b i =
+  let v = unsafe_get_uint16 b i in
+  if Sys.big_endian then swap16 v else v
+
+let[@inline] set16_le b i v =
+  unsafe_set_uint16 b i (if Sys.big_endian then swap16 v else v)
 
 let read_word t addr =
   check t addr 4 4 "word read";
-  let b0 = Char.code (Bytes.unsafe_get t addr)
-  and b1 = Char.code (Bytes.unsafe_get t (addr + 1))
-  and b2 = Char.code (Bytes.unsafe_get t (addr + 2))
-  and b3 = Char.code (Bytes.unsafe_get t (addr + 3)) in
-  Bor_util.Bits.wrap32 (b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24))
+  Bor_util.Bits.wrap32 (get16_le t addr lor (get16_le t (addr + 2) lsl 16))
 
 let write_word t addr v =
   check t addr 4 4 "word write";
-  Bytes.unsafe_set t addr (Char.unsafe_chr (v land 0xFF));
-  Bytes.unsafe_set t (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
-  Bytes.unsafe_set t (addr + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
-  Bytes.unsafe_set t (addr + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF))
+  set16_le t addr v;
+  set16_le t (addr + 2) (v lsr 16)
 
 let read_byte t addr =
   check t addr 1 1 "byte read";

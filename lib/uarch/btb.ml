@@ -52,3 +52,18 @@ let insert t ~pc ~target =
 
 let hits t = t.hits
 let lookups t = t.lookups
+
+let state_digest t =
+  let b = Buffer.create (Array.length t.tags * 8) in
+  Array.iteri
+    (fun i tag ->
+      if tag >= 0 then begin
+        Buffer.add_string b (string_of_int i);
+        Buffer.add_char b ':';
+        Buffer.add_string b (string_of_int tag);
+        Buffer.add_char b ':';
+        Buffer.add_string b (string_of_int t.targets.(i));
+        Buffer.add_char b ';'
+      end)
+    t.tags;
+  Bor_telemetry.Sha256.digest (Buffer.contents b)

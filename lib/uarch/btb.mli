@@ -19,3 +19,7 @@ val lookup_target : t -> pc:int -> int
 val insert : t -> pc:int -> target:int -> unit
 val hits : t -> int
 val lookups : t -> int
+
+val state_digest : t -> string
+(** SHA-256 of every valid (slot, pc, target) entry, for the
+    warming-equivalence tests. *)

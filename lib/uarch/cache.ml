@@ -110,3 +110,33 @@ let reset_stats t =
 
 let sets t = t.sets
 let line_bytes t = t.line_bytes
+
+(* The resident-line digest deliberately excludes recency (the [lru]
+   clock values): functional warming collapses consecutive same-line
+   touches and skips wrong-path fetches, which perturbs clocks but —
+   absent capacity evictions — not which lines are resident. Sorting
+   the valid tags of each set also removes way-placement order. *)
+let state_digest t =
+  let b = Buffer.create (t.sets * 8) in
+  let ways = Array.make t.assoc 0 in
+  for set = 0 to t.sets - 1 do
+    let base = set * t.assoc in
+    let n = ref 0 in
+    for w = 0 to t.assoc - 1 do
+      let tag = t.tags.(base + w) in
+      if tag >= 0 then begin
+        ways.(!n) <- tag;
+        incr n
+      end
+    done;
+    let live = Array.sub ways 0 !n in
+    Array.sort compare live;
+    Buffer.add_string b (string_of_int set);
+    Array.iter
+      (fun tag ->
+        Buffer.add_char b ':';
+        Buffer.add_string b (string_of_int tag))
+      live;
+    Buffer.add_char b ';'
+  done;
+  Bor_telemetry.Sha256.digest (Buffer.contents b)

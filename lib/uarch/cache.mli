@@ -22,3 +22,10 @@ val stats : t -> stats
 val reset_stats : t -> unit
 val sets : t -> int
 val line_bytes : t -> int
+
+val state_digest : t -> string
+(** SHA-256 of the resident line set: the sorted valid tags of every
+    set, {e excluding} LRU recency — two caches that hold the same
+    lines digest equally even if they were touched in different orders.
+    The warming-equivalence tests compare full-detail and
+    functionally-warmed caches with this. *)

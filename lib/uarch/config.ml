@@ -28,6 +28,7 @@ type t = {
   brr_resolve_in_backend : bool;
   brr_in_predictor : bool;
   retired_brr_cap : int;
+  sample : Sampling_plan.t option;
 }
 
 let default =
@@ -61,4 +62,5 @@ let default =
     brr_resolve_in_backend = false;
     brr_in_predictor = false;
     retired_brr_cap = 200_000;
+    sample = None;
   }

@@ -60,6 +60,10 @@ type t = {
           {!Pipeline.retired_brr_outcomes} keeps (the oldest ones;
           200k by default). The first overflow of a run warns once on
           stderr and {!Pipeline.retired_brr_dropped} counts the rest. *)
+  sample : Sampling_plan.t option;
+      (** when set, {!Pipeline.run_sampled} (without an explicit plan)
+          uses this schedule. [None] by default; plain {!Pipeline.run}
+          never reads it, so full-detail behavior is unaffected. *)
 }
 
 val default : t

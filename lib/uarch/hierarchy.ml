@@ -49,3 +49,10 @@ let reset_stats t =
   Cache.reset_stats t.l1i;
   Cache.reset_stats t.l1d;
   Cache.reset_stats t.l2
+
+let state_digests t =
+  [
+    ("l1i", Cache.state_digest t.l1i);
+    ("l1d", Cache.state_digest t.l1d);
+    ("l2", Cache.state_digest t.l2);
+  ]

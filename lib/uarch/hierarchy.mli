@@ -20,3 +20,8 @@ val l1i : t -> Cache.t
 val l1d : t -> Cache.t
 val l2 : t -> Cache.t
 val reset_stats : t -> unit
+
+val state_digests : t -> (string * string) list
+(** [("l1i", d); ("l1d", d); ("l2", d)] per-level {!Cache.state_digest}
+    values, so a warming-equivalence regression names the level that
+    broke. *)

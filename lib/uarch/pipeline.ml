@@ -293,6 +293,16 @@ type t = {
   mutable halt_committed : bool;
   mutable roi_active : bool;
   mutable roi_frozen : bool;
+  (* Sampled simulation (see [run_sampled]). All of this is inert in a
+     plain full-detail run: [sampling] stays false, the shadows are
+     never read, and [committed] is a plain field increment. *)
+  mutable sampling : bool;  (* inside a detailed window of a sampled run *)
+  mutable committed : int;  (* retired instructions, whole run *)
+  mutable arch_ghist : int;  (* retired-order shadow global history *)
+  arch_ras : Ras.snapshot;  (* retired-order shadow return stack *)
+  mutable warm_iline : int;  (* last icache line base touched by warming *)
+  mutable warm_dline : int;  (* last dcache line base touched by warming *)
+  warm_line_mask : int;  (* lnot (line_bytes - 1); 0 = not a power of two *)
   stats : stats;
   tel : tel;
   mutable retired_brr : Bytes.t;  (* oldest first, grown up to the cap *)
@@ -396,6 +406,16 @@ let create ?(config = Config.default) (program : Bor_isa.Program.t) =
     halt_committed = false;
     roi_active = true;
     roi_frozen = false;
+    sampling = false;
+    committed = 0;
+    arch_ghist = 0;
+    arch_ras = Ras.blank_snapshot ras;
+    warm_iline = -1;
+    warm_dline = -1;
+    warm_line_mask =
+      (if Bor_util.Bits.is_power_of_two config.Config.line_bytes then
+         lnot (config.Config.line_bytes - 1)
+       else 0);
     stats = fresh_stats ();
     tel = make_tel ();
     retired_brr =
@@ -736,11 +756,15 @@ let decode_one t fslot =
         end
       end;
       log_retired_brr t outcome;
+      t.committed <- t.committed + 1;
       (match t.tracer with
       | None -> ()
       | Some f ->
         f (Brr_resolved { cycle = t.cycle; pc = fpc; taken = outcome }));
       let actual_next = if outcome then fpc + (4 * boff) else fpc + 4 in
+      if t.sampling && fflags land fqf_pred <> 0 && t.cfg.Config.brr_in_predictor
+      then
+        t.arch_ghist <- Predictor.shift_into t.pred t.arch_ghist ~taken:outcome;
       (* Pollution ablation: even though resolution stays in decode, the
          predictor tables, history and BTB see this branch. *)
       if fflags land fqf_pred <> 0 && t.cfg.Config.brr_in_predictor
@@ -852,6 +876,23 @@ let decode_one t fslot =
     let actual_taken = !actual_taken in
     let actual_next = !actual_next in
     let mem_addr = !mem_addr in
+    (* Sampled-run shadows: retired-order history and return stack,
+       maintained at correct-path decode (= program order), so a
+       detailed window can be abandoned and warming resumed from a
+       consistent architectural point. *)
+    if t.sampling && not wrong_path then begin
+      match instr with
+      | Branch _ ->
+        t.arch_ghist <-
+          Predictor.shift_into t.pred t.arch_ghist ~taken:actual_taken
+      | Brr _ when fflags land fqf_pred <> 0 ->
+        t.arch_ghist <-
+          Predictor.shift_into t.pred t.arch_ghist ~taken:!brr_outcome
+      | Jal (rd, _) when Bor_isa.Reg.equal rd Bor_isa.Reg.ra ->
+        Ras.snapshot_push t.arch_ras (fpc + 4)
+      | Jalr _ when is_return instr -> Ras.snapshot_pop t.arch_ras
+      | _ -> ()
+    end;
     (* Memory dependencies: a load waits for the youngest in-flight
        store to the same word (store-to-load forwarding); a store
        becomes the new youngest. *)
@@ -1210,6 +1251,7 @@ let commit t =
           sim_error "wrong-path instruction reached commit at pc 0x%x" epc;
         t.rob_head <- t.rob_head + 1;
         incr n;
+        t.committed <- t.committed + 1;
         (match t.tracer with
         | None -> ()
         | Some f -> f (Commit { cycle = t.cycle; pc = epc; instr }));
@@ -1408,3 +1450,415 @@ let run ?(max_cycles = 2_000_000_000) t =
   | Sim_error m -> Error m
   | Bor_sim.Machine.Fault { pc; message } ->
     Error (Printf.sprintf "oracle fault at 0x%x: %s" pc message)
+
+(* ------------------------------------------- Sampled simulation *)
+
+let predictor t = t.pred
+let btb t = t.btb
+let ras t = t.ras
+let hierarchy t = t.hier
+
+(* Functional warming: execute on the oracle while updating the
+   long-lived structures (caches, BTB, direction predictor, RAS, LFSR
+   engine) exactly as a full-detail run would on the correct path — no
+   ROB, issue, or flush modelling. Three throughput tricks, none of
+   which changes the warmed state:
+
+   - Consecutive accesses to the same cache line are deduplicated, on
+     both the icache and dcache ports: re-touching the most recently
+     used line is a strict no-op — it hits, changing neither contents
+     nor the relative recency order that decides future evictions.
+   - Straight-line stretches (ALU/immediate/LUI/NOP runs) fast-forward
+     through [Machine.run_plain], which executes them in the oracle's
+     own tight loop. A stretch is strictly sequential, so its icache
+     footprint is the contiguous line range it crossed: sweeping that
+     range once per line afterwards reproduces exactly what
+     per-instruction MRU-deduplicated probes would have done.
+   - The pc is tracked locally: every BRISC instruction except jalr
+     either falls through or has a statically known target, so the
+     per-instruction [Machine.pc] and [Machine.halted] calls disappear
+     from the common path. [pc] goes to -1 when the program halts.
+
+   Warms up to [budget] instructions; returns how many ran (short when
+   the program halted). *)
+let warm_run t budget =
+  if budget <= 0 || Bor_sim.Machine.halted t.oracle then 0
+  else begin
+    let open Bor_isa.Instr in
+    let m = t.oracle in
+    let code = t.code in
+    let ncode = Array.length code in
+    let base = t.code_base in
+    let lmask = t.warm_line_mask in
+    let line = t.cfg.Config.line_bytes in
+    let hier = t.hier in
+    let pred = t.pred in
+    let btb = t.btb in
+    let brr_in_pred = t.cfg.Config.brr_in_predictor in
+    let n = ref 0 in
+    let pc = ref (Bor_sim.Machine.pc m) in
+    let iline = ref t.warm_iline in
+    let touch p =
+      let il = if lmask <> 0 then p land lmask else p / line in
+      if il <> !iline then begin
+        iline := il;
+        ignore (Hierarchy.access hier Hierarchy.I p)
+      end
+    in
+    let touch_data addr =
+      let dl = if lmask <> 0 then addr land lmask else addr / line in
+      if dl <> t.warm_dline then begin
+        t.warm_dline <- dl;
+        ignore (Hierarchy.access hier Hierarchy.D addr)
+      end
+    in
+    while !n < budget && !pc >= 0 do
+      let p = !pc in
+      let off = p - base in
+      if off < 0 || off land 3 <> 0 || off lsr 2 >= ncode then begin
+        touch p;
+        Bor_sim.Machine.step m;
+        (* unreachable: [step] faulted *)
+        pc := Bor_sim.Machine.pc m;
+        incr n
+      end
+      else begin
+        let fall = p + 4 in
+        match Array.unsafe_get code (off lsr 2) with
+        | Alu _ | Alui _ | Lui _ | Nop ->
+          let k = Bor_sim.Machine.run_plain ~max_steps:(budget - !n) m in
+          if k = 0 then begin
+            (* An instrumented site stopped the fast path before it ran
+               anything: execute that one instruction via [step] so its
+               hooks fire. *)
+            touch p;
+            Bor_sim.Machine.step m;
+            pc := Bor_sim.Machine.pc m;
+            incr n
+          end
+          else begin
+            (* Touch each icache line the stretch crossed, oldest
+               first. *)
+            if lmask <> 0 then begin
+              let lastl = (p + (4 * (k - 1))) land lmask in
+              let a = ref (p land lmask) in
+              if !a = !iline then a := !a + line;
+              while !a <= lastl do
+                ignore (Hierarchy.access hier Hierarchy.I !a);
+                a := !a + line
+              done;
+              iline := lastl
+            end
+            else begin
+              let lastl = (p + (4 * (k - 1))) / line in
+              let a = ref (p / line) in
+              if !a = !iline then incr a;
+              while !a <= lastl do
+                ignore (Hierarchy.access hier Hierarchy.I (!a * line));
+                a := !a + 1
+              done;
+              iline := lastl
+            end;
+            pc := p + (4 * k);
+            n := !n + k
+          end
+        | Branch (c, rs1, rs2, boff) ->
+          touch p;
+          let pr = Predictor.predict pred ~pc:p in
+          (* Mirror full detail: history recovers only on a squash
+             (stream mismatch — a predicted-taken BTB miss that falls
+             through to the right place never squashes, leaving the
+             speculative shift in place), and the tables train at
+             commit. *)
+          let stream_next =
+            if Predictor.taken pr then begin
+              let target = Btb.lookup_target btb ~pc:p in
+              if target >= 0 then target else fall
+            end
+            else fall
+          in
+          let taken = Bor_sim.Machine.exec_branch m c rs1 rs2 boff in
+          let actual_next = if taken then p + (4 * boff) else fall in
+          if stream_next <> actual_next then Predictor.recover pred pr ~taken;
+          Predictor.update pred ~pc:p pr ~taken;
+          if taken then Btb.insert btb ~pc:p ~target:actual_next;
+          pc := actual_next;
+          incr n
+        | Jal (rd, joff) ->
+          touch p;
+          if Bor_isa.Reg.equal rd Bor_isa.Reg.ra then Ras.push t.ras fall;
+          Bor_sim.Machine.exec_jal m rd joff;
+          pc := p + (4 * joff);
+          incr n
+        | Jalr (rd, rs1, imm) as instr ->
+          touch p;
+          if is_return instr then ignore (Ras.pop_target t.ras);
+          pc := Bor_sim.Machine.exec_jalr m rd rs1 imm;
+          incr n
+        | Brr (freq, boff) ->
+          touch p;
+          let outcome = Bor_core.Engine.decide t.engine freq in
+          if brr_in_pred then begin
+            let pr = Predictor.predict pred ~pc:p in
+            let stream_next =
+              if Predictor.taken pr then begin
+                let target = Btb.lookup_target btb ~pc:p in
+                if target >= 0 then target else fall
+              end
+              else fall
+            in
+            let actual_next = if outcome then p + (4 * boff) else fall in
+            Predictor.update pred ~pc:p pr ~taken:outcome;
+            if outcome then Btb.insert btb ~pc:p ~target:actual_next;
+            if stream_next <> actual_next then
+              Predictor.recover pred pr ~taken:outcome
+          end;
+          (* The outcome is applied directly — no [pending_brr] round
+             trip through the oracle's decide hook, and no [Some]
+             allocation per branch-on-random. *)
+          Bor_sim.Machine.exec_brr_decided m ~taken:outcome ~offset:boff;
+          log_retired_brr t outcome;
+          pc := (if outcome then p + (4 * boff) else fall);
+          incr n
+        | Brr_always joff ->
+          touch p;
+          Bor_sim.Machine.exec_brr_decided m ~taken:true ~offset:joff;
+          pc := p + (4 * joff);
+          incr n
+        | Load (w, rd, rs1, loff) ->
+          touch p;
+          touch_data (Bor_sim.Machine.exec_load m w rd rs1 loff);
+          pc := fall;
+          incr n
+        | Store (w, rsrc, rbase, soff) ->
+          touch p;
+          touch_data (Bor_sim.Machine.exec_store m w rsrc rbase soff);
+          pc := fall;
+          incr n
+        | Halt as instr ->
+          touch p;
+          Bor_sim.Machine.exec_decoded m instr;
+          pc := -1;
+          incr n
+        | (Rdlfsr _ | Marker _) as instr ->
+          touch p;
+          Bor_sim.Machine.exec_decoded m instr;
+          pc := fall;
+          incr n
+      end
+    done;
+    t.warm_iline <- !iline;
+    t.committed <- t.committed + !n;
+    !n
+  end
+
+(* One instruction of functional warming — the single-step unit the
+   warming-equivalence tests exercise; [warm_run] is the batched
+   form. *)
+let warm_step t = ignore (warm_run t 1)
+
+let run_warming ?max_steps t =
+  let budget = match max_steps with Some n -> n | None -> max_int in
+  let total = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !total < budget do
+    let chunk = min 65536 (budget - !total) in
+    let ran = warm_run t chunk in
+    total := !total + ran;
+    if ran < chunk then continue_ := false
+  done;
+  !total
+
+(* Hand over from functional warming to the detailed pipeline: point
+   fetch at the oracle's pc and snapshot the architectural history and
+   return stack so [exit_detail] can restore them after the window. *)
+let enter_detail t =
+  t.sampling <- true;
+  t.arch_ghist <- Predictor.ghist t.pred;
+  Ras.save_into t.ras t.arch_ras;
+  t.fetch_pc <- Bor_sim.Machine.pc t.oracle;
+  t.fetch_stall_until <- t.cycle;
+  t.halted_decoded <- false
+
+(* Abandon the detailed window: drop all in-flight state (correct-path
+   instructions already decoded have executed on the oracle and simply
+   go unmeasured), unwind speculative LFSR clocks exactly as a squash
+   would, and restore the predictor history and RAS to their
+   retired-order shadows. *)
+let exit_detail t =
+  if t.cfg.Config.deterministic_lfsr then
+    for i = t.spec_brr_len - 1 downto 0 do
+      Bor_core.Engine.undo t.engine
+        ~shifted_out:(Bytes.unsafe_get t.spec_brr_log i <> '\000')
+    done;
+  t.spec_brr_len <- 0;
+  t.fq_head <- t.fq_tail;
+  t.rob_head <- t.rob_tail;
+  t.issue_scan <- t.rob_tail;
+  Array.fill t.producer 0 (Array.length t.producer) (-1);
+  Hashtbl.reset t.last_store;
+  t.wrong_path_decode <- false;
+  t.resolver <- -1;
+  t.resolver_pos <- -1;
+  t.halted_decoded <- false;
+  t.fetch_pc <- -1;
+  Predictor.restore_ghist t.pred t.arch_ghist;
+  Ras.restore t.ras t.arch_ras;
+  t.pending_brr := None;
+  t.warm_iline <- -1;
+  t.warm_dline <- -1;
+  t.sampling <- false
+
+type sampled_stats = {
+  sp_windows : int;
+  sp_instructions : int;
+  sp_warmed : int;
+  sp_detailed : int;
+  sp_detailed_cycles : int;
+  sp_cpi : float;
+  sp_cpi_ci95 : float;
+  sp_cycles_estimate : float;
+}
+
+let pp_sampled ppf s =
+  Format.fprintf ppf
+    "@[<v>sampled: %d windows over %d instructions (%d warmed, %d \
+     detailed, %d detailed cycles)@,CPI %.4f ± %.4f (95%% CI); estimated \
+     cycles %.0f@]"
+    s.sp_windows s.sp_instructions s.sp_warmed s.sp_detailed
+    s.sp_detailed_cycles s.sp_cpi s.sp_cpi_ci95 s.sp_cycles_estimate
+
+(* Run detailed cycles until [t.committed] reaches [target], the
+   pipeline halts, or the budget runs out — the [run] loop with a
+   commit-count stopping condition. *)
+let detail_until t ~target ~max_cycles =
+  let rec go () =
+    if t.halt_committed || t.committed >= target then Ok ()
+    else if t.cycle >= max_cycles then Error "cycle budget exhausted"
+    else if
+      rob_occ t = 0 && t.fq_head >= t.fq_tail && t.fetch_pc < 0
+      && not t.halted_decoded
+    then Error "front end deadlocked (fetch lost with empty ROB)"
+    else begin
+      step_cycle t;
+      if t.idle_cycle && not t.halt_committed then
+        quiesce_skip t ~limit:max_cycles;
+      go ()
+    end
+  in
+  go ()
+
+let run_sampled ?(max_cycles = 2_000_000_000) ?plan t =
+  let plan = match plan with Some _ -> plan | None -> t.cfg.Config.sample in
+  match plan with
+  | None ->
+    Error "no sampling plan (pass ?plan or set Config.sample / --sample)"
+  | Some plan ->
+    if
+      t.cycle <> 0 || t.next_seq <> 0 || t.committed <> 0
+      || (Bor_sim.Machine.stats t.oracle).Bor_sim.Machine.instructions <> 0
+    then Error "run_sampled requires a freshly created pipeline"
+    else begin
+      (* The sampling.* instruments exist only in sampled runs, so a
+         full-detail run's telemetry dump — part of the golden bench
+         digests — is byte-identical with or without this code. *)
+      let sc = Telemetry.scope "sampling" in
+      let c_windows =
+        Telemetry.counter sc ~doc:"measured detailed windows" "windows"
+      in
+      let c_warmed =
+        Telemetry.counter sc ~unit_:"instructions"
+          ~doc:"instructions fast-forwarded under functional warming"
+          "warmed"
+      in
+      let c_detailed =
+        Telemetry.counter sc ~unit_:"instructions"
+          ~doc:"instructions executed inside detailed windows" "detailed"
+      in
+      let c_cpi =
+        Telemetry.counter sc ~unit_:"mCPI"
+          ~doc:"extrapolated CPI, in thousandths" "cpi_milli"
+      in
+      let c_ci =
+        Telemetry.counter sc ~unit_:"mCPI"
+          ~doc:"95% confidence half-width of the CPI, in thousandths"
+          "ci95_milli"
+      in
+      let phase = Sampling_plan.phase_stream plan in
+      let slack = Sampling_plan.slack plan in
+      let warmed = ref 0 in
+      let samples = ref [] in
+      let windows = ref 0 in
+      let oracle_halted () = Bor_sim.Machine.halted t.oracle in
+      let warm_many n = warmed := !warmed + warm_run t n in
+      try
+        let err = ref None in
+        while !err = None && (not t.halt_committed) && not (oracle_halted ())
+        do
+          let offset = phase () in
+          warm_many offset;
+          if not (oracle_halted ()) then begin
+            enter_detail t;
+            (match
+               detail_until t
+                 ~target:(t.committed + plan.Sampling_plan.warmup)
+                 ~max_cycles
+             with
+            | Error e -> err := Some e
+            | Ok () ->
+              if not t.halt_committed then begin
+                let c1 = t.cycle and i1 = t.committed in
+                match
+                  detail_until t ~target:(i1 + plan.Sampling_plan.window)
+                    ~max_cycles
+                with
+                | Error e -> err := Some e
+                | Ok () ->
+                  let got = t.committed - i1 in
+                  if got > 0 then begin
+                    samples :=
+                      (float_of_int (t.cycle - c1) /. float_of_int got)
+                      :: !samples;
+                    incr windows
+                  end
+              end);
+            if !err = None && not t.halt_committed then begin
+              exit_detail t;
+              warm_many (slack - offset)
+            end
+          end
+        done;
+        match !err with
+        | Some e -> Error e
+        | None ->
+          if oracle_halted () then t.halt_committed <- true;
+          let total =
+            (Bor_sim.Machine.stats t.oracle).Bor_sim.Machine.instructions
+          in
+          let est =
+            Sampling_plan.estimate ~cpi_samples:(List.rev !samples)
+              ~instructions:total
+          in
+          Telemetry.add c_windows !windows;
+          Telemetry.add c_warmed !warmed;
+          Telemetry.add c_detailed (max 0 (total - !warmed));
+          Telemetry.add c_cpi
+            (int_of_float ((est.Sampling_plan.cpi_mean *. 1000.) +. 0.5));
+          Telemetry.add c_ci
+            (int_of_float ((est.Sampling_plan.cpi_ci95 *. 1000.) +. 0.5));
+          Ok
+            {
+              sp_windows = !windows;
+              sp_instructions = total;
+              sp_warmed = !warmed;
+              sp_detailed = max 0 (total - !warmed);
+              sp_detailed_cycles = t.cycle;
+              sp_cpi = est.Sampling_plan.cpi_mean;
+              sp_cpi_ci95 = est.Sampling_plan.cpi_ci95;
+              sp_cycles_estimate = est.Sampling_plan.cycles_estimate;
+            }
+      with
+      | Sim_error m -> Error m
+      | Bor_sim.Machine.Fault { pc; message } ->
+        Error (Printf.sprintf "oracle fault at 0x%x: %s" pc message)
+    end

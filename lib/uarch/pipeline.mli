@@ -98,6 +98,55 @@ val retired_brr_dropped : t -> int
 
 val config : t -> Config.t
 
+(** {2 Sampled simulation}
+
+    SMARTS-style sampling: the run fast-forwards on the functional
+    oracle under {e functional warming} — caches, BTB, direction
+    predictor, RAS and the LFSR engine keep evolving, but no ROB,
+    issue, or flush timing is modelled — and periodically drops into a
+    {e detailed window} of the full pipeline, seeded from the warmed
+    structures. CPI is measured per window (after an unmeasured detail
+    warmup) and extrapolated with a 95% confidence interval.
+
+    None of this affects a plain {!run}: full-detail behavior, stats,
+    and telemetry are byte-identical whether or not this code exists
+    (the bench golden digests enforce it). *)
+
+val warm_step : t -> unit
+(** Execute one instruction under functional warming. The oracle must
+    not be halted. *)
+
+val run_warming : ?max_steps:int -> t -> int
+(** Warm until the program halts (or [max_steps]); returns the number
+    of instructions executed. For the warming-equivalence tests. *)
+
+val predictor : t -> Predictor.t
+val btb : t -> Btb.t
+val ras : t -> Ras.t
+val hierarchy : t -> Hierarchy.t
+(** Warmed-structure accessors, for state-digest comparisons. *)
+
+type sampled_stats = {
+  sp_windows : int;  (** detailed windows that produced a CPI sample *)
+  sp_instructions : int;  (** total instructions executed (oracle) *)
+  sp_warmed : int;  (** instructions fast-forwarded under warming *)
+  sp_detailed : int;  (** instructions run through the detailed pipeline *)
+  sp_detailed_cycles : int;  (** cycles simulated in detail (all windows) *)
+  sp_cpi : float;  (** mean CPI over the measured windows *)
+  sp_cpi_ci95 : float;  (** 95% confidence half-width of [sp_cpi] *)
+  sp_cycles_estimate : float;  (** extrapolated whole-run cycles *)
+}
+
+val run_sampled :
+  ?max_cycles:int -> ?plan:Sampling_plan.t -> t -> (sampled_stats, string) result
+(** Run the whole program under the sampling schedule ([?plan], falling
+    back to [Config.sample]; an error when neither is set). Requires a
+    freshly created pipeline. Registers the [sampling.*] telemetry
+    counters (windows, warmed, detailed, cpi_milli, ci95_milli) — only
+    in sampled runs, never in full-detail ones. *)
+
+val pp_sampled : Format.formatter -> sampled_stats -> unit
+
 (** {2 Tracing}
 
     A lightweight observation stream for debugging and for building

@@ -102,3 +102,18 @@ let recover t (p : prediction) ~taken =
 
 let ghist t = t.ghist
 let restore_ghist t h = t.ghist <- h land t.ghist_mask
+
+let shift_into t h ~taken =
+  ((h lsl 1) lor Bool.to_int taken) land t.ghist_mask
+
+let state_digest t =
+  let b = Buffer.create (Array.length t.gshare * 2) in
+  let dump a =
+    Array.iter (fun v -> Buffer.add_char b (Char.chr (v land 0xff))) a;
+    Buffer.add_char b '|'
+  in
+  dump t.gshare;
+  dump t.bimodal;
+  dump t.chooser;
+  Buffer.add_string b (string_of_int t.ghist);
+  Bor_telemetry.Sha256.digest (Buffer.contents b)

@@ -43,3 +43,13 @@ val restore_ghist : t -> int -> unit
 (** Reset the history to a recorded fetch-time value (recovery for
     resolvers that never consulted the direction predictor, e.g.
     mispredicted returns). *)
+
+val shift_into : t -> int -> taken:bool -> int
+(** [shift_into t h ~taken] appends one resolved direction to a history
+    value [h] under [t]'s mask, without touching [t]'s own speculative
+    history — used to maintain the architectural (retired-order) shadow
+    history during sampled simulation. *)
+
+val state_digest : t -> string
+(** SHA-256 of all three counter tables plus the global history, for
+    the warming-equivalence tests. *)

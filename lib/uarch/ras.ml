@@ -2,6 +2,7 @@ module Telemetry = Bor_telemetry.Telemetry
 
 type t = {
   stack : int array;
+  mask : int;  (** entries - 1 when a power of two, else -1 *)
   mutable top : int;
   mutable depth : int;
   tel_pushes : Telemetry.counter;
@@ -13,7 +14,9 @@ type t = {
 let create ~entries =
   if entries <= 0 then invalid_arg "Ras.create";
   let sc = Telemetry.scope "ras" in
-  { stack = Array.make entries 0; top = 0; depth = 0;
+  { stack = Array.make entries 0;
+    mask = (if Bor_util.Bits.is_power_of_two entries then entries - 1 else -1);
+    top = 0; depth = 0;
     tel_pushes = Telemetry.counter sc ~doc:"call-site pushes" "pushes";
     tel_pops = Telemetry.counter sc ~doc:"successful return-target pops" "pops";
     tel_underflows =
@@ -23,11 +26,15 @@ let create ~entries =
       Telemetry.counter sc ~doc:"pushes that wrapped, losing the oldest entry"
         "overflows" }
 
+(* Wrap indices with a mask when the geometry allows: push/pop are on
+   the warming and fetch hot paths, and [mod] is a hardware divide. *)
+let[@inline] wrap t i = if t.mask >= 0 then i land t.mask else i mod Array.length t.stack
+
 let push t v =
   if t.depth = Array.length t.stack then Telemetry.incr t.tel_overflows;
   Telemetry.incr t.tel_pushes;
   t.stack.(t.top) <- v;
-  t.top <- (t.top + 1) mod Array.length t.stack;
+  t.top <- wrap t (t.top + 1);
   t.depth <- min (t.depth + 1) (Array.length t.stack)
 
 (* [pop_target] is the hot-path variant: -1 instead of [None] so the
@@ -40,7 +47,7 @@ let pop_target t =
   end
   else begin
     Telemetry.incr t.tel_pops;
-    t.top <- (t.top + Array.length t.stack - 1) mod Array.length t.stack;
+    t.top <- wrap t (t.top + Array.length t.stack - 1);
     t.depth <- t.depth - 1;
     t.stack.(t.top)
   end
@@ -75,3 +82,30 @@ let restore t s =
   Array.blit s.s_stack 0 t.stack 0 (Array.length t.stack);
   t.top <- s.s_top;
   t.depth <- s.s_depth
+
+(* Shadow-stack operations on a snapshot, so the pipeline can maintain
+   an architectural (retired-order) RAS during sampled simulation
+   without touching the real stack or its telemetry. *)
+
+let snapshot_push s v =
+  let len = Array.length s.s_stack in
+  s.s_stack.(s.s_top) <- v;
+  s.s_top <- (s.s_top + 1) mod len;
+  s.s_depth <- min (s.s_depth + 1) len
+
+let snapshot_pop s =
+  if s.s_depth > 0 then begin
+    let len = Array.length s.s_stack in
+    s.s_top <- (s.s_top + len - 1) mod len;
+    s.s_depth <- s.s_depth - 1
+  end
+
+let state_digest t =
+  let b = Buffer.create (t.depth * 8) in
+  Buffer.add_string b (string_of_int t.depth);
+  let len = Array.length t.stack in
+  for i = t.depth downto 1 do
+    Buffer.add_char b ':';
+    Buffer.add_string b (string_of_int t.stack.((t.top - i + len + len) mod len))
+  done;
+  Bor_telemetry.Sha256.digest (Buffer.contents b)

@@ -34,3 +34,14 @@ val save_into : t -> snapshot -> unit
     size. Allocation-free. *)
 
 val restore : t -> snapshot -> unit
+
+val snapshot_push : snapshot -> int -> unit
+(** Push directly onto a snapshot (same wrap-on-overflow semantics as
+    {!push}, no telemetry) — the sampled-simulation shadow stack. *)
+
+val snapshot_pop : snapshot -> unit
+(** Pop a snapshot; no-op when empty. *)
+
+val state_digest : t -> string
+(** SHA-256 of the live entries (oldest to newest) and the depth, for
+    the warming-equivalence tests. *)

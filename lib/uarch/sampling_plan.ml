@@ -1,0 +1,64 @@
+type t = {
+  warmup : int;
+  window : int;
+  period : int;
+  seed : int option;
+}
+
+let make ?seed ~warmup ~window ~period () =
+  if warmup < 0 then Error "sampling plan: warmup must be >= 0"
+  else if window < 1 then Error "sampling plan: window must be >= 1"
+  else if period < warmup + window then
+    Error "sampling plan: period must be >= warmup + window"
+  else Ok { warmup; window; period; seed }
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | ([ _; _; _ ] | [ _; _; _; _ ]) as parts -> (
+    match List.map int_of_string parts with
+    | [ warmup; window; period ] -> make ~warmup ~window ~period ()
+    | [ warmup; window; period; seed ] -> make ~seed ~warmup ~window ~period ()
+    | _ -> assert false
+    | exception Failure _ ->
+      Error (Printf.sprintf "sampling plan %S: fields must be integers" s))
+  | _ ->
+    Error
+      (Printf.sprintf "sampling plan %S: expected WARMUP:WINDOW:PERIOD[:SEED]"
+         s)
+
+let to_string t =
+  match t.seed with
+  | None -> Printf.sprintf "%d:%d:%d" t.warmup t.window t.period
+  | Some s -> Printf.sprintf "%d:%d:%d:%d" t.warmup t.window t.period s
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let slack t = t.period - t.warmup - t.window
+
+let phase_stream t =
+  match t.seed with
+  | None -> fun () -> 0
+  | Some seed ->
+    let g = Bor_util.Prng.create ~seed in
+    let bound = slack t + 1 in
+    fun () -> Bor_util.Prng.int g bound
+
+type estimate = {
+  windows : int;
+  cpi_mean : float;
+  cpi_ci95 : float;
+  cycles_estimate : float;
+}
+
+let estimate ~cpi_samples ~instructions =
+  match cpi_samples with
+  | [] -> { windows = 0; cpi_mean = 0.; cpi_ci95 = 0.; cycles_estimate = 0. }
+  | samples ->
+    let s = Bor_util.Stats.summarize samples in
+    let ci = if s.n < 2 then 0. else Bor_util.Stats.ci95_halfwidth s in
+    {
+      windows = s.n;
+      cpi_mean = s.mean;
+      cpi_ci95 = ci;
+      cycles_estimate = s.mean *. Float.of_int instructions;
+    }

@@ -1,0 +1,59 @@
+(** Schedule for sampled simulation (SMARTS-style): the run is divided
+    into periods of [period] instructions; inside each period one
+    detailed window executes on the full pipeline model — [warmup]
+    committed instructions to fill the ROB and fetch queue (discarded),
+    then [window] measured commits — and the rest of the period
+    fast-forwards on the functional oracle with {e functional warming}
+    (caches, BTB, predictor, RAS and the LFSR keep evolving; see
+    {!Pipeline.run_sampled}).
+
+    With a [seed], the window's offset inside each period is drawn
+    uniformly from the slack ([period - warmup - window]) — the random
+    phase that decorrelates the sample from periodic program behaviour
+    (Ekman's ranked-set/repeated-subsampling observation). Without a
+    seed every window sits at the start of its period. *)
+
+type t = {
+  warmup : int;  (** detailed commits discarded before measuring, >= 0 *)
+  window : int;  (** detailed commits measured per window, >= 1 *)
+  period : int;  (** instructions per sampling period, >= warmup + window *)
+  seed : int option;  (** random window phase when set *)
+}
+
+val make :
+  ?seed:int -> warmup:int -> window:int -> period:int -> unit ->
+  (t, string) result
+(** Validated constructor; [Error] explains which constraint failed. *)
+
+val of_string : string -> (t, string) result
+(** Parse ["W:D:P"] or ["W:D:P:SEED"] (the [--sample] flag syntax):
+    warmup, window (detail length), period, optional phase seed. *)
+
+val to_string : t -> string
+(** Inverse of {!of_string}. *)
+
+val pp : Format.formatter -> t -> unit
+
+val slack : t -> int
+(** [period - warmup - window]: instructions per period left to
+    functional warming (the window's offset budget). *)
+
+val phase_stream : t -> unit -> int
+(** [phase_stream t] is a generator of successive per-period window
+    offsets, each in [[0, slack t]]. Deterministic in [t.seed]; the
+    constant function [0] when [seed] is [None]. *)
+
+(** {2 CPI estimation} *)
+
+type estimate = {
+  windows : int;  (** number of measured windows *)
+  cpi_mean : float;
+  cpi_ci95 : float;
+      (** half-width of the normal-approximation 95% confidence
+          interval of the mean; 0 with fewer than two windows *)
+  cycles_estimate : float;  (** [cpi_mean *. instructions] *)
+}
+
+val estimate : cpi_samples:float list -> instructions:int -> estimate
+(** Extrapolate whole-run cycles from per-window CPI samples. An empty
+    sample list yields the zero estimate. *)

@@ -15,8 +15,12 @@ let sign_extend v ~width =
   let v = v land mask width in
   if bit v (width - 1) then v - (1 lsl width) else v
 
-let wrap32 v = sign_extend v ~width:32
-let to_u32 v = v land mask 32
+(* The 32-bit cases are the per-instruction hot path of both
+   simulators (every register write re-wraps): direct shift/mask
+   forms, small enough to inline, rather than the generic
+   [sign_extend]/[mask] (identical results on 63-bit ints). *)
+let[@inline] wrap32 v = (v lsl 31) asr 31
+let[@inline] to_u32 v = v land 0xFFFF_FFFF
 
 let popcount v =
   let rec go acc v = if v = 0 then acc else go (acc + (v land 1)) (v lsr 1) in

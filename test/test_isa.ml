@@ -476,6 +476,71 @@ let test_objfile_rejections () =
   check Alcotest.bool "rejects source" false
     (Bor_isa.Objfile.is_object_file obj_source)
 
+(* ----------------------------------------------------------- Toolchain *)
+
+(* The shared front door both [bor] and the bench runner load inputs
+   through: content sniffing (BOR1 image vs assembly source), rendered
+   errors, and the file-reading composition. *)
+
+let with_probe_file contents f =
+  let path = "toolchain_probe.tmp" in
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_toolchain_dispatch () =
+  let from_src = Result.get_ok (Bor_isa.Toolchain.load_program obj_source) in
+  let img = Bor_isa.Objfile.save from_src in
+  let from_img = Result.get_ok (Bor_isa.Toolchain.load_program img) in
+  check Alcotest.int "same text length"
+    (Array.length from_src.Bor_isa.Program.text)
+    (Array.length from_img.Bor_isa.Program.text);
+  check Alcotest.int "same entry" from_src.entry from_img.entry;
+  Array.iteri
+    (fun i ins -> check instr (Printf.sprintf "instr %d" i) ins
+        from_img.text.(i))
+    from_src.text
+
+let test_toolchain_renders_errors () =
+  (* Assembly errors come back already rendered with the line number;
+     corrupt object images also surface as [Error], not exceptions. *)
+  (match Bor_isa.Toolchain.load_program "main:   bogus t0, 1\n" with
+  | Ok _ -> Alcotest.fail "nonsense assembled"
+  | Error e ->
+    check Alcotest.bool
+      (Printf.sprintf "%S carries the line number" e)
+      true
+      (String.length e > 0
+      && String.sub e 0 (min 4 (String.length e)) = "line"));
+  let img = Bor_isa.Objfile.save (assemble_ok obj_source) in
+  let corrupt = String.sub img 0 (String.length img - 2) in
+  match Bor_isa.Toolchain.load_program corrupt with
+  | Ok _ -> Alcotest.fail "corrupt image loaded"
+  | Error _ -> ()
+
+let test_toolchain_file_roundtrip () =
+  with_probe_file obj_source (fun path ->
+      let p =
+        match Bor_isa.Toolchain.load_program_file path with
+        | Ok p -> p
+        | Error e -> Alcotest.fail e
+      in
+      check Alcotest.int "entry from source file"
+        (assemble_ok obj_source).entry p.Bor_isa.Program.entry);
+  let img = Bor_isa.Objfile.save (assemble_ok obj_source) in
+  with_probe_file img (fun path ->
+      check Alcotest.string "read_file is binary-safe" img
+        (Bor_isa.Toolchain.read_file path);
+      match Bor_isa.Toolchain.load_program_file path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+
+let test_toolchain_missing_file () =
+  match Bor_isa.Toolchain.load_program_file "no/such/file.s" with
+  | Ok _ -> Alcotest.fail "phantom file loaded"
+  | Error e -> check Alcotest.bool "message non-empty" true (String.length e > 0)
+
 let () =
   Alcotest.run "bor_isa"
     [
@@ -525,5 +590,15 @@ let () =
           Alcotest.test_case "gp-relative base check" `Quick
             test_asm_gp_relative_requires_gp;
           Alcotest.test_case "listing" `Quick test_disasm_listing;
+        ] );
+      ( "toolchain",
+        [
+          Alcotest.test_case "source/image dispatch" `Quick
+            test_toolchain_dispatch;
+          Alcotest.test_case "renders errors" `Quick
+            test_toolchain_renders_errors;
+          Alcotest.test_case "file roundtrip" `Quick
+            test_toolchain_file_roundtrip;
+          Alcotest.test_case "missing file" `Quick test_toolchain_missing_file;
         ] );
     ]

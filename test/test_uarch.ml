@@ -799,6 +799,293 @@ let test_predictor_ablation_preserves_semantics () =
     (polluted.frontend_flushes <> polluted.brr_taken
     || polluted.cycles <> fast.cycles)
 
+(* -------------------------------------------------------- Sampling plan *)
+
+module Sp = Bor_uarch.Sampling_plan
+
+let plan_exn s =
+  match Sp.of_string s with Ok p -> p | Error e -> Alcotest.fail e
+
+let test_plan_parse_roundtrip () =
+  let p = plan_exn "2000:1000:200000:13" in
+  check Alcotest.string "roundtrip with seed" "2000:1000:200000:13"
+    (Sp.to_string p);
+  check Alcotest.int "slack" (200_000 - 3000) (Sp.slack p);
+  let q = plan_exn "0:5:5" in
+  check Alcotest.string "roundtrip without seed" "0:5:5" (Sp.to_string q);
+  check Alcotest.int "zero slack" 0 (Sp.slack q)
+
+let test_plan_rejects_malformed () =
+  let bad s =
+    match Sp.of_string s with
+    | Ok _ -> Alcotest.failf "%S accepted" s
+    | Error _ -> ()
+  in
+  List.iter bad
+    [
+      "2000:1000" (* too few fields *); "1:2:3:4:5" (* too many *);
+      "a:b:c" (* not integers *); "-1:10:100" (* negative warmup *);
+      "10:0:100" (* empty window *);
+      "10:10:19" (* period shorter than warmup + window *);
+    ]
+
+let test_plan_phase_stream () =
+  (* Seeded streams are deterministic, bounded by the slack, and two
+     streams from the same plan agree; the unseeded stream pins every
+     window to the period start. *)
+  let p = plan_exn "10:10:100:42" in
+  let slack = Sp.slack p in
+  let s1 = Sp.phase_stream p and s2 = Sp.phase_stream p in
+  let distinct = ref 0 in
+  let prev = ref (-1) in
+  for _ = 1 to 500 do
+    let a = s1 () in
+    check Alcotest.int "same seed, same stream" a (s2 ());
+    if a < 0 || a > slack then
+      Alcotest.failf "offset %d outside [0, %d]" a slack;
+    if a <> !prev then incr distinct;
+    prev := a
+  done;
+  check Alcotest.bool "stream actually varies" true (!distinct > 10);
+  let unseeded = Sp.phase_stream (plan_exn "10:10:100") in
+  for _ = 1 to 10 do
+    check Alcotest.int "unseeded offsets are zero" 0 (unseeded ())
+  done
+
+let test_plan_estimate_hand_vectors () =
+  let feq = Alcotest.float 1e-9 in
+  (* Three windows at CPI 1, 2, 3 over 100 instructions: mean 2, sample
+     stddev 1, so the 95% half-width is 1.96 / sqrt 3. *)
+  let e = Sp.estimate ~cpi_samples:[ 1.; 2.; 3. ] ~instructions:100 in
+  check Alcotest.int "windows" 3 e.Sp.windows;
+  check feq "mean" 2.0 e.Sp.cpi_mean;
+  check feq "ci95" (1.96 /. sqrt 3.) e.Sp.cpi_ci95;
+  check feq "cycles" 200.0 e.Sp.cycles_estimate;
+  (* A single window has no variance estimate: the half-width is 0. *)
+  let one = Sp.estimate ~cpi_samples:[ 5.0 ] ~instructions:7 in
+  check Alcotest.int "single window" 1 one.Sp.windows;
+  check feq "single ci95" 0.0 one.Sp.cpi_ci95;
+  check feq "single cycles" 35.0 one.Sp.cycles_estimate;
+  (* No windows at all: the zero estimate, not an exception. *)
+  let z = Sp.estimate ~cpi_samples:[] ~instructions:1000 in
+  check Alcotest.int "no windows" 0 z.Sp.windows;
+  check feq "zero mean" 0.0 z.Sp.cpi_mean;
+  check feq "zero cycles" 0.0 z.Sp.cycles_estimate
+
+(* ----------------------------------------------- Warming equivalence *)
+
+let test_state_digests_track_state () =
+  (* Cache digests depend on the resident lines, not the order they
+     became resident (LRU recency is deliberately excluded). *)
+  let mk () = Bor_uarch.Cache.create ~size:1024 ~assoc:2 ~line_bytes:64 () in
+  let a = mk () and b = mk () in
+  ignore (Bor_uarch.Cache.access a 0x100);
+  ignore (Bor_uarch.Cache.access a 0x400);
+  ignore (Bor_uarch.Cache.access b 0x400);
+  ignore (Bor_uarch.Cache.access b 0x100);
+  check Alcotest.string "resident set, either order"
+    (Bor_uarch.Cache.state_digest a)
+    (Bor_uarch.Cache.state_digest b);
+  ignore (Bor_uarch.Cache.access a 0x800);
+  check Alcotest.bool "new line changes the digest" false
+    (Bor_uarch.Cache.state_digest a = Bor_uarch.Cache.state_digest b);
+  let p = Bor_uarch.Predictor.create Bor_uarch.Config.default in
+  let d0 = Bor_uarch.Predictor.state_digest p in
+  let pr = Bor_uarch.Predictor.predict p ~pc:0x40 in
+  Bor_uarch.Predictor.update p ~pc:0x40 pr ~taken:true;
+  check Alcotest.bool "predictor update changes the digest" false
+    (d0 = Bor_uarch.Predictor.state_digest p);
+  let btb = Bor_uarch.Btb.create ~entries:64 in
+  let d0 = Bor_uarch.Btb.state_digest btb in
+  Bor_uarch.Btb.insert btb ~pc:0x40 ~target:0x100;
+  check Alcotest.bool "btb insert changes the digest" false
+    (d0 = Bor_uarch.Btb.state_digest btb);
+  let ras = Bor_uarch.Ras.create ~entries:8 in
+  let d0 = Bor_uarch.Ras.state_digest ras in
+  Bor_uarch.Ras.push ras 0x44;
+  check Alcotest.bool "ras push changes the digest" false
+    (d0 = Bor_uarch.Ras.state_digest ras)
+
+(* A program the full-detail pipeline executes without a single
+   discarded fetch: straight-line unrolled work, never-taken branches
+   (cold two-bit counters start weakly not-taken, and a branch that
+   never takes keeps them there — and never enters the BTB), calls and
+   returns (the RAS predicts every return), and branch-on-randoms at
+   the rarest frequency (asserted untaken). On such a program fetch
+   touches exactly the committed path, so functional warming must
+   leave the caches, predictor, BTB, RAS and LFSR in {e identical}
+   states to the full-detail run — checked below digest-for-digest. *)
+let straightline_src =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "main:   la   s2, buf\n";
+  Buffer.add_string b "        li   t0, 3\n        li   t1, 11\n";
+  for i = 0 to 63 do
+    Printf.bprintf b "        addi t0, t0, %d\n" (1 + (i land 7));
+    Printf.bprintf b "        sw   t0, %d(s2)\n" (4 * (i land 31));
+    Printf.bprintf b "        lw   t1, %d(s2)\n" (4 * ((i + 5) land 31));
+    if i land 1 = 0 then Buffer.add_string b "        bne  t0, t0, out\n"
+    else Buffer.add_string b "        blt  t1, t1, out\n";
+    if i land 7 = 3 then Buffer.add_string b "        call leaf\n";
+    if i land 15 = 9 then Buffer.add_string b "        brr  #15, out\n"
+  done;
+  Buffer.add_string b "out:    halt\n";
+  Buffer.add_string b "leaf:   xor  t2, t0, t1\n        ret\n";
+  Buffer.add_string b "        .data\nbuf:    .space 256\n";
+  Buffer.contents b
+
+let uarch_digests t =
+  Bor_uarch.(
+    Hierarchy.state_digests (Pipeline.hierarchy t)
+    @ [
+        ("pred", Predictor.state_digest (Pipeline.predictor t));
+        ("btb", Btb.state_digest (Pipeline.btb t));
+        ("ras", Ras.state_digest (Pipeline.ras t));
+        ( "lfsr",
+          string_of_int
+            (Bor_lfsr.Lfsr.peek (Bor_core.Engine.lfsr (Pipeline.engine t))) );
+      ])
+
+let test_warming_matches_full_detail () =
+  let p = assemble straightline_src in
+  let config =
+    { Bor_uarch.Config.default with Bor_uarch.Config.deterministic_lfsr = true }
+  in
+  let detail, st = run_pipeline ~config p in
+  (* Preconditions making digest equality the honest claim: nothing was
+     fetched beyond the committed path. *)
+  check Alcotest.int "no cond mispredicts" 0 st.cond_mispredicts;
+  check Alcotest.int "no return mispredicts" 0 st.return_mispredicts;
+  check Alcotest.int "no backend flushes" 0 st.backend_flushes;
+  check Alcotest.int "no frontend flushes" 0 st.frontend_flushes;
+  check Alcotest.int "no squashed instructions" 0 st.squashed;
+  check Alcotest.int "no brr takes" 0 st.brr_taken;
+  (* ...while still exercising every warmed structure. *)
+  check Alcotest.int "cond branches retired" 64 st.cond_branches;
+  check Alcotest.int "brrs retired" 4 st.brr_executed;
+  check Alcotest.bool "returns retired" true (st.returns > 0);
+  check Alcotest.bool "code spans several icache lines" true
+    (st.l1i_misses > 4);
+  let warm = Bor_uarch.Pipeline.create ~config p in
+  let steps = Bor_uarch.Pipeline.run_warming warm in
+  check Alcotest.int "warming executes the same instruction count"
+    st.instructions steps;
+  check
+    Alcotest.(list (pair string string))
+    "warmed state = full-detail state" (uarch_digests detail)
+    (uarch_digests warm)
+
+(* Batched warming ([run_warming]: plain-stretch fast-forward, line
+   sweeps, MRU dedup) against the same program warmed one instruction
+   at a time ([warm_step]) — on branchy, loopy code where the batching
+   machinery actually triggers. Every structure digest and the final
+   architectural state must agree. *)
+let test_warming_batching_equivalence () =
+  let src =
+    {|
+main:   la   s2, buf
+        li   s1, 60
+loop:   andi t0, s1, 3
+        bne  t0, zero, odd
+        addi t3, t3, 5
+        j    join
+odd:    sub  t3, t3, s1
+join:   sw   t3, 0(s2)
+        lw   t4, 4(s2)
+        brr  #1, skipc
+        call leaf
+skipc:  addi s1, s1, -1
+        bne  s1, zero, loop
+        halt
+leaf:   xor  t5, t3, s1
+        ret
+        .data
+buf:    .space 64
+      |}
+  in
+  let p = assemble src in
+  let batched = Bor_uarch.Pipeline.create p in
+  let nb = Bor_uarch.Pipeline.run_warming batched in
+  let stepped = Bor_uarch.Pipeline.create p in
+  let ns = ref 0 in
+  while not (Bor_sim.Machine.halted (Bor_uarch.Pipeline.oracle stepped)) do
+    Bor_uarch.Pipeline.warm_step stepped;
+    incr ns
+  done;
+  check Alcotest.int "same instruction count" nb !ns;
+  check
+    Alcotest.(list (pair string string))
+    "batched = single-stepped" (uarch_digests batched) (uarch_digests stepped);
+  let ob = Bor_uarch.Pipeline.oracle batched
+  and os = Bor_uarch.Pipeline.oracle stepped in
+  for i = 0 to Bor_isa.Reg.count - 1 do
+    let r = Bor_isa.Reg.of_int i in
+    check Alcotest.int (Bor_isa.Reg.name r) (Bor_sim.Machine.reg ob r)
+      (Bor_sim.Machine.reg os r)
+  done
+
+(* ---------------------------------------------- Sampled acceptance *)
+
+(* The headline acceptance property, as a regression test: on real
+   experiment kernels the default plan's extrapolated cycles stay
+   within 2% of the full-detail run and the 95% confidence interval
+   covers the full-detail CPI. Everything here is deterministic (fixed
+   phase seed, deterministic simulator), so these are exact-repeatable
+   checks, not flaky statistics; EXPERIMENTS.md records the same plan
+   across all ten kernels. *)
+let test_sampled_acceptance () =
+  let plan = plan_exn "2000:1000:200000:13" in
+  let brr64 =
+    Bor_minic.Instrument.(
+      Sampled (Brr (Bor_core.Freq.of_period 64), No_duplication))
+  in
+  let kernels =
+    [
+      ( "micro-200000",
+        (Bor_workload.Micro.compile ~chars:200_000 brr64)
+          .Bor_minic.Driver.program );
+      ("jython", (Bor_workload.Apps.compile "jython" brr64).Bor_minic.Driver.program);
+      ("xalan", (Bor_workload.Apps.compile "xalan" brr64).Bor_minic.Driver.program);
+    ]
+  in
+  List.iter
+    (fun (name, prog) ->
+      let _, st = run_pipeline prog in
+      let full_cycles = Float.of_int st.Bor_uarch.Pipeline.cycles in
+      let full_cpi = full_cycles /. Float.of_int st.instructions in
+      let s = Bor_uarch.Pipeline.create prog in
+      let sp =
+        match Bor_uarch.Pipeline.run_sampled ~plan s with
+        | Ok sp -> sp
+        | Error e -> Alcotest.failf "%s: %s" name e
+      in
+      check Alcotest.bool
+        (Printf.sprintf "%s: several windows" name)
+        true
+        (sp.Bor_uarch.Pipeline.sp_windows >= 2);
+      (* The default config keeps the paper's lossy LFSR clocking, so
+         the branch-on-random outcome stream — and with it the dynamic
+         instruction count — differs microscopically between the
+         full-detail and sampled runs (the engine is clocked on
+         different schedules). Demand agreement to 0.1%, not
+         equality. *)
+      let drift =
+        Float.abs (Float.of_int (sp.Bor_uarch.Pipeline.sp_instructions - st.instructions))
+        /. Float.of_int st.instructions
+      in
+      if drift > 0.001 then
+        Alcotest.failf "%s: instruction count drift %.4f%%" name
+          (100. *. drift);
+      let err =
+        (sp.sp_cycles_estimate -. full_cycles) /. full_cycles
+      in
+      if Float.abs err > 0.02 then
+        Alcotest.failf "%s: cycle estimate off by %.2f%% (>2%%)" name
+          (100. *. err);
+      if Float.abs (sp.sp_cpi -. full_cpi) > sp.sp_cpi_ci95 then
+        Alcotest.failf "%s: 95%% CI [%f +/- %f] misses full CPI %f" name
+          sp.sp_cpi sp.sp_cpi_ci95 full_cpi)
+    kernels
+
 let () =
   Alcotest.run "bor_uarch"
     [
@@ -867,5 +1154,28 @@ let () =
             test_retired_brr_cap_truncates;
           Alcotest.test_case "lossy preserves rates" `Quick
             test_nondeterministic_loses_transitions;
+        ] );
+      ( "sampling plan",
+        [
+          Alcotest.test_case "parse roundtrip" `Quick test_plan_parse_roundtrip;
+          Alcotest.test_case "rejects malformed" `Quick
+            test_plan_rejects_malformed;
+          Alcotest.test_case "phase stream" `Quick test_plan_phase_stream;
+          Alcotest.test_case "estimate hand vectors" `Quick
+            test_plan_estimate_hand_vectors;
+        ] );
+      ( "warming",
+        [
+          Alcotest.test_case "digests track state" `Quick
+            test_state_digests_track_state;
+          Alcotest.test_case "warming = full detail (no wrong path)" `Quick
+            test_warming_matches_full_detail;
+          Alcotest.test_case "batched = single-stepped" `Quick
+            test_warming_batching_equivalence;
+        ] );
+      ( "sampled",
+        [
+          Alcotest.test_case "acceptance on experiment kernels" `Quick
+            test_sampled_acceptance;
         ] );
     ]
