@@ -6,6 +6,7 @@
      bor cc FILE.c           compile minic and print the assembly
      bor ccrun FILE.c        compile minic and run functionally
      bor cctime FILE.c       compile minic and run on the timing simulator
+     bor fuzz [SEED-FILES]   coverage-guided differential fuzzing
 
    Compilation options: --framework none|full|cbs|brr, --interval N,
    --fulldup, --edges, --empty-payload.
@@ -16,7 +17,16 @@
    run, as text or as one JSON object. --sample W:D:P[:SEED] switches
    the timing run to SMARTS-style sampled simulation (functional
    warming plus periodic detailed windows of D instructions after a W
-   warmup, every P instructions, optional random window phase). *)
+   warmup, every P instructions, optional random window phase).
+   --sanitize enables the pipeline sanitizer (dynamic invariant
+   checking, docs/FUZZING.md) for the run; BOR_SANITIZE=1 does the
+   same for any command.
+
+   bor fuzz mutates random/seeded BRISC programs (and minic sources,
+   for .c seed files) through the four-way differential property with
+   the sanitizer on, guided by telemetry coverage; failures are
+   auto-shrunk and written to the corpus directory. Options: --iters N,
+   --seed N, --corpus DIR (default test/corpus), --max-cycles N. *)
 
 type stats_mode = Stats_off | Stats_text | Stats_json
 
@@ -38,8 +48,21 @@ let usage () =
   prerr_endline
     "usage: bor {asm|run|time|cc|ccrun|cctime} FILE [-o OUT.bor] [--trace N] [--framework \
      none|full|cbs|brr] [--interval N] [--fulldup] [--edges] [--yieldpoints] \
-     [--empty-payload] [--stats[=json]] [--sample W:D:P[:SEED]]\nFILE may be assembly (.s), \
-     minic (.c for cc*) or a BOR1 object image";
+     [--empty-payload] [--stats[=json]] [--sanitize] [--sample W:D:P[:SEED]]\n\
+     \       bor fuzz [SEED-FILES] [--iters N] [--seed N] [--corpus DIR] [--max-cycles N]\n\
+     FILE may be assembly (.s), minic (.c for cc*) or a BOR1 object image";
+  exit 2
+
+let sample_usage v e =
+  Printf.eprintf
+    "bor: --sample %s: %s\n\
+     usage: --sample WARMUP:WINDOW:PERIOD[:SEED]\n\
+    \  WARMUP  detailed-warmup instructions per window (>= 0, not measured)\n\
+    \  WINDOW  measured detailed instructions per window (>= 1)\n\
+    \  PERIOD  instructions between window starts (>= WARMUP + WINDOW)\n\
+    \  SEED    optional random window phase (>= 0)\n\
+     example: --sample 2000:1000:100000\n"
+    v e;
   exit 2
 
 let read_file = Bor_isa.Toolchain.read_file
@@ -157,9 +180,56 @@ let run_timing ?(stats = Stats_off) ?sample (program : Bor_isa.Program.t) =
           (Float.of_int st.Bor_uarch.Pipeline.cycles /. dt /. 1e6);
       print_registry stats)
 
+(* bor fuzz: no mandatory positional FILE — any number of seed files
+   (.c compiles as minic; anything else loads as assembly/object). *)
+let run_fuzz rest =
+  let iters = ref 200
+  and seed = ref 1
+  and corpus = ref "test/corpus"
+  and max_cycles = ref 20_000_000
+  and seeds = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--iters" :: v :: r ->
+      iters := int_of_string v;
+      parse r
+    | "--seed" :: v :: r ->
+      seed := int_of_string v;
+      parse r
+    | "--corpus" :: v :: r ->
+      corpus := v;
+      parse r
+    | "--max-cycles" :: v :: r ->
+      max_cycles := int_of_string v;
+      parse r
+    | f :: r when String.length f > 0 && f.[0] <> '-' ->
+      seeds := f :: !seeds;
+      parse r
+    | _ -> usage ()
+  in
+  parse rest;
+  let seeds = List.rev !seeds in
+  let minic_sources =
+    List.filter_map
+      (fun f -> if Filename.check_suffix f ".c" then Some (read_file f) else None)
+      seeds
+  in
+  let programs =
+    List.filter_map
+      (fun f -> if Filename.check_suffix f ".c" then None else Some (assemble f))
+      seeds
+  in
+  let report =
+    Bor_gen.Fuzz.run ~iters:!iters ~seed:!seed ~corpus_dir:!corpus
+      ~minic_sources ~programs ~max_cycles:!max_cycles ~log:print_endline ()
+  in
+  Format.printf "%a@." Bor_gen.Fuzz.pp_report report;
+  if report.Bor_gen.Fuzz.crashes <> [] then exit 1
+
 let () =
   let args = Array.to_list Sys.argv in
   match args with
+  | _ :: "fuzz" :: rest -> run_fuzz rest
   | _ :: cmd :: path :: rest ->
     let opts =
       {
@@ -214,9 +284,10 @@ let () =
       | "--sample" :: v :: r ->
         (match Bor_uarch.Sampling_plan.of_string v with
         | Ok plan -> opts.sample <- Some plan
-        | Error e ->
-          Printf.eprintf "--sample %s: %s\n" v e;
-          exit 2);
+        | Error e -> sample_usage v e);
+        parse r
+      | "--sanitize" :: r ->
+        Bor_check.Check.set_enabled true;
         parse r
       | _ -> usage ()
     in

@@ -1,0 +1,43 @@
+type violation = {
+  component : string;
+  invariant : string;
+  cycle : int;
+  pos : int;
+  message : string;
+  state : (string * string) list;
+}
+
+exception Violation of violation
+
+let on =
+  ref
+    (match Sys.getenv_opt "BOR_SANITIZE" with
+    | Some ("1" | "true" | "on" | "yes") -> true
+    | Some _ | None -> false)
+
+let set_enabled v = on := v
+let enabled () = !on
+
+let checks_run = ref 0
+let count n = checks_run := !checks_run + n
+let checks () = !checks_run
+let reset_checks () = checks_run := 0
+
+let to_string v =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "sanitizer: %s invariant %S violated" v.component
+    v.invariant;
+  if v.cycle >= 0 then Printf.bprintf b " at cycle %d" v.cycle;
+  if v.pos >= 0 then Printf.bprintf b " (ROB position %d)" v.pos;
+  Printf.bprintf b ": %s" v.message;
+  if v.state <> [] then begin
+    Buffer.add_string b "\n  state at violation:";
+    List.iter (fun (k, d) -> Printf.bprintf b "\n    %-12s %s" k d) v.state
+  end;
+  Buffer.contents b
+
+let fail ?(cycle = -1) ?(pos = -1) ?(state = []) ~component ~invariant fmt =
+  Printf.ksprintf
+    (fun message ->
+      raise (Violation { component; invariant; cycle; pos; message; state }))
+    fmt

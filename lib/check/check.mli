@@ -1,0 +1,59 @@
+(** Pipeline sanitizer core: a zero-cost-when-disabled dynamic
+    invariant checker shared by the timing simulator, the functional
+    oracle and the uarch structures.
+
+    The checker itself lives with the data it checks (each component
+    exports a [check] routine over its own representation); this module
+    only owns the global enable flag, the violation report type, and
+    the bookkeeping counters the tests use to prove the sanitizer
+    actually ran.
+
+    Disabled (the default), the only cost a sanitized component pays is
+    one load-and-branch on {!on} per check site — the same contract as
+    {!Bor_telemetry.Telemetry}, and the reason the [@bench-check]
+    golden digests and the [perf] bench target are unaffected by this
+    machinery existing. The initial state honours the [BOR_SANITIZE]
+    environment variable ("1"/"true"/"on"/"yes" enable). *)
+
+type violation = {
+  component : string;  (** e.g. ["pipeline"], ["cache.l1d"], ["ras"] *)
+  invariant : string;  (** short identifier, e.g. ["rob-seq-order"] *)
+  cycle : int;  (** simulated cycle, -1 when not cycle-scoped *)
+  pos : int;  (** ROB position, -1 when not position-scoped *)
+  message : string;
+  state : (string * string) list;
+      (** named state dumps ([state_digest] values and key scalars)
+          captured at the point of violation *)
+}
+
+exception Violation of violation
+
+val on : bool ref
+(** The hot-path flag. Read it directly ([if !Check.on then ...]) from
+    per-cycle code; mutate it only through {!set_enabled}. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val fail :
+  ?cycle:int ->
+  ?pos:int ->
+  ?state:(string * string) list ->
+  component:string ->
+  invariant:string ->
+  ('a, unit, string, 'b) format4 ->
+  'a
+(** Format a message and raise {!Violation}. *)
+
+val to_string : violation -> string
+(** Multi-line human-readable report: component, invariant, cycle, ROB
+    position, message, then the captured state dumps. *)
+
+val count : int -> unit
+(** Record that [n] individual invariant checks were evaluated. *)
+
+val checks : unit -> int
+(** Total checks recorded since the last {!reset_checks} — lets a test
+    assert a sanitized run really exercised the sanitizer. *)
+
+val reset_checks : unit -> unit

@@ -1,0 +1,129 @@
+module Machine = Bor_sim.Machine
+module Pipeline = Bor_uarch.Pipeline
+module Check = Bor_check.Check
+module Program = Bor_isa.Program
+module Reg = Bor_isa.Reg
+
+type failure = { stage : string; reason : string }
+type outcome = Pass | Fail of failure | Budget of string
+
+exception Failed of failure
+exception Budgeted of string
+
+type snapshot = {
+  regs : int array;
+  data : int array;  (** every byte of the data segment *)
+  counts : int * int * int * int * int * int * int;
+}
+
+let snapshot prog m =
+  let mem = Machine.memory m in
+  let db = prog.Program.data_base in
+  let st = Machine.stats m in
+  {
+    regs = Array.init Reg.count (fun i -> Machine.reg m (Reg.of_int i));
+    data =
+      Array.init (Bytes.length prog.Program.data) (fun i ->
+          Bor_sim.Memory.read_byte mem (db + i));
+    counts =
+      ( st.instructions, st.loads, st.stores, st.cond_branches, st.cond_taken,
+        st.brr_executed, st.brr_taken );
+  }
+
+let explain_mismatch ref_name name a b =
+  let diff_idx x y =
+    let d = ref [] in
+    Array.iteri (fun i v -> if v <> y.(i) then d := i :: !d) x;
+    List.rev !d
+  in
+  if a.counts <> b.counts then
+    let p (i, l, s, cb, ct, be, bt) =
+      Printf.sprintf "instr %d loads %d stores %d cond %d/%d brr %d/%d" i l s
+        cb ct be bt
+    in
+    Printf.sprintf "counts differ: %s [%s] vs %s [%s]" ref_name (p a.counts)
+      name (p b.counts)
+  else if a.regs <> b.regs then
+    Printf.sprintf "registers differ at %s"
+      (String.concat ","
+         (List.map (fun i -> Reg.name (Reg.of_int i)) (diff_idx a.regs b.regs)))
+  else
+    Printf.sprintf "data bytes differ at offsets %s"
+      (String.concat ","
+         (List.map string_of_int (diff_idx a.data b.data)))
+
+(* A timing engine hitting its cycle budget after the reference finished
+   fine is treated as the mutant's fault too (pathological CPI from
+   all-miss access patterns), not a simulator bug — real hangs would
+   also trip the sanitizer's monotonicity checks long before. *)
+let is_budget_error e =
+  e = "cycle budget exhausted"
+
+let run ?(max_steps = 2_000_000) ?(max_cycles = 20_000_000) ?(plan_seed = 0)
+    prog =
+  let config =
+    { Bor_uarch.Config.default with Bor_uarch.Config.deterministic_lfsr = true }
+  in
+  let fail stage fmt =
+    Printf.ksprintf (fun reason -> raise (Failed { stage; reason })) fmt
+  in
+  let violation stage v = fail stage "%s" (Check.to_string v) in
+  try
+    (* Functional reference: External mode fed by a private engine gives
+       the in-order branch-on-random stream. Any error here (step
+       budget, memory fault) is the program's own doing — skip. *)
+    let reference =
+      let engine =
+        Bor_core.Engine.create ~seed:config.Bor_uarch.Config.lfsr_seed ()
+      in
+      let m =
+        Machine.create
+          ~brr_mode:(Machine.External (Bor_core.Engine.decide engine))
+          prog
+      in
+      (match Machine.run ~max_steps m with
+      | Ok _ -> ()
+      | Error e -> raise (Budgeted e));
+      if !Check.on then (
+        try Machine.check m with Check.Violation v -> violation "functional" v);
+      snapshot prog m
+    in
+    let against name state =
+      if state <> reference then
+        fail name "%s" (explain_mismatch "functional" name state reference)
+    in
+    let guarded stage f =
+      try f () with
+      | Check.Violation v -> violation stage v
+      | Machine.Fault { pc; message } ->
+        fail stage "oracle fault at pc 0x%x: %s" pc message
+    in
+    let detail = Pipeline.create ~config prog in
+    guarded "pipeline" (fun () ->
+        match Pipeline.run ~max_cycles detail with
+        | Ok _ -> ()
+        | Error e when is_budget_error e -> raise (Budgeted e)
+        | Error e -> fail "pipeline" "%s" e);
+    against "pipeline" (snapshot prog (Pipeline.oracle detail));
+    let warming = Pipeline.create ~config prog in
+    guarded "warming" (fun () -> ignore (Pipeline.run_warming warming));
+    against "warming" (snapshot prog (Pipeline.oracle warming));
+    let sampled = Pipeline.create ~config prog in
+    let plan =
+      match
+        Bor_uarch.Sampling_plan.make ~seed:plan_seed ~warmup:20 ~window:30
+          ~period:120 ()
+      with
+      | Ok p -> p
+      | Error e -> fail "plan" "%s" e
+    in
+    guarded "sampled" (fun () ->
+        match Pipeline.run_sampled ~max_cycles ~plan sampled with
+        | Ok _ -> ()
+        | Error e when is_budget_error e -> raise (Budgeted e)
+        | Error e -> fail "sampled" "%s" e);
+    against "sampled" (snapshot prog (Pipeline.oracle sampled));
+    Pass
+  with
+  | Failed f -> Fail f
+  | Budgeted e -> Budget e

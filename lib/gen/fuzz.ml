@@ -1,0 +1,232 @@
+module Prng = Bor_util.Prng
+module Check = Bor_check.Check
+module Telemetry = Bor_telemetry.Telemetry
+module Program = Bor_isa.Program
+
+type crash = { path : string option; stage : string; reason : string }
+
+type report = {
+  iterations : int;
+  executed : int;
+  skipped : int;
+  rejected : int;
+  interesting : int;
+  features : int;
+  checks : int;
+  crashes : crash list;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "fuzz: %d iterations (%d executed, %d skipped, %d rejected)@\n\
+     coverage: %d features, %d interesting inputs@\n\
+     sanitizer: %d checks@\n\
+     crashes: %d"
+    r.iterations r.executed r.skipped r.rejected r.features r.interesting
+    r.checks (List.length r.crashes);
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "@\n  [%s] %s%s" c.stage
+        (match String.index_opt c.reason '\n' with
+        | Some i -> String.sub c.reason 0 i
+        | None -> c.reason)
+        (match c.path with Some p -> " -> " ^ p | None -> ""))
+    r.crashes
+
+(* log2 bucketing, bucket 0 for zero: 1->1, 2..3->2, 4..7->3, ... *)
+let bucket v =
+  let rec go b v = if v = 0 then b else go (b + 1) (v lsr 1) in
+  if v <= 0 then 0 else go 0 v
+
+let case_features () =
+  List.filter_map
+    (fun (name, v) ->
+      if v = 0 then None
+      else Some (name ^ ":" ^ string_of_int (bucket v)))
+    (Telemetry.counters ())
+
+let oneline s =
+  String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c)
+    (if String.length s > 300 then String.sub s 0 300 else s)
+
+let sanitize_name s =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then c else '-')
+    (String.lowercase_ascii s)
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Source-level minic mutation: retarget one integer literal. *)
+let mutate_minic_source rng src =
+  let n = String.length src in
+  let runs = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if is_digit src.[!i] then begin
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      runs := (!i, !j - !i) :: !runs;
+      i := !j
+    end
+    else incr i
+  done;
+  match !runs with
+  | [] -> None
+  | rs ->
+    let rs = Array.of_list rs in
+    let off, len = rs.(Prng.int rng (Array.length rs)) in
+    let choices =
+      [| "0"; "1"; "2"; "3"; "5"; "7"; "8"; "15"; "16"; "17"; "31"; "32";
+         "63"; "64"; "100"; "127"; "255"; "256"; "1023"; "1024" |]
+    in
+    let v = choices.(Prng.int rng (Array.length choices)) in
+    Some (String.sub src 0 off ^ v ^ String.sub src (off + len) (n - off - len))
+
+let run ?(iters = 200) ?(seed = 1) ?corpus_dir ?(minic_sources = [])
+    ?(programs = []) ?(max_steps = 2_000_000) ?(max_cycles = 20_000_000)
+    ?(log = ignore) () =
+  let rng = Prng.create ~seed in
+  let prev_check = Check.enabled () in
+  Check.set_enabled true;
+  Check.reset_checks ();
+  Telemetry.set_enabled true;
+  Telemetry.clear ();
+  Fun.protect ~finally:(fun () ->
+      Check.set_enabled prev_check;
+      Telemetry.set_enabled false;
+      Telemetry.clear ())
+  @@ fun () ->
+  let features = Hashtbl.create 1024 in
+  let executed = ref 0
+  and skipped = ref 0
+  and rejected = ref 0
+  and interesting = ref 0 in
+  let crashes = ref [] in
+  let crash_idx = ref 0 in
+  let seen_failures = Hashtbl.create 8 in
+  (* Mutation population: program genomes that contributed coverage. *)
+  let cap = 128 in
+  let pop = Array.make cap (Program.make [| Bor_isa.Instr.Halt |]) in
+  let pop_n = ref 0 in
+  let add_pop p =
+    if !pop_n < cap then begin
+      pop.(!pop_n) <- p;
+      incr pop_n
+    end
+    else pop.(Prng.int rng cap) <- p
+  in
+  (* Minic genomes: sources that compiled (bounded pool). *)
+  let minic_pop = ref (Array.of_list minic_sources) in
+  let add_minic src =
+    if Array.length !minic_pop < 64 then
+      minic_pop := Array.append !minic_pop [| src |]
+  in
+  let record_crash prog (f : Diff.failure) =
+    let key = f.Diff.stage ^ "|" ^ oneline f.Diff.reason in
+    if not (Hashtbl.mem seen_failures key) then begin
+      Hashtbl.replace seen_failures key ();
+      log (Printf.sprintf "FAIL [%s] %s" f.Diff.stage (oneline f.Diff.reason));
+      let keep q =
+        match Diff.run ~max_steps ~max_cycles q with
+        | Diff.Fail _ -> true
+        | Diff.Pass | Diff.Budget _ -> false
+      in
+      let small = try Shrink.minimize ~keep prog with _ -> prog in
+      let path =
+        match corpus_dir with
+        | None -> None
+        | Some dir ->
+          incr crash_idx;
+          let name =
+            Printf.sprintf "crash-%03d-%s" !crash_idx
+              (sanitize_name f.Diff.stage)
+          in
+          let note =
+            Printf.sprintf "%s: %s" f.Diff.stage (oneline f.Diff.reason)
+          in
+          (try
+             let p = Corpus.write ~dir ~name ~seed ~note small in
+             log (Printf.sprintf "  reproducer: %s" p);
+             Some p
+           with _ -> None)
+      in
+      crashes :=
+        { path; stage = f.Diff.stage; reason = f.Diff.reason } :: !crashes
+    end
+  in
+  let run_case prog =
+    Telemetry.reset ();
+    let outcome = Diff.run ~max_steps ~max_cycles prog in
+    (match outcome with
+    | Diff.Pass | Diff.Fail _ -> incr executed
+    | Diff.Budget _ -> incr skipped);
+    let fresh = ref false in
+    List.iter
+      (fun feat ->
+        if not (Hashtbl.mem features feat) then begin
+          Hashtbl.replace features feat ();
+          fresh := true
+        end)
+      (case_features ());
+    if !fresh then begin
+      incr interesting;
+      (* Hung mutants stay out of the population: their children would
+         mostly hang too. *)
+      match outcome with
+      | Diff.Pass | Diff.Fail _ -> add_pop prog
+      | Diff.Budget _ -> ()
+    end;
+    (match outcome with Diff.Fail f -> record_crash prog f | _ -> ());
+    !fresh
+  in
+  (* Seed round: replay the committed corpus (a regression check in
+     itself), then the compiled minic sources. *)
+  (match corpus_dir with
+  | Some dir ->
+    List.iter
+      (fun file ->
+        match Corpus.load_file file with
+        | Ok p ->
+          log (Printf.sprintf "seed: %s" file);
+          ignore (run_case p)
+        | Error e -> log (Printf.sprintf "seed: %s: %s" file e))
+      (Corpus.files ~dir)
+  | None -> ());
+  List.iter (fun p -> ignore (run_case p)) programs;
+  List.iter
+    (fun src ->
+      match Bor_minic.Driver.compile src with
+      | Ok c -> ignore (run_case c.Bor_minic.Driver.program)
+      | Error e ->
+        incr rejected;
+        log (Printf.sprintf "minic seed rejected: %s" (oneline e)))
+    minic_sources;
+  (* Mutation loop. *)
+  for _ = 1 to iters do
+    let choice = Prng.int rng 100 in
+    if !pop_n = 0 || choice < 20 then
+      ignore (run_case (Gen.gen_program rng))
+    else if choice < 35 && Array.length !minic_pop > 0 then begin
+      let src = !minic_pop.(Prng.int rng (Array.length !minic_pop)) in
+      match mutate_minic_source rng src with
+      | None -> ignore (run_case (Gen.gen_program rng))
+      | Some src' -> (
+        match Bor_minic.Driver.compile src' with
+        | Ok c -> if run_case c.Bor_minic.Driver.program then add_minic src'
+        | Error _ -> incr rejected)
+    end
+    else ignore (run_case (Gen.mutate rng pop.(Prng.int rng !pop_n)))
+  done;
+  {
+    iterations = iters;
+    executed = !executed;
+    skipped = !skipped;
+    rejected = !rejected;
+    interesting = !interesting;
+    features = Hashtbl.length features;
+    checks = Check.checks ();
+    crashes = List.rev !crashes;
+  }

@@ -1,0 +1,178 @@
+module Prng = Bor_util.Prng
+module Instr = Bor_isa.Instr
+module Reg = Bor_isa.Reg
+module Program = Bor_isa.Program
+
+let data_bytes = 256
+
+(* Registers the generator may write. [zero]/[ra]/[sp]/[gp] are
+   excluded ([gp] bases every memory access, [ra] holds the live
+   return address), as is the loop counter. *)
+let counter = Reg.s 7
+
+let rd_pool =
+  List.filter
+    (fun i -> i > 3 && i <> Reg.to_int counter)
+    (List.init Reg.count Fun.id)
+  |> Array.of_list
+
+let any_rd rng = Reg.of_int rd_pool.(Prng.int rng (Array.length rd_pool))
+let any_rs rng = Reg.of_int (Prng.int rng Reg.count)
+
+let alu_ops =
+  Instr.[| Add; Sub; And; Or; Xor; Sll; Srl; Sra; Slt; Sltu; Mul |]
+
+let conds = Instr.[| Eq; Ne; Lt; Ge; Ltu; Geu |]
+let imm12 rng = Prng.int rng 4096 - 2048
+
+(* One computational (non-control) instruction. *)
+let gen_plain rng =
+  match Prng.int rng 10 with
+  | 0 | 1 | 2 ->
+    Instr.Alu
+      (alu_ops.(Prng.int rng (Array.length alu_ops)), any_rd rng, any_rs rng,
+       any_rs rng)
+  | 3 | 4 | 5 ->
+    Instr.Alui
+      (alu_ops.(Prng.int rng (Array.length alu_ops)), any_rd rng, any_rs rng,
+       imm12 rng)
+  | 6 -> Instr.Lui (any_rd rng, Prng.int rng 0x100000)
+  | 7 ->
+    if Prng.bool rng then
+      Instr.Load (Instr.Word, any_rd rng, Reg.gp, 4 * Prng.int rng (data_bytes / 4))
+    else Instr.Load (Instr.Byte, any_rd rng, Reg.gp, Prng.int rng data_bytes)
+  | 8 ->
+    if Prng.bool rng then
+      Instr.Store (Instr.Word, any_rs rng, Reg.gp, 4 * Prng.int rng (data_bytes / 4))
+    else Instr.Store (Instr.Byte, any_rs rng, Reg.gp, Prng.int rng data_bytes)
+  | _ -> Instr.Nop
+
+(* A random terminating program. Layout (instruction indices):
+
+     0            li   counter, k
+     1 .. b      body: plain work, forward branches / branch-on-randoms
+                  (targets in (i, b+1] — never past the decrement, so
+                  every iteration provably reaches it), calls
+     b+1          addi counter, counter, -1
+     b+2          bne  counter, zero, -(b+1)
+     b+3          halt
+     b+4 ..       leaf functions (plain work, then ret)
+
+   Control flow inside the body is strictly forward, calls only target
+   leaf functions that cannot call further, and the loop register is
+   outside the generator's write pool — so every program terminates
+   within k * (b + 3) + prologue instructions. *)
+let gen_program rng =
+  let b = 10 + Prng.int rng 71 in
+  let k = 2 + Prng.int rng 11 in
+  let nfun = Prng.int rng 4 in
+  let funs =
+    Array.init nfun (fun _ ->
+        let body = List.init (1 + Prng.int rng 5) (fun _ -> gen_plain rng) in
+        body @ [ Instr.Jalr (Reg.zero, Reg.ra, 0) ])
+  in
+  let fun_entry = Array.make nfun (b + 4) in
+  for j = 1 to nfun - 1 do
+    fun_entry.(j) <- fun_entry.(j - 1) + List.length funs.(j - 1)
+  done;
+  let body_slot i =
+    (* [i] is the absolute instruction index, in [1, b]. *)
+    let fwd () = 1 + i + Prng.int rng (b + 1 - i) in
+    match Prng.int rng 100 with
+    | r when r < 58 -> gen_plain rng
+    | r when r < 68 ->
+      Instr.Branch
+        (conds.(Prng.int rng (Array.length conds)), any_rs rng, any_rs rng,
+         fwd () - i)
+    | r when r < 78 ->
+      Instr.Brr (Bor_core.Freq.of_field (Prng.int rng 5), fwd () - i)
+    | r when r < 82 -> Instr.Brr_always (fwd () - i)
+    | r when r < 85 -> Instr.Rdlfsr (any_rd rng)
+    | r when r < 93 && nfun > 0 ->
+      Instr.Jal (Reg.ra, fun_entry.(Prng.int rng nfun) - i)
+    | _ -> Instr.Nop
+  in
+  let text =
+    [ Instr.Alui (Instr.Add, counter, Reg.zero, k) ]
+    @ List.init b (fun i -> body_slot (i + 1))
+    @ [
+        Instr.Alui (Instr.Add, counter, counter, -1);
+        Instr.Branch (Instr.Ne, counter, Reg.zero, -(b + 1));
+        Instr.Halt;
+      ]
+    @ List.concat (Array.to_list funs)
+  in
+  let data = Bytes.init data_bytes (fun _ -> Char.chr (Prng.int rng 256)) in
+  Program.make ~data (Array.of_list text)
+
+(* ------------------------------------------------------------------ *)
+
+let halt_index text =
+  let n = Array.length text in
+  let rec go i =
+    if i >= n then -1 else if text.(i) = Instr.Halt then i else go (i + 1)
+  in
+  go 0
+
+let mutate rng (p : Program.t) =
+  let text = Array.copy p.Program.text in
+  let data = Bytes.copy p.Program.data in
+  let h = halt_index text in
+  let n = Array.length text in
+  let mutate_data () =
+    if Bytes.length data > 0 then
+      Bytes.set data
+        (Prng.int rng (Bytes.length data))
+        (Char.chr (Prng.int rng 256))
+  in
+  let mutate_slot () =
+    if h < 4 then mutate_data ()
+    else begin
+      (* Body slots are [1, h-3]: slot 0 loads the trip count, h-2 is
+         the decrement, h-1 the backedge, h the halt. All injected
+         control flow is forward with targets in (i, h-2] — the same
+         discipline as [gen_program], so edits preserve termination of
+         generated programs. *)
+      let i = 1 + Prng.int rng (h - 3) in
+      let fwd () = 1 + i + Prng.int rng (h - 2 - i) in
+      match Prng.int rng 10 with
+      | 0 -> text.(i) <- Instr.Nop
+      | 1 | 2 | 3 -> text.(i) <- gen_plain rng
+      | 4 ->
+        text.(i) <-
+          Instr.Branch
+            (conds.(Prng.int rng (Array.length conds)), any_rs rng,
+             any_rs rng, fwd () - i)
+      | 5 ->
+        text.(i) <-
+          Instr.Brr (Bor_core.Freq.of_field (Prng.int rng 8), fwd () - i)
+      | 6 -> (
+        match text.(i) with
+        | Instr.Brr (_, off) ->
+          (* Retune only the frequency field; the target stays. *)
+          text.(i) <- Instr.Brr (Bor_core.Freq.of_field (Prng.int rng 16), off)
+        | _ -> text.(i) <- Instr.Brr_always (fwd () - i))
+      | 7 -> (
+        (* Retune the trip count when slot 0 still looks like
+           [li counter, k]. *)
+        match text.(0) with
+        | Instr.Alui (Instr.Add, rd, rz, _)
+          when rd = counter && rz = Reg.zero ->
+          text.(0) <-
+            Instr.Alui (Instr.Add, counter, Reg.zero, 1 + Prng.int rng 16)
+        | _ -> mutate_data ())
+      | 8 when n > h + 1 -> (
+        (* Leaf-function slot; keep the [ret]s so calls still return. *)
+        let j = h + 1 + Prng.int rng (n - h - 1) in
+        match text.(j) with
+        | Instr.Jalr _ -> mutate_data ()
+        | _ -> text.(j) <- gen_plain rng)
+      | _ -> mutate_data ()
+    end
+  in
+  for _ = 1 to 1 + Prng.int rng 3 do
+    mutate_slot ()
+  done;
+  Program.make ~text_base:p.Program.text_base ~data_base:p.Program.data_base
+    ~entry:p.Program.entry ~symbols:p.Program.symbols ~sites:p.Program.sites
+    ~data text

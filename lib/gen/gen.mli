@@ -1,0 +1,38 @@
+(** Random terminating BRISC program generator and structure-aware
+    mutator — the genome layer shared by the QCheck differential
+    property ([test/gen_brisc.ml]) and the coverage-guided fuzzer
+    ([bor fuzz]).
+
+    Generated programs follow a fixed skeleton (a bounded counter loop
+    whose body mixes ALU work, data-segment loads/stores, forward
+    conditional branches, branch-on-randoms and calls into leaf
+    functions) that provably terminates: control flow inside the body
+    is strictly forward, calls only reach leaf functions, and the loop
+    counter register is outside the generator's write pool. {!mutate}
+    recovers that skeleton from an arbitrary program image and only
+    applies edits that preserve it, so mutants of generated programs
+    stay terminating; mutants of foreign programs (e.g. compiled minic)
+    may loop forever or fault, which the differential harness
+    classifies as a skipped budget case rather than a failure. *)
+
+val data_bytes : int
+(** Size of the generated data segment (256). *)
+
+val counter : Bor_isa.Reg.t
+(** The loop-counter register ([s7]), excluded from every write pool. *)
+
+val gen_plain : Bor_util.Prng.t -> Bor_isa.Instr.t
+(** One computational (non-control) instruction. *)
+
+val gen_program : Bor_util.Prng.t -> Bor_isa.Program.t
+(** A fresh random terminating program (pure function of the generator
+    state). *)
+
+val mutate : Bor_util.Prng.t -> Bor_isa.Program.t -> Bor_isa.Program.t
+(** [mutate rng p] is a copy of [p] with 1–3 random edits: body slots
+    replaced with fresh work or forward control flow, branch-on-random
+    frequency fields retuned, the loop trip count changed, leaf-function
+    bodies rewritten (returns are preserved), or data bytes flipped.
+    Never touches the loop decrement, the backedge or the halt. Falls
+    back to data-byte mutation when the program has no recoverable
+    skeleton. [p] itself is not modified. *)

@@ -1,0 +1,93 @@
+module Instr = Bor_isa.Instr
+module Reg = Bor_isa.Reg
+module Program = Bor_isa.Program
+
+let remake (p : Program.t) ?(data = p.Program.data) text =
+  Program.make ~text_base:p.Program.text_base ~data_base:p.Program.data_base
+    ~entry:p.Program.entry ~symbols:p.Program.symbols ~sites:p.Program.sites
+    ~data text
+
+let halt_index text =
+  let n = Array.length text in
+  let rec go i =
+    if i >= n then -1 else if text.(i) = Instr.Halt then i else go (i + 1)
+  in
+  go 0
+
+let minimize ~keep (p0 : Program.t) =
+  let cur = ref p0 in
+  let attempt q = keep q && (cur := q; true) in
+  (* Replace instruction [i] with [ins]; keep the edit if the failure
+     survives. *)
+  let replace i ins =
+    let p = !cur in
+    let text = Array.copy p.Program.text in
+    text.(i) <> ins
+    && begin
+         text.(i) <- ins;
+         attempt (remake p text)
+       end
+  in
+  let nop_pass () =
+    let text = (!cur).Program.text in
+    let n = Array.length text in
+    let h = halt_index text in
+    let protected i =
+      (h >= 0 && (i = h || i = h - 1 || i = h - 2))
+      || match text.(i) with Instr.Jalr _ -> true | _ -> false
+    in
+    let changed = ref false in
+    for i = 0 to n - 1 do
+      (* Re-read: earlier accepted edits changed [!cur]. *)
+      let ins = (!cur).Program.text.(i) in
+      if ins <> Instr.Nop && ins <> Instr.Halt && not (protected i) then
+        if replace i Instr.Nop then changed := true
+    done;
+    !changed
+  in
+  let trip_count_pass () =
+    let text = (!cur).Program.text in
+    Array.length text > 0
+    &&
+    match text.(0) with
+    | Instr.Alui (Instr.Add, rd, rz, k)
+      when rd = Gen.counter && rz = Reg.zero && k > 1 ->
+      replace 0 (Instr.Alui (Instr.Add, Gen.counter, Reg.zero, 1))
+    | _ -> false
+  in
+  let data_pass () =
+    let changed = ref false in
+    let nb = Bytes.length (!cur).Program.data in
+    let chunk = ref nb in
+    while !chunk >= 16 do
+      let lo = ref 0 in
+      while !lo < nb do
+        let len = min !chunk (nb - !lo) in
+        let p = !cur in
+        let data = Bytes.copy p.Program.data in
+        let dirty = ref false in
+        for j = !lo to !lo + len - 1 do
+          if Bytes.get data j <> '\000' then (
+            Bytes.set data j '\000';
+            dirty := true)
+        done;
+        if !dirty && attempt (remake p ~data p.Program.text) then
+          changed := true;
+        lo := !lo + !chunk
+      done;
+      chunk := !chunk / 2
+    done;
+    !changed
+  in
+  if not (keep p0) then
+    invalid_arg "Shrink.minimize: the original program does not fail";
+  let rounds = ref 0 in
+  let progress = ref true in
+  while !progress && !rounds < 8 do
+    incr rounds;
+    let a = nop_pass () in
+    let b = trip_count_pass () in
+    let c = data_pass () in
+    progress := a || b || c
+  done;
+  !cur

@@ -1,0 +1,16 @@
+(** Greedy structure-preserving minimizer for failing programs.
+
+    All simplifications replace instructions or data in place — nothing
+    is ever deleted, so branch offsets, call targets and the loop
+    skeleton stay valid by construction. Candidate edits, applied to a
+    greedy fixpoint: turn body and leaf instructions into [nop]
+    (returns are kept), drop the loop trip count to 1, and zero data
+    bytes in halving chunks. An edit is kept only when [keep] still
+    accepts the program, so a [keep] that demands a {!Diff.Fail}
+    outcome can never wander onto a merely-slow or non-terminating
+    variant. *)
+
+val minimize :
+  keep:(Bor_isa.Program.t -> bool) -> Bor_isa.Program.t -> Bor_isa.Program.t
+(** [minimize ~keep p] requires [keep p = true] and returns a (weakly)
+    simpler program that [keep] still accepts. *)

@@ -276,6 +276,7 @@ let alu_of_mnemonic = function
 
 let alui_of_mnemonic = function
   | "addi" -> Some Instr.Add
+  | "subi" -> Some Instr.Sub
   | "andi" -> Some Instr.And
   | "ori" -> Some Instr.Or
   | "xori" -> Some Instr.Xor
@@ -283,7 +284,9 @@ let alui_of_mnemonic = function
   | "srli" -> Some Instr.Srl
   | "srai" -> Some Instr.Sra
   | "slti" -> Some Instr.Slt
-  | "sltiu" -> Some Instr.Sltu
+  (* both spellings: RISC-V writes [sltiu], [Instr.pp] emits [sltui] *)
+  | "sltiu" | "sltui" -> Some Instr.Sltu
+  | "muli" -> Some Instr.Mul
   | _ -> None
 
 let cond_of_mnemonic = function

@@ -378,6 +378,41 @@ let run_plain ?(max_steps = max_int) t =
     n
   end
 
+(* Oracle self-consistency for the pipeline sanitizer: a corrupted
+   functional model would silently poison every differential
+   comparison, so the lockstep cross-check validates the reference
+   before trusting it. *)
+let check ?cycle t =
+  let module Check = Bor_check.Check in
+  let fail inv fmt = Check.fail ?cycle ~component:"machine" ~invariant:inv fmt in
+  if t.regs.(0) <> 0 then fail "zero-register" "x0 = %d" t.regs.(0);
+  let lo = -0x8000_0000 and hi = 0x7fff_ffff in
+  for i = 1 to Array.length t.regs - 1 do
+    let v = t.regs.(i) in
+    if v < lo || v > hi then
+      fail "reg-width" "x%d = %d exceeds signed 32 bits" i v
+  done;
+  if (not t.halted) && t.pc land 3 <> 0 then
+    fail "pc-aligned" "pc = 0x%x misaligned" t.pc;
+  let s = t.stats in
+  if
+    s.instructions < 0 || s.loads < 0 || s.stores < 0 || s.cond_branches < 0
+    || s.brr_executed < 0 || s.markers < 0 || s.traps < 0
+  then fail "stats-nonnegative" "a stats counter went negative";
+  if s.cond_taken < 0 || s.cond_taken > s.cond_branches then
+    fail "cond-taken-bounded" "cond_taken=%d of cond_branches=%d" s.cond_taken
+      s.cond_branches;
+  if s.brr_taken < 0 || s.brr_taken > s.brr_executed then
+    fail "brr-taken-bounded" "brr_taken=%d of brr_executed=%d" s.brr_taken
+      s.brr_executed;
+  if s.loads + s.stores + s.cond_branches + s.brr_executed > s.instructions
+  then
+    fail "class-counts-bounded"
+      "loads+stores+branches+brrs = %d exceeds instructions = %d"
+      (s.loads + s.stores + s.cond_branches + s.brr_executed)
+      s.instructions;
+  Check.count (Array.length t.regs + 5)
+
 let run ?(max_steps = 1_000_000_000) t =
   let start = t.stats.instructions in
   try

@@ -79,6 +79,15 @@ val step : t -> unit
     @raise Fault on illegal instructions (without a matching trap
     handler), bad fetches, or memory faults. *)
 
+val check : ?cycle:int -> t -> unit
+(** Sanitizer pass over architectural state: [x0] is zero, every
+    register fits in signed 32 bits, the pc is word-aligned unless
+    halted, and the stats counters are mutually consistent
+    ([cond_taken <= cond_branches], [brr_taken <= brr_executed],
+    instruction-class counts bounded by [instructions]). Raises
+    {!Bor_check.Check.Violation} (component ["machine"]).
+    Unconditional — callers gate on [!Bor_check.Check.on]. *)
+
 val run : ?max_steps:int -> t -> (int, string) result
 (** Run to [halt] (or the step budget, default 1e9); returns the number
     of instructions executed, or a formatted fault. *)

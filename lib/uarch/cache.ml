@@ -3,6 +3,7 @@ module Telemetry = Bor_telemetry.Telemetry
 type stats = { mutable accesses : int; mutable misses : int }
 
 type t = {
+  name : string;
   sets : int;
   assoc : int;
   line_bytes : int;
@@ -37,6 +38,7 @@ let create ?(name = "cache") ~size ~assoc ~line_bytes () =
     end
   in
   {
+    name;
     sets;
     assoc;
     line_bytes;
@@ -103,6 +105,50 @@ let access t addr =
   end
 
 let stats t = t.stats
+let name t = t.name
+
+(* Sanitizer pass over the tag store. O(sets * assoc^2): the quadratic
+   factor is over associativity only (<= 8 in every configuration we
+   build), the linear one is what makes checking L2 every cycle too
+   expensive — Pipeline runs this on its slow periodic tier. *)
+let check ?cycle t =
+  let module Check = Bor_check.Check in
+  let component = "cache." ^ t.name in
+  let fail inv fmt = Check.fail ?cycle ~component ~invariant:inv fmt in
+  if t.stats.accesses < 0 || t.stats.misses < 0 then
+    fail "stats-nonnegative" "accesses=%d misses=%d" t.stats.accesses
+      t.stats.misses;
+  if t.stats.misses > t.stats.accesses then
+    fail "misses-bounded" "misses=%d > accesses=%d" t.stats.misses
+      t.stats.accesses;
+  for set = 0 to t.sets - 1 do
+    let base = set * t.assoc in
+    for w = 0 to t.assoc - 1 do
+      let tag = t.tags.(base + w) in
+      if tag >= 0 then begin
+        (* A duplicated tag inside one set means [find] resolves
+           arbitrarily — hits would depend on way scan order. *)
+        for w' = w + 1 to t.assoc - 1 do
+          if t.tags.(base + w') = tag then
+            fail "distinct-tags" "set %d holds tag %d in ways %d and %d" set
+              tag w w'
+        done;
+        let stamp = t.lru.(base + w) in
+        if stamp < 0 || stamp > t.clock then
+          fail "lru-stamp-range" "set %d way %d: LRU stamp %d outside [0,%d]"
+            set w stamp t.clock;
+        (* Distinct stamps on valid ways keep LRU victim choice
+           deterministic (ties would fall back to lowest way index). *)
+        for w' = w + 1 to t.assoc - 1 do
+          if t.tags.(base + w') >= 0 && t.lru.(base + w') = stamp && stamp > 0
+          then
+            fail "lru-distinct" "set %d ways %d and %d share LRU stamp %d" set
+              w w' stamp
+        done
+      end
+    done
+  done;
+  Check.count (t.sets * t.assoc)
 
 let reset_stats t =
   t.stats.accesses <- 0;

@@ -19,6 +19,19 @@ val probe : t -> int -> bool
 (** Hit test without state change. *)
 
 val stats : t -> stats
+
+val name : t -> string
+(** The telemetry/diagnostic name passed at creation. *)
+
+val check : ?cycle:int -> t -> unit
+(** Sanitizer pass over the tag store: every set holds pairwise-distinct
+    tags, every valid way carries an LRU stamp in [[0, clock]] with no
+    two valid ways of a set sharing a nonzero stamp, and the stats
+    counters are non-negative with [misses <= accesses]. Raises
+    {!Bor_check.Check.Violation} (component [cache.<name>]) on the first
+    broken invariant. Unconditional — callers gate on
+    [!Bor_check.Check.on]. *)
+
 val reset_stats : t -> unit
 val sets : t -> int
 val line_bytes : t -> int

@@ -50,6 +50,24 @@ let reset_stats t =
   Cache.reset_stats t.l1d;
   Cache.reset_stats t.l2
 
+(* Cross-level sanitizer pass. The L2 traffic identity holds because
+   every L1 miss (either port) forwards to L2 exactly once and nothing
+   else reaches L2, and because [reset_stats] clears all three levels
+   together. *)
+let check ?cycle t =
+  let module Check = Bor_check.Check in
+  Cache.check ?cycle t.l1i;
+  Cache.check ?cycle t.l1d;
+  Cache.check ?cycle t.l2;
+  let l1i = Cache.stats t.l1i
+  and l1d = Cache.stats t.l1d
+  and l2 = Cache.stats t.l2 in
+  if l2.accesses <> l1i.misses + l1d.misses then
+    Check.fail ?cycle ~component:"hierarchy" ~invariant:"l2-traffic"
+      "l2.accesses=%d but l1i.misses + l1d.misses = %d + %d = %d" l2.accesses
+      l1i.misses l1d.misses (l1i.misses + l1d.misses);
+  Check.count 1
+
 let state_digests t =
   [
     ("l1i", Cache.state_digest t.l1i);

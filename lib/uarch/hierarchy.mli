@@ -21,6 +21,14 @@ val l1d : t -> Cache.t
 val l2 : t -> Cache.t
 val reset_stats : t -> unit
 
+val check : ?cycle:int -> t -> unit
+(** Sanitizer pass: {!Cache.check} on all three levels plus the
+    cross-level traffic identity [l2.accesses = l1i.misses +
+    l1d.misses] (every L1 miss forwards to L2 exactly once; stats on
+    the three levels reset together). Raises
+    {!Bor_check.Check.Violation} on the first broken invariant.
+    Unconditional — callers gate on [!Bor_check.Check.on]. *)
+
 val state_digests : t -> (string * string) list
 (** [("l1i", d); ("l1d", d); ("l2", d)] per-level {!Cache.state_digest}
     values, so a warming-equivalence regression names the level that

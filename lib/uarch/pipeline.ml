@@ -78,6 +78,7 @@ let pp_stats ppf s =
    counters honour the ROI markers exactly like the [stats] record;
    component-scope counters (cache.*, btb.*, ...) are whole-run. *)
 module Telemetry = Bor_telemetry.Telemetry
+module Check = Bor_check.Check
 
 type tel = {
   t_fetch_slots : Telemetry.counter;
@@ -305,6 +306,17 @@ type t = {
   warm_line_mask : int;  (* lnot (line_bytes - 1); 0 = not a power of two *)
   stats : stats;
   tel : tel;
+  (* Sanitizer bookkeeping (see [sanitize_cycle]). [san_dropped] is
+     maintained unconditionally — [exit_detail] is per-window, not
+     per-cycle — so the oracle-balance invariant holds no matter when
+     the sanitizer is switched on. The rest is only touched under
+     [!Check.on] or in already-rare paths (squash). *)
+  mutable san_prev_head : int;
+  mutable san_prev_tail : int;
+  mutable san_tail_cut : bool;  (* a squash truncated the tail this cycle *)
+  mutable san_last_commit_seq : int;
+  mutable san_dropped : int;  (* correct-path entries [exit_detail] discarded *)
+  mutable san_tick : int;
   mutable retired_brr : Bytes.t;  (* oldest first, grown up to the cap *)
   mutable retired_brr_len : int;  (* stored = min (total, cap) *)
   mutable retired_brr_total : int;
@@ -418,6 +430,12 @@ let create ?(config = Config.default) (program : Bor_isa.Program.t) =
        else 0);
     stats = fresh_stats ();
     tel = make_tel ();
+    san_prev_head = 0;
+    san_prev_tail = 0;
+    san_tail_cut = false;
+    san_last_commit_seq = -1;
+    san_dropped = 0;
+    san_tick = 0;
     retired_brr =
       Bytes.create (max 0 (min config.Config.retired_brr_cap 1024));
     retired_brr_len = 0;
@@ -444,6 +462,259 @@ let rob_occ t = t.rob_tail - t.rob_head
 exception Sim_error of string
 
 let sim_error fmt = Printf.ksprintf (fun m -> raise (Sim_error m)) fmt
+
+(* ------------------------------------------------------- Sanitizer *)
+
+(* State dump attached to every violation: the [state_digest] of each
+   long-lived structure plus the pipeline scalars that localize a bug. *)
+let san_state t =
+  Hierarchy.state_digests t.hier
+  @ [
+      ("ras", Ras.state_digest t.ras);
+      ("pred", Predictor.state_digest t.pred);
+      ("btb", Btb.state_digest t.btb);
+      ( "rob",
+        Printf.sprintf "head=%d tail=%d mask=%d issue_scan=%d" t.rob_head
+          t.rob_tail t.rob_mask t.issue_scan );
+      ("fq", Printf.sprintf "head=%d tail=%d" t.fq_head t.fq_tail);
+      ( "spec",
+        Printf.sprintf "next_seq=%d resolver=%d resolver_pos=%d \
+                        wrong_path=%b spec_brr_len=%d"
+          t.next_seq t.resolver t.resolver_pos t.wrong_path_decode
+          t.spec_brr_len );
+      ( "counts",
+        Printf.sprintf "committed=%d oracle=%d dropped=%d"
+          t.committed
+          (Bor_sim.Machine.stats t.oracle).Bor_sim.Machine.instructions
+          t.san_dropped );
+    ]
+
+let san_fail t ?pos ~invariant fmt =
+  Check.fail ~cycle:t.cycle ?pos ~state:(san_state t) ~component:"pipeline"
+    ~invariant fmt
+
+(* Component [check]s raise without a state dump (they cannot see the
+   pipeline); attach ours on the way out. *)
+let san_enrich t f =
+  try f ()
+  with Check.Violation v when v.Check.state = [] ->
+    raise (Check.Violation { v with Check.state = san_state t })
+
+(* The sanitizer bodies are grouped here, away from their call sites,
+   so the hot stage functions ([squash], [commit], [step_cycle]) stay
+   contiguous in the emitted code; each call site pays only the
+   [!Check.on] load-and-branch when the sanitizer is off. *)
+
+let sanitize_squash t rp =
+  if rp < t.rob_head || rp >= t.rob_tail then
+    san_fail t ~pos:rp ~invariant:"squash-resolver-live"
+      "squash point outside the live window [%d,%d)" t.rob_head t.rob_tail;
+  if t.r_flags.(rp land t.rob_mask) land rf_wrong <> 0 then
+    san_fail t ~pos:rp ~invariant:"squash-resolver-correct"
+      "squashing relative to a wrong-path entry";
+  for p = rp + 1 to t.rob_tail - 1 do
+    if t.r_flags.(p land t.rob_mask) land rf_wrong = 0 then
+      san_fail t ~pos:p ~invariant:"squash-only-wrong"
+        "squash would remove a correct-path entry (resolver at %d)" rp
+  done;
+  Check.count (2 + t.rob_tail - rp - 1)
+
+(* Per-retire sanitizer hook: retirement must follow sequence order
+   (gaps are fine — squashes and decode-resolved branch-on-randoms
+   consume sequence numbers that never retire), and the oracle the
+   retired state was checked against must itself be sound. *)
+let sanitize_commit t s epc =
+  let seq = t.r_seq.(s) in
+  if seq <= t.san_last_commit_seq then
+    san_fail t ~pos:t.rob_head ~invariant:"commit-seq-order"
+      "retiring seq %d after seq %d (pc 0x%x)" seq t.san_last_commit_seq epc;
+  t.san_last_commit_seq <- seq;
+  san_enrich t (fun () -> Bor_sim.Machine.check ~cycle:t.cycle t.oracle);
+  Check.count 1
+
+(* The cheap tier, run at the end of every simulated cycle when the
+   sanitizer is on: O(ROB occupancy + register count). The heavy tier
+   (full cache tag walks, oracle register scan, store table) runs every
+   1024th call — frequent enough to catch rot within a window, cheap
+   enough that sanitized differential runs stay usable. *)
+let sanitize_heavy t =
+  san_enrich t (fun () ->
+      Hierarchy.check ~cycle:t.cycle t.hier;
+      Ras.check ~cycle:t.cycle t.ras;
+      Ras.check_snapshot ~cycle:t.cycle t.arch_ras;
+      Bor_sim.Machine.check ~cycle:t.cycle t.oracle);
+  Hashtbl.iter
+    (fun word pos ->
+      if pos >= t.rob_tail then
+        san_fail t ~pos ~invariant:"store-table-range"
+          "last_store[%d] names position %d beyond tail %d" word pos
+          t.rob_tail)
+    t.last_store;
+  let s = t.stats in
+  if
+    s.cycles < 0 || s.instructions < 0 || s.rob_occupancy < 0
+    || s.squashed < 0
+    || s.cond_mispredicts < 0
+    || s.cond_mispredicts > s.cond_branches
+    || s.return_mispredicts < 0
+    || s.return_mispredicts > s.returns
+    || s.brr_taken < 0
+    || s.brr_taken > s.brr_executed
+  then
+    san_fail t ~invariant:"stats-consistent"
+      "pipeline stats out of range: cycles=%d instructions=%d cond=%d/%d \
+       ret=%d/%d brr=%d/%d squashed=%d occupancy=%d"
+      s.cycles s.instructions s.cond_mispredicts s.cond_branches
+      s.return_mispredicts s.returns s.brr_taken s.brr_executed s.squashed
+      s.rob_occupancy;
+  Check.count 3
+
+let sanitize_cycle t =
+  (* Ring shape and monotonicity. Head only advances (commit /
+     exit_detail); the tail only recedes through a squash, which
+     announces itself via [san_tail_cut]. *)
+  if t.rob_head < 0 || t.rob_head > t.rob_tail then
+    san_fail t ~invariant:"rob-shape" "head=%d tail=%d" t.rob_head t.rob_tail;
+  if t.rob_tail - t.rob_head > t.rob_mask + 1 then
+    san_fail t ~invariant:"rob-capacity" "occupancy %d exceeds ring size %d"
+      (t.rob_tail - t.rob_head) (t.rob_mask + 1);
+  if t.rob_head < t.san_prev_head then
+    san_fail t ~invariant:"rob-head-monotone" "head moved back: %d -> %d"
+      t.san_prev_head t.rob_head;
+  if t.rob_tail < t.san_prev_tail && not t.san_tail_cut then
+    san_fail t ~invariant:"rob-tail-monotone"
+      "tail receded without a squash: %d -> %d" t.san_prev_tail t.rob_tail;
+  t.san_prev_head <- t.rob_head;
+  t.san_prev_tail <- t.rob_tail;
+  t.san_tail_cut <- false;
+  if t.fq_head < 0 || t.fq_head > t.fq_tail then
+    san_fail t ~invariant:"fq-shape" "head=%d tail=%d" t.fq_head t.fq_tail;
+  if t.fq_tail - t.fq_head > t.cfg.Config.fetch_queue then
+    san_fail t ~invariant:"fq-capacity" "occupancy %d exceeds %d"
+      (t.fq_tail - t.fq_head) t.cfg.Config.fetch_queue;
+  if t.issue_scan > t.rob_tail then
+    san_fail t ~invariant:"issue-scan-range" "issue_scan=%d beyond tail %d"
+      t.issue_scan t.rob_tail;
+  (* Resolver pairing: a pending resolver is live, carries its own seq,
+     is itself correct-path and flagged mispredicted; conversely no
+     wrong-path decode mode and no banked LFSR bits without one. *)
+  if t.resolver >= 0 then begin
+    if not t.wrong_path_decode then
+      san_fail t ~invariant:"resolver-wrong-path"
+        "resolver %d pending but wrong_path_decode is off" t.resolver;
+    if t.resolver_pos < t.rob_head || t.resolver_pos >= t.rob_tail then
+      san_fail t ~pos:t.resolver_pos ~invariant:"resolver-live"
+        "resolver position outside [%d,%d)" t.rob_head t.rob_tail;
+    let rs = t.resolver_pos land t.rob_mask in
+    if t.r_seq.(rs) <> t.resolver then
+      san_fail t ~pos:t.resolver_pos ~invariant:"resolver-seq"
+        "slot holds seq %d, resolver is %d" t.r_seq.(rs) t.resolver;
+    if t.r_flags.(rs) land rf_wrong <> 0 then
+      san_fail t ~pos:t.resolver_pos ~invariant:"resolver-correct-path"
+        "resolver entry is itself wrong-path";
+    if t.r_flags.(rs) land rf_mispredict = 0 then
+      san_fail t ~pos:t.resolver_pos ~invariant:"resolver-mispredict"
+        "resolver entry lacks the mispredict flag"
+  end
+  else begin
+    if t.wrong_path_decode then
+      san_fail t ~invariant:"wrong-path-resolver"
+        "wrong_path_decode set with no pending resolver";
+    if t.spec_brr_len > 0 then
+      san_fail t ~invariant:"spec-brr-resolver"
+        "%d banked LFSR bits with no pending resolver" t.spec_brr_len
+  end;
+  (* Live-window scan: sequence order, wrong-path extent, scoreboard
+     and completion consistency. *)
+  let prev_seq = ref (-1) in
+  let live_correct = ref 0 in
+  let pos = ref t.rob_head in
+  while !pos < t.rob_tail do
+    let p = !pos in
+    let s = p land t.rob_mask in
+    let fl = t.r_flags.(s) in
+    let seq = t.r_seq.(s) in
+    if seq < 0 || seq >= t.next_seq then
+      san_fail t ~pos:p ~invariant:"rob-seq-range"
+        "seq %d outside [0,%d)" seq t.next_seq;
+    if seq <= !prev_seq then
+      san_fail t ~pos:p ~invariant:"rob-seq-order"
+        "seq %d after %d" seq !prev_seq;
+    prev_seq := seq;
+    let wrong = fl land rf_wrong <> 0 in
+    let past_resolver = t.resolver >= 0 && p > t.resolver_pos in
+    if wrong && not past_resolver then
+      san_fail t ~pos:p ~invariant:"wrong-path-extent"
+        "wrong-path entry at or before the resolver";
+    if (not wrong) && past_resolver then
+      san_fail t ~pos:p ~invariant:"correct-past-resolver"
+        "correct-path entry younger than the resolver";
+    if not wrong then incr live_correct;
+    let nw = t.r_nwait.(s) in
+    let d0 = t.r_dep0.(s) and d1 = t.r_dep1.(s) and d2 = t.r_dep2.(s) in
+    let slots =
+      (if d0 >= 0 then 1 else 0)
+      + (if d1 >= 0 then 1 else 0)
+      + if d2 >= 0 then 1 else 0
+    in
+    if nw <> slots then
+      san_fail t ~pos:p ~invariant:"nwait-count"
+        "nwait=%d but %d occupied dependency slots (deps %d/%d/%d)" nw slots
+        d0 d1 d2;
+    if (d0 >= 0 && d0 >= p) || (d1 >= 0 && d1 >= p) || (d2 >= 0 && d2 >= p)
+    then
+      san_fail t ~pos:p ~invariant:"dep-older"
+        "dependency not strictly older: deps %d/%d/%d" d0 d1 d2;
+    if fl land rf_issued <> 0 then begin
+      if t.r_complete.(s) < 0 then
+        san_fail t ~pos:p ~invariant:"issued-complete"
+          "issued entry with no completion cycle"
+    end
+    else begin
+      if t.r_complete.(s) >= 0 then
+        san_fail t ~pos:p ~invariant:"unissued-complete"
+          "unissued entry already carries completion cycle %d"
+          t.r_complete.(s);
+      if p < t.issue_scan then
+        san_fail t ~pos:p ~invariant:"issue-scan-prefix"
+          "unissued entry below issue_scan=%d" t.issue_scan
+    end;
+    if fl land rf_ras <> 0 then
+      san_enrich t (fun () -> Ras.check_snapshot ~cycle:t.cycle t.r_ras.(s));
+    incr pos
+  done;
+  (* Rename table: every live mapping names a live producer whose
+     instruction really writes that register. *)
+  for r = 0 to Array.length t.producer - 1 do
+    let pp = t.producer.(r) in
+    if pp >= t.rob_tail then
+      san_fail t ~pos:pp ~invariant:"producer-range"
+        "producer of x%d beyond tail %d" r t.rob_tail;
+    if pp >= t.rob_head then
+      match Bor_isa.Instr.dest t.r_instr.(pp land t.rob_mask) with
+      | Some rd when Bor_isa.Reg.to_int rd = r -> ()
+      | Some rd ->
+        san_fail t ~pos:pp ~invariant:"producer-dest"
+          "producer of x%d writes x%d instead" r (Bor_isa.Reg.to_int rd)
+      | None ->
+        san_fail t ~pos:pp ~invariant:"producer-dest"
+          "producer of x%d writes no register" r
+  done;
+  (* Oracle lockstep balance: every oracle step is accounted for by a
+     retirement, a live correct-path entry, or a window [exit_detail]
+     dropped. *)
+  let oinsns =
+    (Bor_sim.Machine.stats t.oracle).Bor_sim.Machine.instructions
+  in
+  if oinsns <> t.committed + !live_correct + t.san_dropped then
+    san_fail t ~invariant:"oracle-balance"
+      "oracle ran %d instructions; committed %d + in-flight %d + dropped %d \
+       = %d"
+      oinsns t.committed !live_correct t.san_dropped
+      (t.committed + !live_correct + t.san_dropped);
+  Check.count (10 + (4 * (t.rob_tail - t.rob_head)) + Array.length t.producer);
+  t.san_tick <- t.san_tick + 1;
+  if t.san_tick land 1023 = 0 then sanitize_heavy t
 
 let retired_brr_warned = ref false
 
@@ -1117,11 +1388,17 @@ let issue t =
 
 (* -------------------------------------------------------------- Squash *)
 
+(* A squash must be a pure truncation of wrong-path state: everything
+   it removes is younger than the resolver and flagged wrong-path.
+   Anything else means the resolver machinery is about to destroy
+   correct-path work. *)
 let squash t rp =
   (* Remove everything younger than the resolver (at position [rp]):
      tail truncation. Squashed positions will be reallocated, but no
      surviving entry can reference one (producers are older than their
      consumers), and sequence numbers are never reused. *)
+  if !Check.on then sanitize_squash t rp;
+  t.san_tail_cut <- true;
   let rs = rp land t.rob_mask in
   let removed = t.rob_tail - (rp + 1) in
   t.idle_cycle <- false;
@@ -1238,6 +1515,8 @@ let commit t =
   let n = ref 0 in
   let continue_ = ref true in
   let width = t.cfg.Config.commit_width in
+  (* One flag load per cycle, not per retire slot. *)
+  let san = !Check.on in
   while !continue_ && !n < width do
     if t.rob_head >= t.rob_tail then continue_ := false
     else begin
@@ -1249,6 +1528,7 @@ let commit t =
         let instr = t.r_instr.(s) in
         if flags land rf_wrong <> 0 then
           sim_error "wrong-path instruction reached commit at pc 0x%x" epc;
+        if san then sanitize_commit t s epc;
         t.rob_head <- t.rob_head + 1;
         incr n;
         t.committed <- t.committed + 1;
@@ -1322,6 +1602,7 @@ let step_cycle t =
       Telemetry.incr t.tel.t_cycles;
       Telemetry.observe t.tel.t_rob_occupancy (rob_occ t)
     end;
+    if !Check.on then sanitize_cycle t;
     t.cycle <- t.cycle + 1
   end
 
@@ -1448,6 +1729,7 @@ let run ?(max_cycles = 2_000_000_000) t =
     go ()
   with
   | Sim_error m -> Error m
+  | Check.Violation v -> Error (Check.to_string v)
   | Bor_sim.Machine.Fault { pc; message } ->
     Error (Printf.sprintf "oracle fault at 0x%x: %s" pc message)
 
@@ -1665,6 +1947,13 @@ let run_warming ?max_steps t =
     let chunk = min 65536 (budget - !total) in
     let ran = warm_run t chunk in
     total := !total + ran;
+    (* Warming has no cycles, so the per-cycle sanitizer never sees it:
+       audit the warmed structures once per chunk instead. *)
+    if !Check.on then
+      san_enrich t (fun () ->
+          Bor_sim.Machine.check t.oracle;
+          Hierarchy.check t.hier;
+          Ras.check t.ras);
     if ran < chunk then continue_ := false
   done;
   !total
@@ -1686,6 +1975,17 @@ let enter_detail t =
    would, and restore the predictor history and RAS to their
    retired-order shadows. *)
 let exit_detail t =
+  (* Correct-path entries in flight have already stepped the oracle but
+     will never retire: account for them so the sanitizer's
+     oracle-balance invariant survives the window boundary. Maintained
+     unconditionally (this path is per-window, not per-cycle) so the
+     balance is right even if the sanitizer is enabled mid-run. *)
+  let pos = ref t.rob_head in
+  while !pos < t.rob_tail do
+    if t.r_flags.(!pos land t.rob_mask) land rf_wrong = 0 then
+      t.san_dropped <- t.san_dropped + 1;
+    incr pos
+  done;
   if t.cfg.Config.deterministic_lfsr then
     for i = t.spec_brr_len - 1 downto 0 do
       Bor_core.Engine.undo t.engine
@@ -1859,6 +2159,7 @@ let run_sampled ?(max_cycles = 2_000_000_000) ?plan t =
             }
       with
       | Sim_error m -> Error m
+      | Check.Violation v -> Error (Check.to_string v)
       | Bor_sim.Machine.Fault { pc; message } ->
         Error (Printf.sprintf "oracle fault at 0x%x: %s" pc message)
     end

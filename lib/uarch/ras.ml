@@ -100,6 +100,26 @@ let snapshot_pop s =
     s.s_depth <- s.s_depth - 1
   end
 
+let check_shape ?cycle ~component ~what len top depth =
+  let module Check = Bor_check.Check in
+  if top < 0 || top >= len then
+    Check.fail ?cycle ~component ~invariant:"top-range"
+      "%s top=%d outside [0,%d)" what top len;
+  if depth < 0 || depth > len then
+    Check.fail ?cycle ~component ~invariant:"depth-range"
+      "%s depth=%d outside [0,%d]" what depth len;
+  Check.count 2
+
+let check ?cycle t =
+  check_shape ?cycle ~component:"ras" ~what:"stack" (Array.length t.stack)
+    t.top t.depth
+
+let check_snapshot ?cycle s =
+  check_shape ?cycle ~component:"ras" ~what:"snapshot"
+    (Array.length s.s_stack) s.s_top s.s_depth
+
+let snapshot_geometry_matches t s = Array.length t.stack = Array.length s.s_stack
+
 let state_digest t =
   let b = Buffer.create (t.depth * 8) in
   Buffer.add_string b (string_of_int t.depth);

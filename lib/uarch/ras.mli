@@ -42,6 +42,19 @@ val snapshot_push : snapshot -> int -> unit
 val snapshot_pop : snapshot -> unit
 (** Pop a snapshot; no-op when empty. *)
 
+val check : ?cycle:int -> t -> unit
+(** Sanitizer pass: [top] is a valid index and [depth] lies in
+    [[0, entries]]. Raises {!Bor_check.Check.Violation} (component
+    ["ras"]). Unconditional — callers gate on [!Bor_check.Check.on]. *)
+
+val check_snapshot : ?cycle:int -> snapshot -> unit
+(** Same shape invariants for a snapshot (they mutate via
+    {!snapshot_push}/{!snapshot_pop}, so they can rot independently). *)
+
+val snapshot_geometry_matches : t -> snapshot -> bool
+(** Whether the snapshot's buffer matches the stack's entry count —
+    the precondition of {!restore} and {!save_into}. *)
+
 val state_digest : t -> string
 (** SHA-256 of the live entries (oldest to newest) and the depth, for
     the warming-equivalence tests. *)

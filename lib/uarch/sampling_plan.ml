@@ -10,7 +10,10 @@ let make ?seed ~warmup ~window ~period () =
   else if window < 1 then Error "sampling plan: window must be >= 1"
   else if period < warmup + window then
     Error "sampling plan: period must be >= warmup + window"
-  else Ok { warmup; window; period; seed }
+  else
+    match seed with
+    | Some s when s < 0 -> Error "sampling plan: seed must be >= 0"
+    | _ -> Ok { warmup; window; period; seed }
 
 let of_string s =
   match String.split_on_char ':' s with

@@ -1,27 +1,22 @@
-(* Randomised differential testing of the four execution modes.
+(* Randomised differential testing of the four execution modes, on top
+   of the shared [Bor_gen] generator/differential library.
 
-   A generator (seeded from [Bor_util.Prng], so every case is a pure
-   function of one integer) builds random terminating BRISC programs —
-   a bounded counter loop whose body mixes ALU work, loads/stores into
-   the data segment, forward conditional branches, branch-on-randoms,
-   and calls into leaf functions — and the property runs each program
-   under:
+   Each case is a pure function of one integer seed: [Bor_gen.Gen]
+   builds a random terminating BRISC program, and [Bor_gen.Diff] runs
+   it under the functional simulator, the full-detail pipeline,
+   functional warming and sampled simulation, demanding identical
+   final architectural state (all 32 registers, the data segment, and
+   the retirement statistics). The pipeline runs use
+   [deterministic_lfsr] so speculative LFSR clocks are unwound exactly
+   (§3.4) and the committed branch-on-random stream provably matches
+   the in-order stream.
 
-   - the functional simulator ([Bor_sim.Machine], [External] mode
-     driven by its own LFSR engine, i.e. the in-order outcome stream);
-   - the full-detail pipeline ([Bor_uarch.Pipeline.run]);
-   - functional warming only ([run_warming] — the sampled-simulation
-     fast-forward path, exercising its batched plain-stretch and
-     event executors);
-   - sampled simulation ([run_sampled], short periods so tiny programs
-     still alternate between warming and detailed windows);
-
-   and demands identical final architectural state: all 32 registers,
-   the data segment, and the retirement statistics (instruction,
-   load/store, branch and branch-on-random counts). The pipeline runs
-   use [deterministic_lfsr] so speculative LFSR clocks are unwound
-   exactly (§3.4) and the committed branch-on-random stream provably
-   matches the in-order stream.
+   The pipeline sanitizer runs by default here (set BOR_SANITIZE=0 to
+   opt out), so every case also audits the full invariant catalog of
+   docs/FUZZING.md. On failure the offending program is written to
+   _build's test directory as a ready-to-replay .s reproducer
+   (bor fuzz <file> or bor time <file> replays it) and the failure
+   message carries the path.
 
    Case count and master seed come from BOR_QCHECK_COUNT (default 200)
    and BOR_QCHECK_SEED; the master seed is printed up front and every
@@ -29,207 +24,37 @@
    exactly. *)
 
 module Prng = Bor_util.Prng
-module Instr = Bor_isa.Instr
-module Reg = Bor_isa.Reg
-module Machine = Bor_sim.Machine
-module Pipeline = Bor_uarch.Pipeline
+module Gen = Bor_gen.Gen
+module Diff = Bor_gen.Diff
+module Corpus = Bor_gen.Corpus
 
-let data_bytes = 256
-
-(* Registers the generator may write. [zero]/[ra]/[sp]/[gp] are
-   excluded ([gp] bases every memory access, [ra] holds the live
-   return address), as is the loop counter. *)
-let counter = Reg.s 7
-let rd_pool =
-  List.filter
-    (fun i -> i > 3 && i <> Reg.to_int counter)
-    (List.init Reg.count Fun.id)
-  |> Array.of_list
-
-let any_rd rng = Reg.of_int rd_pool.(Prng.int rng (Array.length rd_pool))
-let any_rs rng = Reg.of_int (Prng.int rng Reg.count)
-
-let alu_ops =
-  Instr.[| Add; Sub; And; Or; Xor; Sll; Srl; Sra; Slt; Sltu; Mul |]
-
-let conds = Instr.[| Eq; Ne; Lt; Ge; Ltu; Geu |]
-
-let imm12 rng = Prng.int rng 4096 - 2048
-
-(* One computational (non-control) instruction. *)
-let gen_plain rng =
-  match Prng.int rng 10 with
-  | 0 | 1 | 2 ->
-    Instr.Alu
-      (alu_ops.(Prng.int rng (Array.length alu_ops)), any_rd rng, any_rs rng,
-       any_rs rng)
-  | 3 | 4 | 5 ->
-    Instr.Alui
-      (alu_ops.(Prng.int rng (Array.length alu_ops)), any_rd rng, any_rs rng,
-       imm12 rng)
-  | 6 -> Instr.Lui (any_rd rng, Prng.int rng 0x100000)
-  | 7 ->
-    if Prng.bool rng then
-      Instr.Load (Instr.Word, any_rd rng, Reg.gp, 4 * Prng.int rng (data_bytes / 4))
-    else Instr.Load (Instr.Byte, any_rd rng, Reg.gp, Prng.int rng data_bytes)
-  | 8 ->
-    if Prng.bool rng then
-      Instr.Store (Instr.Word, any_rs rng, Reg.gp, 4 * Prng.int rng (data_bytes / 4))
-    else Instr.Store (Instr.Byte, any_rs rng, Reg.gp, Prng.int rng data_bytes)
-  | _ -> Instr.Nop
-
-(* A random terminating program. Layout (instruction indices):
-
-     0            li   counter, k
-     1 .. b      body: plain work, forward branches / branch-on-randoms
-                  (targets in (i, b+1] — never past the decrement, so
-                  every iteration provably reaches it), calls
-     b+1          addi counter, counter, -1
-     b+2          bne  counter, zero, -(b+1)
-     b+3          halt
-     b+4 ..       leaf functions (plain work, then ret)
-
-   Control flow inside the body is strictly forward, calls only target
-   leaf functions that cannot call further, and the loop register is
-   outside the generator's write pool — so every program terminates
-   within k * (b + 3) + prologue instructions. *)
-let gen_program rng =
-  let b = 10 + Prng.int rng 71 in
-  let k = 2 + Prng.int rng 11 in
-  let nfun = Prng.int rng 4 in
-  let funs =
-    Array.init nfun (fun _ ->
-        let body = List.init (1 + Prng.int rng 5) (fun _ -> gen_plain rng) in
-        body @ [ Instr.Jalr (Reg.zero, Reg.ra, 0) ])
-  in
-  let fun_entry = Array.make nfun (b + 4) in
-  for j = 1 to nfun - 1 do
-    fun_entry.(j) <- fun_entry.(j - 1) + List.length funs.(j - 1)
-  done;
-  let body_slot i =
-    (* [i] is the absolute instruction index, in [1, b]. *)
-    let fwd () = 1 + i + Prng.int rng (b + 1 - i) in
-    match Prng.int rng 100 with
-    | r when r < 58 -> gen_plain rng
-    | r when r < 68 ->
-      Instr.Branch
-        (conds.(Prng.int rng (Array.length conds)), any_rs rng, any_rs rng,
-         fwd () - i)
-    | r when r < 78 ->
-      Instr.Brr (Bor_core.Freq.of_field (Prng.int rng 5), fwd () - i)
-    | r when r < 82 -> Instr.Brr_always (fwd () - i)
-    | r when r < 85 -> Instr.Rdlfsr (any_rd rng)
-    | r when r < 93 && nfun > 0 ->
-      Instr.Jal (Reg.ra, fun_entry.(Prng.int rng nfun) - i)
-    | _ -> Instr.Nop
-  in
-  let text =
-    [ Instr.Alui (Instr.Add, counter, Reg.zero, k) ]
-    @ List.init b (fun i -> body_slot (i + 1))
-    @ [
-        Instr.Alui (Instr.Add, counter, counter, -1);
-        Instr.Branch (Instr.Ne, counter, Reg.zero, -(b + 1));
-        Instr.Halt;
-      ]
-    @ List.concat (Array.to_list funs)
-  in
-  let data = Bytes.init data_bytes (fun _ -> Char.chr (Prng.int rng 256)) in
-  Bor_isa.Program.make ~data (Array.of_list text)
-
-(* ------------------------------------------------------------------ *)
-
-type snapshot = {
-  regs : int array;
-  data : int array;
-  counts : int * int * int * int * int * int * int;
-}
-
-let snapshot prog m =
-  let mem = Machine.memory m in
-  let db = prog.Bor_isa.Program.data_base in
-  let st = Machine.stats m in
-  {
-    regs = Array.init Reg.count (fun i -> Machine.reg m (Reg.of_int i));
-    data = Array.init (data_bytes / 4) (fun i -> Bor_sim.Memory.read_word mem (db + (4 * i)));
-    counts =
-      ( st.instructions, st.loads, st.stores, st.cond_branches, st.cond_taken,
-        st.brr_executed, st.brr_taken );
-  }
-
-let explain_mismatch ref_name name a b =
-  let diff_idx x y =
-    let d = ref [] in
-    Array.iteri (fun i v -> if v <> y.(i) then d := i :: !d) x;
-    List.rev !d
-  in
-  if a.counts <> b.counts then
-    let p (i, l, s, cb, ct, be, bt) =
-      Printf.sprintf "instr %d loads %d stores %d cond %d/%d brr %d/%d" i l s
-        cb ct be bt
-    in
-    Printf.sprintf "counts differ: %s [%s] vs %s [%s]" ref_name (p a.counts)
-      name (p b.counts)
-  else if a.regs <> b.regs then
-    Printf.sprintf "registers differ at %s"
-      (String.concat ","
-         (List.map (fun i -> Reg.name (Reg.of_int i)) (diff_idx a.regs b.regs)))
-  else
-    Printf.sprintf "data words differ at offsets %s"
-      (String.concat ","
-         (List.map (fun i -> string_of_int (4 * i)) (diff_idx a.data b.data)))
+let dump_dir = "gen_brisc_failures"
 
 let check_case case_seed =
-  let prog = gen_program (Prng.create ~seed:case_seed) in
-  let config =
-    { Bor_uarch.Config.default with Bor_uarch.Config.deterministic_lfsr = true }
-  in
-  let fail stage fmt =
-    Printf.ksprintf
-      (fun m ->
-        QCheck.Test.fail_reportf "case seed %d: %s: %s" case_seed stage m)
-      fmt
-  in
-  (* Functional reference: External mode fed by a private engine gives
-     the in-order branch-on-random stream (and, like the pipeline's
-     oracle, rdlfsr reads as 0). *)
-  let reference =
-    let engine = Bor_core.Engine.create ~seed:config.Bor_uarch.Config.lfsr_seed () in
-    let m =
-      Machine.create
-        ~brr_mode:(Machine.External (Bor_core.Engine.decide engine))
-        prog
+  let prog = Gen.gen_program (Prng.create ~seed:case_seed) in
+  match Diff.run ~plan_seed:case_seed prog with
+  | Diff.Pass -> true
+  | Diff.Budget e ->
+    QCheck.Test.fail_reportf
+      "case seed %d: functional reference did not finish: %s" case_seed e
+  | Diff.Fail { stage; reason } ->
+    (* Satellite: persist the failing program as assembly next to the
+       test binary so the failure is replayable without re-deriving it
+       from the seed. *)
+    let where =
+      try
+        let path =
+          Corpus.write ~dir:dump_dir
+            ~name:(Printf.sprintf "seed-%d-%s" case_seed stage)
+            ~seed:case_seed
+            ~note:(Printf.sprintf "%s: %s" stage reason)
+            prog
+        in
+        Printf.sprintf "\nreproducer: %s/%s" (Sys.getcwd ()) path
+      with _ -> ""
     in
-    (match Machine.run m with
-    | Ok _ -> ()
-    | Error e -> fail "functional" "%s" e);
-    snapshot prog m
-  in
-  let against name state =
-    if state <> reference then
-      fail name "%s" (explain_mismatch "functional" name state reference)
-  in
-  let detail = Pipeline.create ~config prog in
-  (match Pipeline.run detail with
-  | Ok _ -> ()
-  | Error e -> fail "pipeline" "%s" e);
-  against "pipeline" (snapshot prog (Pipeline.oracle detail));
-  let warming = Pipeline.create ~config prog in
-  ignore (Pipeline.run_warming warming);
-  against "warming" (snapshot prog (Pipeline.oracle warming));
-  let sampled = Pipeline.create ~config prog in
-  let plan =
-    match
-      Bor_uarch.Sampling_plan.make ~seed:case_seed ~warmup:20 ~window:30
-        ~period:120 ()
-    with
-    | Ok p -> p
-    | Error e -> fail "plan" "%s" e
-  in
-  (match Pipeline.run_sampled ~plan sampled with
-  | Ok _ -> ()
-  | Error e -> fail "sampled" "%s" e);
-  against "sampled" (snapshot prog (Pipeline.oracle sampled));
-  true
+    QCheck.Test.fail_reportf "case seed %d: %s: %s%s" case_seed stage reason
+      where
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -237,13 +62,18 @@ let env_int name default =
   | None -> default
 
 let () =
+  (* Sanitize by default: this suite is the sanitizer's main workout. *)
+  (match Sys.getenv_opt "BOR_SANITIZE" with
+  | Some ("0" | "false" | "off" | "no") -> ()
+  | _ -> Bor_check.Check.set_enabled true);
   let count = env_int "BOR_QCHECK_COUNT" 200 in
   let master_seed = env_int "BOR_QCHECK_SEED" 190283 in
   Printf.printf
     "gen_brisc: %d cases from master seed %d (BOR_QCHECK_COUNT / \
-     BOR_QCHECK_SEED)\n\
+     BOR_QCHECK_SEED), sanitizer %s\n\
      %!"
-    count master_seed;
+    count master_seed
+    (if Bor_check.Check.enabled () then "on" else "off");
   let case_seed =
     QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 0x3FFFFFFF)
   in

@@ -829,6 +829,41 @@ let test_plan_rejects_malformed () =
       "10:10:19" (* period shorter than warmup + window *);
     ]
 
+let test_plan_edge_cases () =
+  (* Rejections must carry a clear, field-naming error — these messages
+     surface verbatim in [bor time --sample]'s usage report. *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+    in
+    nn = 0 || go 0
+  in
+  let rejected_with s part =
+    match Sp.of_string s with
+    | Ok _ -> Alcotest.failf "%S accepted" s
+    | Error e ->
+      if not (contains e part) then
+        Alcotest.failf "%S: error %S does not mention %S" s e part
+  in
+  rejected_with "-1:10:100" "warmup";
+  rejected_with "10:0:100" "window";
+  rejected_with "10:-5:100" "window";
+  rejected_with "10:10:19" "period";
+  rejected_with "10:10:0" "period";
+  rejected_with "10:10:-100" "period";
+  rejected_with "10:10:100:-1" "seed";
+  rejected_with "a:b:c" "integers";
+  rejected_with "1:2" "WARMUP:WINDOW:PERIOD";
+  (match Sp.make ~seed:(-3) ~warmup:10 ~window:10 ~period:100 () with
+  | Ok _ -> Alcotest.fail "negative seed accepted by make"
+  | Error e ->
+    check Alcotest.bool "make names the seed" true (contains e "seed"));
+  (* Boundary acceptances: period exactly warmup + window (zero slack),
+     and the minimal 0:1:1 plan. *)
+  check Alcotest.int "tight period accepted" 0 (Sp.slack (plan_exn "10:10:20"));
+  check Alcotest.string "minimal plan" "0:1:1" (Sp.to_string (plan_exn "0:1:1"))
+
 let test_plan_phase_stream () =
   (* Seeded streams are deterministic, bounded by the slack, and two
      streams from the same plan agree; the unseeded stream pins every
@@ -1160,6 +1195,8 @@ let () =
           Alcotest.test_case "parse roundtrip" `Quick test_plan_parse_roundtrip;
           Alcotest.test_case "rejects malformed" `Quick
             test_plan_rejects_malformed;
+          Alcotest.test_case "edge cases and error clarity" `Quick
+            test_plan_edge_cases;
           Alcotest.test_case "phase stream" `Quick test_plan_phase_stream;
           Alcotest.test_case "estimate hand vectors" `Quick
             test_plan_estimate_hand_vectors;
