@@ -23,12 +23,14 @@
    what the @bench-check dune alias asserts. bechamel and perf
    (wall-clock timing of the host) are deliberately excluded.
 
-   --jobs N forks independent experiments into subprocesses, each
-   writing its own BENCH_<name>.json; per-file output is identical to
-   running that experiment alone in one process (cross-experiment
-   caches are per-process, so a file can differ from what a combined
+   --jobs N runs independent experiments on a pool of N worker
+   domains, each writing its own BENCH_<name>.json; per-file output is
+   identical to running that experiment alone in one process
+   (cross-experiment caches and telemetry are reset before every
+   pooled experiment, so a file can differ from what a combined
    sequential run of several experiments would produce -- the
-   @bench-check rule therefore stays sequential). *)
+   @bench-check rule therefore stays sequential). Worker stdout is
+   buffered per experiment and replayed in canonical order. *)
 
 module Json = Bor_telemetry.Json
 module Telemetry = Bor_telemetry.Telemetry
@@ -39,37 +41,66 @@ let seeds = ref 5
 let jobs = ref 1
 let csv_dir = ref None
 let json_dir = ref None
-let current_experiment = ref "experiment"
 
-(* --json mode captures each experiment's sections and tables as they
-   are printed; the document is flushed when the experiment ends. *)
-let json_title = ref ""
-let json_paper = ref ""
-let json_tables : (string list * string list list) list ref = ref []
+(* Per-domain experiment context. The --jobs pool runs experiments on
+   worker domains concurrently, so everything an experiment mutates
+   while it runs — the section/table capture for --json, the CSV
+   truncate-once bookkeeping, and the printed text itself — lives in
+   domain-local storage. [out = None] (the sequential path, and the
+   @bench-check one) writes straight to stdout; a worker installs a
+   buffer and the parent replays it in canonical order. *)
+type ctx = {
+  mutable out : Buffer.t option;
+  mutable experiment : string;
+  mutable title : string;
+  mutable paper : string;
+  mutable tables : (string list * string list list) list;
+  (* CSV files are truncated on an experiment's first table of this
+     process and appended to afterwards. (They used to be opened with
+     Open_append unconditionally, so every re-run of the harness
+     duplicated all rows into the previous run's file.) *)
+  csv_started : (string, unit) Hashtbl.t;
+}
+
+let ctx_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        out = None;
+        experiment = "experiment";
+        title = "";
+        paper = "";
+        tables = [];
+        csv_started = Hashtbl.create 8;
+      })
+
+let ctx () = Domain.DLS.get ctx_key
+
+let emit s =
+  match (ctx ()).out with
+  | None -> print_string s
+  | Some b -> Buffer.add_string b s
+
+let printf fmt = Printf.ksprintf emit fmt
 
 let section title paper =
-  json_title := title;
-  json_paper := paper;
-  Printf.printf "\n=== %s ===\n%s\n\n" title paper
-
-(* CSV files are truncated on an experiment's first table of this
-   process and appended to afterwards. (They used to be opened with
-   Open_append unconditionally, so every re-run of the harness
-   duplicated all rows into the previous run's file.) *)
-let csv_started : (string, unit) Hashtbl.t = Hashtbl.create 8
+  let c = ctx () in
+  c.title <- title;
+  c.paper <- paper;
+  printf "\n=== %s ===\n%s\n\n" title paper
 
 (* Print a table; mirror it as CSV (--csv DIR) or JSON (--json DIR). *)
 let table ~headers rows =
-  Bor_util.Table.print ~headers rows;
-  if !json_dir <> None then json_tables := (headers, rows) :: !json_tables;
+  emit (Bor_util.Table.render ~headers rows);
+  let c = ctx () in
+  if !json_dir <> None then c.tables <- (headers, rows) :: c.tables;
   match !csv_dir with
   | None -> ()
   | Some dir ->
-    let path = Filename.concat dir (!current_experiment ^ ".csv") in
+    let path = Filename.concat dir (c.experiment ^ ".csv") in
     let mode =
-      if Hashtbl.mem csv_started !current_experiment then Open_append
+      if Hashtbl.mem c.csv_started c.experiment then Open_append
       else begin
-        Hashtbl.replace csv_started !current_experiment ();
+        Hashtbl.replace c.csv_started c.experiment ();
         Open_trunc
       end
     in
@@ -202,16 +233,21 @@ let sensitivity () =
   in
   table ~headers:[ "configuration"; "accuracy"; "95% ci"; "within noise?" ]
     ((describe "20-bit default (baseline)" baseline :: tap_rows) @ select_rows);
-  Printf.printf
-    "\n(jython stream, interval 2^10, %d seeds per configuration)\n" !seeds
+  printf "\n(jython stream, interval 2^10, %d seeds per configuration)\n" !seeds
 
 (* ------------------------------------------------ timing-run machinery *)
 
-let timing_cache : (string, Bor_uarch.Pipeline.stats) Hashtbl.t =
-  Hashtbl.create 64
+(* Domain-local like the experiment context: the --jobs pool resets it
+   before each experiment so pooled output cannot depend on which
+   worker ran what earlier. *)
+let timing_cache_key : (string, Bor_uarch.Pipeline.stats) Hashtbl.t Domain.DLS.key
+    =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let timing_cache () = Domain.DLS.get timing_cache_key
 
 let run_timing key (compiled : Bor_minic.Driver.compiled) =
-  match Hashtbl.find_opt timing_cache key with
+  match Hashtbl.find_opt (timing_cache ()) key with
   | Some st -> st
   | None ->
     let t = Bor_uarch.Pipeline.create compiled.program in
@@ -220,7 +256,7 @@ let run_timing key (compiled : Bor_minic.Driver.compiled) =
       | Ok st -> st
       | Error e -> failwith (key ^ ": " ^ e)
     in
-    Hashtbl.replace timing_cache key st;
+    Hashtbl.replace (timing_cache ()) key st;
     st
 
 let micro_stats ?payload framework key =
@@ -295,7 +331,7 @@ let fig12 () =
       (fun n -> not (List.mem n Bor_workload.Apps.names))
       Bor_workload.Apps.all_names
   in
-  Printf.printf
+  printf
     "
 bonus: the applications the paper could not run (footnote 8):
 
@@ -343,10 +379,11 @@ type sweep_point = {
   cyc_brr_nd : float;
 }
 
-let micro_sweep = ref None
+let micro_sweep_key = Domain.DLS.new_key (fun () -> ref None)
+let micro_sweep () = Domain.DLS.get micro_sweep_key
 
 let get_sweep () =
-  match !micro_sweep with
+  match !(micro_sweep ()) with
   | Some s -> s
   | None ->
     let base = micro_stats Bor_minic.Instrument.No_instrumentation "base" in
@@ -408,7 +445,7 @@ let get_sweep () =
         sweep_intervals
     in
     let result = (base, visits, points) in
-    micro_sweep := Some result;
+    micro_sweep () := Some result;
     result
 
 let fig13 () =
@@ -418,7 +455,7 @@ let fig13 () =
      lowers both families. Plain columns = framework only, (+i) = with\n\
      the edge-profiling payload.";
   let base, visits, points = get_sweep () in
-  Printf.printf "baseline: %d cycles, IPC %.2f, %d dynamic sites\n\n"
+  printf "baseline: %d cycles, IPC %.2f, %d dynamic sites\n\n"
     base.cycles (Bor_uarch.Pipeline.ipc base) visits;
   let p (a, b) = [ Bor_util.Table.pct a; Bor_util.Table.pct b ] in
   table ~headers:
@@ -454,7 +491,7 @@ let fig14 () =
        points);
   (match points with
   | first :: _ when first.interval = 2 ->
-    Printf.printf
+    printf
       "\nNo-Duplication framework at 50%%: brr %.2f cycles/site (paper:\n\
        3.19 = half a front-end flush plus two extra instructions);\n\
        cbs %.2f cycles/site.\n"
@@ -499,7 +536,7 @@ let baseline () =
   match Bor_uarch.Pipeline.run t with
   | Error e -> failwith e
   | Ok h ->
-    Printf.printf
+    printf
       "\nhand-scheduled assembly version: %d cycles (minic: %d; the \
        compiler is within %.0f%%)\n"
       h.cycles st.cycles
@@ -538,7 +575,7 @@ let hwcost () =
         "single-issue, deterministic (3.4)";
       rows { four_wide with decode_width = 8 } "8-wide, replicated";
     ];
-  Printf.printf "\npaper claims hold: %b\n" (meets_paper_claims ())
+  printf "\npaper claims hold: %b\n" (meets_paper_claims ())
 
 (* ---------------------------------------------------- §3.4 determinism *)
 
@@ -956,11 +993,11 @@ let sampled_row plan name prog =
   let full_cpi = full_cycles /. Float.of_int full_instr in
   let s, t_samp =
     best_of_2 (fun t ->
-        match Bor_uarch.Pipeline.run_sampled ~plan t with
+        match Bor_exec.Sampled.run_on ~plan t with
         | Ok s -> s
         | Error e -> failwith (name ^ " (sampled): " ^ e))
   in
-  let open Bor_uarch.Pipeline in
+  let open Bor_exec.Sampled in
   let err = (s.sp_cycles_estimate -. full_cycles) /. full_cycles in
   [
     name;
@@ -988,7 +1025,7 @@ let sampled () =
     | Ok p -> p
     | Error e -> failwith ("--sample " ^ !sample_spec ^ ": " ^ e)
   in
-  Printf.printf "\n(plan %s)\n" (Bor_uarch.Sampling_plan.to_string plan);
+  printf "\n(plan %s)\n" (Bor_uarch.Sampling_plan.to_string plan);
   let brr64 =
     Bor_minic.Instrument.(
       Sampled (Brr (Bor_core.Freq.of_period 64), No_duplication))
@@ -1016,7 +1053,59 @@ let sampled () =
         "kernel"; "instructions"; "cycles"; "est cycles"; "err";
         "CPI (95% CI)"; "covers"; "full s"; "sampled s"; "speedup";
       ]
-    rows
+    rows;
+  (* Domain-parallel windows: the same sampled run with its detailed
+     windows farmed over worker domains must report byte-identical
+     statistics at every domain count; wall-clock scaling additionally
+     needs at least as many host cores as domains (a 1-core host can
+     only lose to cross-domain coordination). A detail-heavy plan is
+     used so the parallelizable window work dominates the serial
+     warming sweep. *)
+  let heavy =
+    match
+      Bor_uarch.Sampling_plan.make ~seed:13 ~warmup:2000 ~window:50_000
+        ~period:60_000 ()
+    with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let prog =
+    (Bor_workload.Micro.compile ~chars:mchars brr64).Bor_minic.Driver.program
+  in
+  let run_at domains =
+    let t = Bor_uarch.Pipeline.create prog in
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    match Bor_exec.Sampled.run_on ~plan:heavy ~domains t with
+    | Ok s -> (s, Unix.gettimeofday () -. t0)
+    | Error e -> failwith (Printf.sprintf "domains=%d: %s" domains e)
+  in
+  let base, t1 = run_at 1 in
+  printf
+    "\ndomain-parallel detailed windows (plan %s, micro-%d, host cores %d):\n\n"
+    (Bor_uarch.Sampling_plan.to_string heavy)
+    mchars
+    (Domain.recommended_domain_count ());
+  table
+    ~headers:
+      [
+        "domains"; "windows"; "CPI (95% CI)"; "detailed cycles"; "wall s";
+        "speedup"; "identical";
+      ]
+    (List.map
+       (fun d ->
+         let s, td = if d = 1 then (base, t1) else run_at d in
+         let open Bor_exec.Sampled in
+         [
+           string_of_int d;
+           string_of_int s.sp_windows;
+           Printf.sprintf "%.4f±%.4f" s.sp_cpi s.sp_cpi_ci95;
+           string_of_int s.sp_detailed_cycles;
+           Printf.sprintf "%.3f" td;
+           Printf.sprintf "%.2fx" (t1 /. td);
+           (if s = base then "yes" else "NO");
+         ])
+       [ 1; 2; 4 ])
 
 (* ------------------------------------------------------------- bechamel *)
 
@@ -1110,12 +1199,13 @@ let json_of_table (headers, rows) =
    so no float ever reaches the JSON serialiser and the digest cannot
    depend on float-printing behaviour. *)
 let bench_json name =
+  let c = ctx () in
   Json.Obj
     [
       ("schema", Json.String "bor-bench-v1");
       ("experiment", Json.String name);
-      ("title", Json.String !json_title);
-      ("description", Json.String !json_paper);
+      ("title", Json.String c.title);
+      ("description", Json.String c.paper);
       ( "params",
         Json.Obj
           [
@@ -1123,7 +1213,7 @@ let bench_json name =
             ("chars", Json.Int !chars);
             ("seeds", Json.Int !seeds);
           ] );
-      ("tables", Json.List (List.rev_map json_of_table !json_tables));
+      ("tables", Json.List (List.rev_map json_of_table c.tables));
       ("telemetry", Telemetry.to_json ());
     ]
 
@@ -1199,11 +1289,13 @@ let () =
        simulator component; instruments register at creation time. *)
     Telemetry.set_enabled true
   | None -> ());
+  (match !csv_dir with Some dir -> ensure_dir dir | None -> ());
   let run_one (name, f) =
-    current_experiment := name;
-    json_title := "";
-    json_paper := "";
-    json_tables := [];
+    let c = ctx () in
+    c.experiment <- name;
+    c.title <- "";
+    c.paper <- "";
+    c.tables <- [];
     (* Isolate each experiment's telemetry. Cross-experiment caches
        (timing_cache, micro_sweep) mean a snapshot depends on which
        experiments ran EARLIER in this process -- the canonical
@@ -1220,66 +1312,53 @@ let () =
     | _ -> ()
   in
   let read_file = Bor_isa.Toolchain.read_file in
-  (* --jobs: fork each experiment into its own subprocess, at most
-     [jobs] live at once, each with a private stdout replayed by the
-     parent in canonical order once everything has finished. *)
+  (* --jobs: run experiments on a pool of [n] worker domains, each
+     claiming the next job off a shared counter. A worker buffers its
+     experiment's output in its domain-local context; the parent
+     replays the buffers in canonical order once the pool has joined,
+     so worker output can never interleave. Caches are reset before
+     every pooled experiment so each BENCH_<name>.json is identical to
+     running that experiment alone — the guarantee the fork-based pool
+     this replaces got from one process per experiment. *)
   let run_parallel n =
-    let outdir =
-      match !json_dir with
-      | Some d -> d
-      | None -> Filename.get_temp_dir_name ()
+    let jobs = Array.of_list to_run in
+    let outputs = Array.make (Array.length jobs) "" in
+    let next = Atomic.make 0 in
+    let failed = Atomic.make false in
+    let telemetry_on = !json_dir <> None in
+    let worker () =
+      (* Fresh domain, fresh domain-local telemetry registry: mirror
+         the enable flag before any simulator component registers. *)
+      if telemetry_on then Telemetry.set_enabled true;
+      let c = ctx () in
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < Array.length jobs then begin
+          let (name, _) as job = jobs.(i) in
+          let buf = Buffer.create 4096 in
+          c.out <- Some buf;
+          Hashtbl.reset (timing_cache ());
+          micro_sweep () := None;
+          (try run_one job
+           with e ->
+             Atomic.set failed true;
+             Printf.eprintf "%s: %s\n%!" name (Printexc.to_string e));
+          outputs.(i) <- Buffer.contents buf;
+          c.out <- None;
+          loop ()
+        end
+      in
+      loop ()
     in
-    let outfile name =
-      Filename.concat outdir
-        (Printf.sprintf "OUT_%s.%d.txt" name (Unix.getpid ()))
-    in
-    let pending = ref to_run in
-    let live = ref 0 in
-    let failed = ref false in
     flush stdout;
-    while !pending <> [] || !live > 0 do
-      while !pending <> [] && !live < n do
-        match !pending with
-        | [] -> ()
-        | ((name, _) as job) :: rest -> (
-          pending := rest;
-          match Unix.fork () with
-          | 0 ->
-            let fd =
-              Unix.openfile (outfile name)
-                [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
-                0o644
-            in
-            Unix.dup2 fd Unix.stdout;
-            Unix.close fd;
-            let code =
-              try
-                run_one job;
-                flush stdout;
-                0
-              with e ->
-                Printf.eprintf "%s: %s\n%!" name (Printexc.to_string e);
-                1
-            in
-            exit code
-          | _pid -> incr live)
-      done;
-      if !live > 0 then begin
-        let _pid, status = Unix.wait () in
-        decr live;
-        match status with Unix.WEXITED 0 -> () | _ -> failed := true
-      end
-    done;
-    List.iter
-      (fun (name, _) ->
-        let p = outfile name in
-        if Sys.file_exists p then begin
-          print_string (read_file p);
-          Sys.remove p
-        end)
-      to_run;
-    if !failed then begin
-      Printf.eprintf "bench: an experiment subprocess failed\n%!";
+    let pool =
+      List.init (max 1 (min n (Array.length jobs))) (fun _ ->
+          Domain.spawn worker)
+    in
+    List.iter Domain.join pool;
+    Array.iter print_string outputs;
+    if Atomic.get failed then begin
+      Printf.eprintf "bench: an experiment failed\n%!";
       exit 1
     end
   in

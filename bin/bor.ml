@@ -6,6 +6,10 @@
      bor cc FILE.c           compile minic and print the assembly
      bor ccrun FILE.c        compile minic and run functionally
      bor cctime FILE.c       compile minic and run on the timing simulator
+     bor checkpoint save FILE --at N -o OUT.ckpt
+                             warm N instructions, save a resumable checkpoint
+     bor checkpoint resume FILE --from CKPT
+                             restore a checkpoint and simulate in detail
      bor fuzz [SEED-FILES]   coverage-guided differential fuzzing
 
    Compilation options: --framework none|full|cbs|brr, --interval N,
@@ -18,12 +22,19 @@
    the timing run to SMARTS-style sampled simulation (functional
    warming plus periodic detailed windows of D instructions after a W
    warmup, every P instructions, optional random window phase).
+   --domains N runs the detailed windows of a sampled run in parallel
+   on N OCaml domains — results are byte-identical to --domains 1.
    --sanitize enables the pipeline sanitizer (dynamic invariant
    checking, docs/FUZZING.md) for the run; BOR_SANITIZE=1 does the
    same for any command.
 
+   All timing commands route through Bor_exec.Backend, the same
+   execution surface the bench driver, the fuzzer and the QCheck suite
+   use; checkpoints are the versioned digest-stamped Bor_exec.Checkpoint
+   format (DESIGN.md).
+
    bor fuzz mutates random/seeded BRISC programs (and minic sources,
-   for .c seed files) through the four-way differential property with
+   for .c seed files) through the five-way differential property with
    the sanitizer on, guided by telemetry coverage; failures are
    auto-shrunk and written to the corpus directory. Options: --iters N,
    --seed N, --corpus DIR (default test/corpus), --max-cycles N. *)
@@ -42,13 +53,17 @@ type cc_options = {
   mutable dot : bool;
   mutable stats : stats_mode;
   mutable sample : Bor_uarch.Sampling_plan.t option;
+  mutable domains : int;
 }
 
 let usage () =
   prerr_endline
     "usage: bor {asm|run|time|cc|ccrun|cctime} FILE [-o OUT.bor] [--trace N] [--framework \
      none|full|cbs|brr] [--interval N] [--fulldup] [--edges] [--yieldpoints] \
-     [--empty-payload] [--stats[=json]] [--sanitize] [--sample W:D:P[:SEED]]\n\
+     [--empty-payload] [--stats[=json]] [--sanitize] [--sample W:D:P[:SEED]] \
+     [--domains N]\n\
+     \       bor checkpoint save FILE --at N -o OUT.ckpt [--sanitize]\n\
+     \       bor checkpoint resume FILE --from CKPT [--stats[=json]] [--max-cycles N] [--sanitize]\n\
      \       bor fuzz [SEED-FILES] [--iters N] [--seed N] [--corpus DIR] [--max-cycles N]\n\
      FILE may be assembly (.s), minic (.c for cc*) or a BOR1 object image";
   exit 2
@@ -115,17 +130,18 @@ let compile opts path =
     exit 1
 
 let run_functional ?(trace = 0) (program : Bor_isa.Program.t) =
-  let m = Bor_sim.Machine.create program in
+  let b = Bor_exec.Backend.functional program in
+  let m = b.Bor_exec.Backend.machine () in
   for _ = 1 to trace do
-    if not (Bor_sim.Machine.halted m) then begin
+    if not (b.Bor_exec.Backend.halted ()) then begin
       let pc = Bor_sim.Machine.pc m in
       (match Bor_isa.Program.instr_at program pc with
       | Some i -> Printf.printf "  0x%05x  %s\n" pc (Bor_isa.Instr.to_string i)
       | None -> Printf.printf "  0x%05x  <illegal-encoded>\n" pc);
-      Bor_sim.Machine.step m
+      b.Bor_exec.Backend.step ()
     end
   done;
-  (match Bor_sim.Machine.run m with
+  (match b.Bor_exec.Backend.run () with
   | Ok _ ->
     Printf.printf "halted after %d instructions\n"
       (Bor_sim.Machine.stats m).instructions
@@ -147,38 +163,141 @@ let print_registry = function
     print_string
       (Bor_telemetry.Json.to_string (Bor_telemetry.Telemetry.to_json ()))
 
-let run_timing ?(stats = Stats_off) ?sample (program : Bor_isa.Program.t) =
-  (* Telemetry must be live before the pipeline is created: instruments
+let run_timing ?(stats = Stats_off) ?sample ?(domains = 1)
+    (program : Bor_isa.Program.t) =
+  (* Telemetry must be live before the backend is created: instruments
      register at component-creation time. *)
   if stats <> Stats_off then Bor_telemetry.Telemetry.set_enabled true;
-  let t = Bor_uarch.Pipeline.create program in
+  let backend =
+    match sample with
+    | Some plan -> Bor_exec.Backend.sampled ~plan ~domains program
+    | None -> Bor_exec.Backend.detailed program
+  in
   let t0 = Unix.gettimeofday () in
-  match sample with
-  | Some plan -> (
-    match Bor_uarch.Pipeline.run_sampled ~plan t with
-    | Error e ->
-      Printf.eprintf "%s\n" e;
-      exit 1
-    | Ok st ->
-      let dt = Unix.gettimeofday () -. t0 in
-      Format.printf "%a@." Bor_uarch.Pipeline.pp_sampled st;
+  match backend.Bor_exec.Backend.run () with
+  | Error e ->
+    Printf.eprintf "%s\n" e;
+    exit 1
+  | Ok report ->
+    let dt = Unix.gettimeofday () -. t0 in
+    (match report with
+    | Bor_exec.Backend.Sampled st ->
+      Format.printf "%a@." Bor_exec.Sampled.pp st;
       if dt > 0. then
         Format.printf "host: %.3fs wall, %.2f M instr/s@." dt
-          (Float.of_int st.Bor_uarch.Pipeline.sp_instructions /. dt /. 1e6);
-      print_registry stats)
-  | None -> (
-    match Bor_uarch.Pipeline.run t with
-    | Error e ->
-      Printf.eprintf "%s\n" e;
-      exit 1
-    | Ok st ->
-      let dt = Unix.gettimeofday () -. t0 in
+          (Float.of_int st.Bor_exec.Sampled.sp_instructions /. dt /. 1e6)
+    | Bor_exec.Backend.Detailed st ->
       Format.printf "%a@." Bor_uarch.Pipeline.pp_stats st;
       if dt > 0. then
         Format.printf "host: %.3fs wall, %.2f M instr/s, %.2f M cycles/s@." dt
           (Float.of_int st.Bor_uarch.Pipeline.instructions /. dt /. 1e6)
-          (Float.of_int st.Bor_uarch.Pipeline.cycles /. dt /. 1e6);
-      print_registry stats)
+          (Float.of_int st.Bor_uarch.Pipeline.cycles /. dt /. 1e6)
+    | Bor_exec.Backend.Functional _ | Bor_exec.Backend.Warmed _ -> ());
+    print_registry stats
+
+(* bor checkpoint save/resume: every failure — unreadable file, bad
+   magic, digest or version mismatch, wrong program — prints a
+   diagnostic and exits 1; no exception escapes. *)
+let run_checkpoint rest =
+  let ck_usage () =
+    prerr_endline
+      "usage: bor checkpoint save FILE --at N -o OUT.ckpt [--sanitize]\n\
+       \       bor checkpoint resume FILE --from CKPT [--stats[=json]] \
+       [--max-cycles N] [--sanitize]";
+    exit 2
+  in
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.eprintf "bor: checkpoint: %s\n" s;
+        exit 1)
+      fmt
+  in
+  match rest with
+  | "save" :: path :: opts ->
+    let at = ref (-1) and out = ref None in
+    let rec parse = function
+      | [] -> ()
+      | "--at" :: v :: r ->
+        at := int_of_string v;
+        parse r
+      | "-o" :: v :: r ->
+        out := Some v;
+        parse r
+      | "--sanitize" :: r ->
+        Bor_check.Check.set_enabled true;
+        parse r
+      | _ -> ck_usage ()
+    in
+    parse opts;
+    if !at < 0 then ck_usage ();
+    let out = match !out with Some o -> o | None -> ck_usage () in
+    let prog = assemble path in
+    let b = Bor_exec.Backend.warming ~max_steps:!at prog in
+    let warmed =
+      match b.Bor_exec.Backend.run () with
+      | Ok (Bor_exec.Backend.Warmed { instructions }) -> instructions
+      | Ok _ -> 0
+      | Error e -> fail "%s" e
+    in
+    let p =
+      match b.Bor_exec.Backend.pipeline with
+      | Some p -> p
+      | None -> assert false
+    in
+    let ck =
+      Bor_exec.Checkpoint.capture
+        ~program_digest:(Bor_exec.Checkpoint.program_digest prog)
+        p
+    in
+    (match Bor_exec.Checkpoint.save_file out ck with
+    | Error e -> fail "%s" e
+    | Ok () ->
+      Printf.printf
+        "wrote %s: checkpoint v%d at pc 0x%05x after %d warmed instructions \
+         (%d memory pages)\n"
+        out Bor_exec.Checkpoint.version
+        ck.Bor_exec.Checkpoint.ck_arch.Bor_sim.Machine.a_pc warmed
+        (Bor_sim.Memory.snapshot_pages ck.Bor_exec.Checkpoint.ck_mem
+        |> Array.length))
+  | "resume" :: path :: opts ->
+    let from = ref None and stats = ref Stats_off and max_cycles = ref None in
+    let rec parse = function
+      | [] -> ()
+      | "--from" :: v :: r ->
+        from := Some v;
+        parse r
+      | "--stats" :: r ->
+        stats := Stats_text;
+        parse r
+      | "--stats=json" :: r ->
+        stats := Stats_json;
+        parse r
+      | "--max-cycles" :: v :: r ->
+        max_cycles := Some (int_of_string v);
+        parse r
+      | "--sanitize" :: r ->
+        Bor_check.Check.set_enabled true;
+        parse r
+      | _ -> ck_usage ()
+    in
+    parse opts;
+    let from = match !from with Some f -> f | None -> ck_usage () in
+    if !stats <> Stats_off then Bor_telemetry.Telemetry.set_enabled true;
+    let prog = assemble path in
+    (match Bor_exec.Checkpoint.load_file from with
+    | Error e -> fail "%s" e
+    | Ok ck -> (
+      match Bor_exec.Backend.resume ?max_cycles:!max_cycles ck prog with
+      | Error e -> fail "%s" e
+      | Ok b -> (
+        match b.Bor_exec.Backend.run () with
+        | Error e -> fail "%s" e
+        | Ok (Bor_exec.Backend.Detailed st) ->
+          Format.printf "%a@." Bor_uarch.Pipeline.pp_stats st;
+          print_registry !stats
+        | Ok _ -> ())))
+  | _ -> ck_usage ()
 
 (* bor fuzz: no mandatory positional FILE — any number of seed files
    (.c compiles as minic; anything else loads as assembly/object). *)
@@ -230,6 +349,7 @@ let () =
   let args = Array.to_list Sys.argv in
   match args with
   | _ :: "fuzz" :: rest -> run_fuzz rest
+  | _ :: "checkpoint" :: rest -> run_checkpoint rest
   | _ :: cmd :: path :: rest ->
     let opts =
       {
@@ -244,6 +364,7 @@ let () =
         dot = false;
         stats = Stats_off;
         sample = None;
+        domains = 1;
       }
     in
     let rec parse = function
@@ -286,6 +407,13 @@ let () =
         | Ok plan -> opts.sample <- Some plan
         | Error e -> sample_usage v e);
         parse r
+      | "--domains" :: v :: r ->
+        (match int_of_string_opt v with
+        | Some n when n >= 1 -> opts.domains <- n
+        | _ ->
+          Printf.eprintf "bor: --domains %s: expected a positive integer\n" v;
+          exit 2);
+        parse r
       | "--sanitize" :: r ->
         Bor_check.Check.set_enabled true;
         parse r
@@ -302,7 +430,9 @@ let () =
           (Bor_isa.Program.instr_count p)
       | None -> Format.printf "%a" Bor_isa.Program.pp_listing p)
     | "run" -> run_functional ~trace:opts.trace (assemble path)
-    | "time" -> run_timing ~stats:opts.stats ?sample:opts.sample (assemble path)
+    | "time" ->
+      run_timing ~stats:opts.stats ?sample:opts.sample ~domains:opts.domains
+        (assemble path)
     | "cc" when opts.dot -> (
       match Bor_minic.Driver.dot ~cfg:(driver_config opts) (read_file path) with
       | Ok d -> print_string d
@@ -320,7 +450,7 @@ let () =
       | None -> print_string c.asm)
     | "ccrun" -> run_functional ~trace:opts.trace (compile opts path).program
     | "cctime" ->
-      run_timing ~stats:opts.stats ?sample:opts.sample
+      run_timing ~stats:opts.stats ?sample:opts.sample ~domains:opts.domains
         (compile opts path).program
     | _ -> usage ())
   | _ -> usage ()

@@ -1,0 +1,128 @@
+module Machine = Bor_sim.Machine
+module Pipeline = Bor_uarch.Pipeline
+module Check = Bor_check.Check
+
+type report =
+  | Functional of { instructions : int }
+  | Detailed of Pipeline.stats
+  | Warmed of { instructions : int }
+  | Sampled of Sampled.stats
+
+type t = {
+  name : string;
+  telemetry_scope : string;
+  machine : unit -> Machine.t;
+  pipeline : Pipeline.t option;
+  step : unit -> unit;
+  halted : unit -> bool;
+  run : unit -> (report, string) result;
+  state_digests : unit -> (string * string) list;
+}
+
+(* The [run] closures never raise: substrate-specific exceptions
+   (sanitizer violations, oracle faults) unify into the same [Error]
+   strings across backends, which is what lets the differential runner
+   compare legs without per-substrate handlers. *)
+let guard f =
+  try f () with
+  | Check.Violation v -> Error (Check.to_string v)
+  | Machine.Fault { pc; message } ->
+    Error (Printf.sprintf "oracle fault at 0x%x: %s" pc message)
+  | Bor_sim.Memory.Fault m -> Error m
+
+let uarch_digests p () =
+  Bor_uarch.Hierarchy.state_digests (Pipeline.hierarchy p)
+  @ [
+      ("predictor", Bor_uarch.Predictor.state_digest (Pipeline.predictor p));
+      ("btb", Bor_uarch.Btb.state_digest (Pipeline.btb p));
+      ("ras", Bor_uarch.Ras.state_digest (Pipeline.ras p));
+      ( "lfsr",
+        string_of_int (Bor_lfsr.Lfsr.peek (Bor_core.Engine.lfsr (Pipeline.engine p)))
+      );
+    ]
+
+let functional ?brr_mode ?max_steps prog =
+  let m =
+    match brr_mode with
+    | Some b -> Machine.create ~brr_mode:b prog
+    | None -> Machine.create prog
+  in
+  {
+    name = "functional";
+    telemetry_scope = "machine";
+    machine = (fun () -> m);
+    pipeline = None;
+    step = (fun () -> Machine.step m);
+    halted = (fun () -> Machine.halted m);
+    run =
+      (fun () ->
+        guard (fun () ->
+            match Machine.run ?max_steps m with
+            | Ok n -> Ok (Functional { instructions = n })
+            | Error e -> Error e));
+    state_digests = (fun () -> []);
+  }
+
+let pipeline_backed ~name ~telemetry_scope p run =
+  {
+    name;
+    telemetry_scope;
+    machine = (fun () -> Pipeline.oracle p);
+    pipeline = Some p;
+    step = (fun () -> Pipeline.step_cycle p);
+    halted = (fun () -> Pipeline.halted p);
+    run;
+    state_digests = uarch_digests p;
+  }
+
+let create_pipeline ?config prog =
+  match config with
+  | Some c -> Pipeline.create ~config:c prog
+  | None -> Pipeline.create prog
+
+let detailed ?config ?max_cycles prog =
+  let p = create_pipeline ?config prog in
+  pipeline_backed ~name:"detailed" ~telemetry_scope:"pipeline" p (fun () ->
+      guard (fun () ->
+          match Pipeline.run ?max_cycles p with
+          | Ok s -> Ok (Detailed s)
+          | Error e -> Error e))
+
+let warming ?config ?max_steps prog =
+  let p = create_pipeline ?config prog in
+  let b =
+    pipeline_backed ~name:"warming" ~telemetry_scope:"pipeline" p (fun () ->
+        guard (fun () ->
+            Ok (Warmed { instructions = Pipeline.run_warming ?max_steps p })))
+  in
+  {
+    b with
+    step = (fun () -> Pipeline.warm_step p);
+    halted = (fun () -> Machine.halted (Pipeline.oracle p));
+  }
+
+let sampled ?config ?plan ?domains ?max_cycles prog =
+  let p = create_pipeline ?config prog in
+  let b =
+    pipeline_backed ~name:"sampled" ~telemetry_scope:"sampling" p (fun () ->
+        match Sampled.run_on ?max_cycles ?plan ?domains p with
+        | Ok s -> Ok (Sampled s)
+        | Error e -> Error e)
+  in
+  {
+    b with
+    step = (fun () -> Pipeline.warm_step p);
+    halted = (fun () -> Machine.halted (Pipeline.oracle p));
+  }
+
+let resume ?config ?max_cycles ck prog =
+  let p = create_pipeline ?config prog in
+  match Checkpoint.restore ck ~program_digest:(Checkpoint.program_digest prog) p with
+  | Error e -> Error e
+  | Ok () ->
+    Ok
+      (pipeline_backed ~name:"resume" ~telemetry_scope:"pipeline" p (fun () ->
+           guard (fun () ->
+               match Pipeline.run ?max_cycles p with
+               | Ok s -> Ok (Detailed s)
+               | Error e -> Error e)))

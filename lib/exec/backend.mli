@@ -1,0 +1,73 @@
+(** The unified execution-backend interface.
+
+    The repo has four execution substrates — the functional oracle, the
+    detailed ring-buffer pipeline, the functional-warming path, and
+    sampled simulation — and every driver ([bor time], [bor cctime],
+    [bench/main.ml], the fuzzer's differential runner, the QCheck
+    suite) used to wire them up by hand. A {!t} packages one substrate
+    behind a uniform surface: create (from a program, or from a
+    {!Checkpoint}), single-step, run to a budget, read the
+    architectural machine, and digest the warmed state, so all drivers
+    go through one code path. *)
+
+type report =
+  | Functional of { instructions : int }
+  | Detailed of Bor_uarch.Pipeline.stats
+  | Warmed of { instructions : int }
+  | Sampled of Sampled.stats
+      (** What a completed run measured, per substrate. *)
+
+type t = {
+  name : string;  (** substrate name: functional/detailed/warming/sampled *)
+  telemetry_scope : string;
+      (** root scope the substrate's instruments register under *)
+  machine : unit -> Bor_sim.Machine.t;
+      (** the architectural machine (the oracle, for pipeline-backed
+          substrates) — final registers, memory, stats *)
+  pipeline : Bor_uarch.Pipeline.t option;
+      (** the underlying timing pipeline, when the substrate has one —
+          for driver-specific extras (tracers, retired-brr logs) *)
+  step : unit -> unit;
+      (** advance one unit: an instruction (functional, warming) or a
+          cycle (detailed); may raise the substrate's own faults —
+          interactive drivers that step also handle *)
+  halted : unit -> bool;
+  run : unit -> (report, string) result;
+      (** run to completion or budget; never raises — simulator errors,
+          sanitizer violations and oracle faults come back as [Error] *)
+  state_digests : unit -> (string * string) list;
+      (** named digests of the warmed microarchitectural structures;
+          empty for the purely functional substrate *)
+}
+
+val functional :
+  ?brr_mode:Bor_sim.Machine.brr_mode -> ?max_steps:int -> Bor_isa.Program.t -> t
+
+val detailed :
+  ?config:Bor_uarch.Config.t -> ?max_cycles:int -> Bor_isa.Program.t -> t
+
+val warming :
+  ?config:Bor_uarch.Config.t -> ?max_steps:int -> Bor_isa.Program.t -> t
+
+val sampled :
+  ?config:Bor_uarch.Config.t ->
+  ?plan:Bor_uarch.Sampling_plan.t ->
+  ?domains:int ->
+  ?max_cycles:int ->
+  Bor_isa.Program.t ->
+  t
+(** The sampled substrate: [run] drives {!Sampled.run_on} on the
+    backend's sweep pipeline; [step] single-steps functional warming;
+    [machine]/[state_digests] expose the sweep's final state. *)
+
+val resume :
+  ?config:Bor_uarch.Config.t ->
+  ?max_cycles:int ->
+  Checkpoint.t ->
+  Bor_isa.Program.t ->
+  (t, string) result
+(** A detailed backend created from a checkpoint instead of the program
+    entry point: the pipeline is seeded via {!Checkpoint.restore} and
+    [run] simulates in full detail from the restored state to halt.
+    [Error] (never an exception) when the checkpoint does not match the
+    program or configuration. *)

@@ -1,0 +1,230 @@
+module Machine = Bor_sim.Machine
+module Memory = Bor_sim.Memory
+module Pipeline = Bor_uarch.Pipeline
+module Predictor = Bor_uarch.Predictor
+module Btb = Bor_uarch.Btb
+module Ras = Bor_uarch.Ras
+module Hierarchy = Bor_uarch.Hierarchy
+module Sha256 = Bor_telemetry.Sha256
+
+type t = {
+  ck_program : string;
+  ck_arch : Machine.arch;
+  ck_mem : Memory.snapshot;
+  ck_lfsr : int;
+  ck_pred : Predictor.state;
+  ck_btb : Btb.state;
+  ck_ras : Ras.state;
+  ck_hier : Hierarchy.state;
+}
+
+let version = 1
+let magic = "BORCKPT\n"
+
+let program_digest prog = Sha256.digest (Bor_isa.Objfile.save prog)
+
+let capture ~program_digest p =
+  let oracle = Pipeline.oracle p in
+  {
+    ck_program = program_digest;
+    ck_arch = Machine.export_arch oracle;
+    ck_mem = Memory.snapshot (Machine.memory oracle);
+    ck_lfsr =
+      Bor_lfsr.Lfsr.peek (Bor_core.Engine.lfsr (Pipeline.engine p));
+    ck_pred = Predictor.export_state (Pipeline.predictor p);
+    ck_btb = Btb.export_state (Pipeline.btb p);
+    ck_ras = Ras.export_state (Pipeline.ras p);
+    ck_hier = Hierarchy.export_state (Pipeline.hierarchy p);
+  }
+
+let restore ck ~program_digest p =
+  if ck.ck_program <> program_digest then
+    Error
+      (Printf.sprintf
+         "checkpoint is for a different program (image digest %s, expected %s)"
+         (String.sub ck.ck_program 0 (min 12 (String.length ck.ck_program)))
+         (String.sub program_digest 0 12))
+  else
+    try
+      let oracle = Pipeline.oracle p in
+      Machine.import_arch oracle ck.ck_arch;
+      Memory.restore (Machine.memory oracle) ck.ck_mem;
+      Bor_lfsr.Lfsr.set_state
+        (Bor_core.Engine.lfsr (Pipeline.engine p))
+        ck.ck_lfsr;
+      Predictor.import_state (Pipeline.predictor p) ck.ck_pred;
+      Btb.import_state (Pipeline.btb p) ck.ck_btb;
+      Ras.import_state (Pipeline.ras p) ck.ck_ras;
+      Hierarchy.import_state (Pipeline.hierarchy p) ck.ck_hier;
+      Pipeline.resume_fetch p;
+      Ok ()
+    with Invalid_argument m ->
+      Error ("checkpoint does not fit this pipeline configuration: " ^ m)
+
+(* ------------------------------------------------------- serialization *)
+
+(* Every integer is a signed 64-bit little-endian word: the format
+   favours a dead-simple reader over compactness (a checkpoint is
+   dominated by the predictor tables either way), and 64-bit words
+   round-trip OCaml ints exactly. *)
+
+let w_int b v = Buffer.add_int64_le b (Int64.of_int v)
+
+let w_array b a =
+  w_int b (Array.length a);
+  Array.iter (w_int b) a
+
+let w_string b s =
+  w_int b (String.length s);
+  Buffer.add_string b s
+
+let to_string ck =
+  let b = Buffer.create (1 lsl 16) in
+  Buffer.add_string b magic;
+  w_int b version;
+  w_string b ck.ck_program;
+  w_int b ck.ck_arch.Machine.a_pc;
+  w_int b (Bool.to_int ck.ck_arch.Machine.a_halted);
+  w_array b ck.ck_arch.Machine.a_regs;
+  w_int b ck.ck_lfsr;
+  w_int b ck.ck_pred.Predictor.s_ghist;
+  w_array b ck.ck_pred.Predictor.s_gshare;
+  w_array b ck.ck_pred.Predictor.s_bimodal;
+  w_array b ck.ck_pred.Predictor.s_chooser;
+  w_array b ck.ck_btb.Btb.s_tags;
+  w_array b ck.ck_btb.Btb.s_targets;
+  w_int b ck.ck_ras.Ras.s_top;
+  w_int b ck.ck_ras.Ras.s_depth;
+  w_array b ck.ck_ras.Ras.s_stack;
+  let w_cache (c : Bor_uarch.Cache.state) =
+    w_int b c.Bor_uarch.Cache.s_clock;
+    w_array b c.Bor_uarch.Cache.s_tags;
+    w_array b c.Bor_uarch.Cache.s_lru
+  in
+  w_cache ck.ck_hier.Hierarchy.s_l1i;
+  w_cache ck.ck_hier.Hierarchy.s_l1d;
+  w_cache ck.ck_hier.Hierarchy.s_l2;
+  w_int b (Memory.snapshot_size ck.ck_mem);
+  let pages = Memory.snapshot_pages ck.ck_mem in
+  w_int b (Array.length pages);
+  Array.iter
+    (fun (idx, bytes) ->
+      w_int b idx;
+      w_string b (Bytes.to_string bytes))
+    pages;
+  let payload = Buffer.contents b in
+  payload ^ Sha256.digest payload
+
+exception Malformed
+
+let of_string s =
+  let len = String.length s in
+  let mlen = String.length magic in
+  if len < mlen || String.sub s 0 mlen <> magic then
+    Error "not a checkpoint (bad magic — is this a BORCKPT file?)"
+  else if len < mlen + 8 + 64 then Error "corrupted checkpoint (truncated)"
+  else begin
+    let stamp = String.sub s (len - 64) 64 in
+    let payload = String.sub s 0 (len - 64) in
+    let pos = ref mlen in
+    let r_int () =
+      if !pos + 8 > len - 64 then raise Malformed;
+      let v = Int64.to_int (String.get_int64_le s !pos) in
+      pos := !pos + 8;
+      v
+    in
+    let r_string () =
+      let n = r_int () in
+      if n < 0 || !pos + n > len - 64 then raise Malformed;
+      let v = String.sub s !pos n in
+      pos := !pos + n;
+      v
+    in
+    let r_array () =
+      let n = r_int () in
+      (* An absurd length means a corrupt header; fail before Array.init
+         tries to allocate it. *)
+      if n < 0 || n > 1 lsl 28 then raise Malformed;
+      Array.init n (fun _ -> r_int ())
+    in
+    try
+      if Sha256.digest payload <> stamp then
+        Error "corrupted checkpoint (SHA-256 stamp mismatch)"
+      else begin
+        let v = r_int () in
+        if v <> version then
+          Error
+            (Printf.sprintf
+               "checkpoint format version %d not supported (this build reads \
+                version %d)"
+               v version)
+        else begin
+        let ck_program = r_string () in
+        let a_pc = r_int () in
+        let a_halted = r_int () <> 0 in
+        let a_regs = r_array () in
+        let ck_lfsr = r_int () in
+        let s_ghist = r_int () in
+        let s_gshare = r_array () in
+        let s_bimodal = r_array () in
+        let s_chooser = r_array () in
+        let b_tags = r_array () in
+        let b_targets = r_array () in
+        let s_top = r_int () in
+        let s_depth = r_int () in
+        let s_stack = r_array () in
+        let r_cache () =
+          let s_clock = r_int () in
+          let s_tags = r_array () in
+          let s_lru = r_array () in
+          { Bor_uarch.Cache.s_tags; s_lru; s_clock }
+        in
+        let s_l1i = r_cache () in
+        let s_l1d = r_cache () in
+        let s_l2 = r_cache () in
+        let mem_size = r_int () in
+        let npages = r_int () in
+        if npages < 0 || npages > 1 lsl 28 then raise Malformed;
+        let pages =
+          Array.init npages (fun _ ->
+              let idx = r_int () in
+              (idx, Bytes.of_string (r_string ())))
+        in
+        if !pos <> len - 64 then raise Malformed;
+        Ok
+          {
+            ck_program;
+            ck_arch = { Machine.a_pc; a_regs; a_halted };
+            ck_mem = Memory.snapshot_of_pages ~size:mem_size pages;
+            ck_lfsr;
+            ck_pred = { Predictor.s_gshare; s_bimodal; s_chooser; s_ghist };
+            ck_btb = { Btb.s_tags = b_tags; s_targets = b_targets };
+            ck_ras = { Ras.s_stack; s_top; s_depth };
+            ck_hier = { Hierarchy.s_l1i; s_l1d; s_l2 };
+          }
+        end
+      end
+    with Malformed | Invalid_argument _ ->
+      Error "corrupted checkpoint (truncated or malformed payload)"
+  end
+
+let save_file path ck =
+  try
+    let oc = Out_channel.open_bin path in
+    Fun.protect
+      ~finally:(fun () -> Out_channel.close oc)
+      (fun () -> Out_channel.output_string oc (to_string ck));
+    Ok ()
+  with Sys_error m -> Error m
+
+let load_file path =
+  match
+    try
+      let ic = In_channel.open_bin path in
+      Fun.protect
+        ~finally:(fun () -> In_channel.close ic)
+        (fun () -> Ok (In_channel.input_all ic))
+    with Sys_error m -> Error m
+  with
+  | Error m -> Error m
+  | Ok data -> of_string data

@@ -1,0 +1,61 @@
+(** Versioned, digest-stamped execution checkpoints.
+
+    A checkpoint carries the complete architectural state (register
+    file, pc, halt flag, written memory pages) plus the warm
+    microarchitectural state (L1/L2 tag stores, BTB, tournament
+    predictor, RAS, LFSR) of a pipeline at an instruction boundary —
+    everything needed to seed a freshly created pipeline such that
+    detailed execution from the checkpoint is a pure function of the
+    checkpoint. That purity is what {!Sampled} builds its
+    domain-parallel window execution on, and what makes
+    [bor checkpoint save/resume] reproducible.
+
+    The file format is stamped three ways: a magic string, a format
+    version, and a trailing SHA-256 of the whole payload. {!of_string}
+    / {!load_file} reject mismatches of any of the three with a
+    distinct diagnostic and never raise. *)
+
+type t = {
+  ck_program : string;  (** hex digest of the program image *)
+  ck_arch : Bor_sim.Machine.arch;
+  ck_mem : Bor_sim.Memory.snapshot;
+  ck_lfsr : int;  (** LFSR register of the branch-on-random engine *)
+  ck_pred : Bor_uarch.Predictor.state;
+  ck_btb : Bor_uarch.Btb.state;
+  ck_ras : Bor_uarch.Ras.state;
+  ck_hier : Bor_uarch.Hierarchy.state;
+}
+
+val version : int
+(** Current file-format version (serialized into every file). *)
+
+val program_digest : Bor_isa.Program.t -> string
+(** SHA-256 of the program's serialized image — compute once per run
+    and pass to {!capture}/{!restore}, which compare it against
+    [ck_program]. *)
+
+val capture : program_digest:string -> Bor_uarch.Pipeline.t -> t
+(** Deep-copy the pipeline's architectural + warmed state. Meaningful
+    at an instruction boundary with nothing in flight (i.e. during
+    functional warming, or before the first cycle). *)
+
+val restore :
+  t -> program_digest:string -> Bor_uarch.Pipeline.t -> (unit, string) result
+(** Seed a {e freshly created} pipeline (same program, same
+    configuration) from the checkpoint and point its fetch stage at the
+    restored pc. [Error] on a program-digest mismatch or a structure
+    geometry mismatch (pipeline built with a different configuration);
+    never raises. The pipeline's statistics and telemetry start from
+    zero, like any fresh pipeline's. *)
+
+val to_string : t -> string
+(** Serialize: magic, version, payload, trailing SHA-256 stamp. *)
+
+val of_string : string -> (t, string) result
+(** Parse and validate magic, version and digest stamp. All failures —
+    including truncated or malformed payloads — come back as [Error]
+    with a diagnostic naming what was wrong; never raises. *)
+
+val save_file : string -> t -> (unit, string) result
+val load_file : string -> (t, string) result
+(** {!to_string}/{!of_string} + file I/O; I/O errors become [Error]. *)

@@ -1,0 +1,327 @@
+module Machine = Bor_sim.Machine
+module Pipeline = Bor_uarch.Pipeline
+module Sampling_plan = Bor_uarch.Sampling_plan
+module Telemetry = Bor_telemetry.Telemetry
+module Check = Bor_check.Check
+
+type stats = {
+  sp_windows : int;
+  sp_instructions : int;
+  sp_warmed : int;
+  sp_detailed : int;
+  sp_detailed_cycles : int;
+  sp_cpi : float;
+  sp_cpi_ci95 : float;
+  sp_cycles_estimate : float;
+}
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>sampled: %d windows over %d instructions (%d warmed, %d \
+     detailed, %d detailed cycles)@,CPI %.4f ± %.4f (95%% CI); estimated \
+     cycles %.0f@]"
+    s.sp_windows s.sp_instructions s.sp_warmed s.sp_detailed
+    s.sp_detailed_cycles s.sp_cpi s.sp_cpi_ci95 s.sp_cycles_estimate
+
+(* Bounded blocking queue: the sweep produces checkpoints, worker
+   domains consume them. The bound keeps only a handful of checkpoints
+   (each ~a predictor table's worth of arrays) alive at once, however
+   far the sweep runs ahead of the windows. *)
+module Bqueue = struct
+  type 'a t = {
+    buf : 'a Queue.t;
+    cap : int;
+    m : Mutex.t;
+    nonempty : Condition.t;
+    nonfull : Condition.t;
+    mutable closed : bool;
+  }
+
+  let create cap =
+    {
+      buf = Queue.create ();
+      cap;
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      nonfull = Condition.create ();
+      closed = false;
+    }
+
+  let push q x =
+    Mutex.lock q.m;
+    while Queue.length q.buf >= q.cap do
+      Condition.wait q.nonfull q.m
+    done;
+    Queue.add x q.buf;
+    Condition.signal q.nonempty;
+    Mutex.unlock q.m
+
+  let close q =
+    Mutex.lock q.m;
+    q.closed <- true;
+    Condition.broadcast q.nonempty;
+    Mutex.unlock q.m
+
+  let pop q =
+    Mutex.lock q.m;
+    let rec go () =
+      if not (Queue.is_empty q.buf) then begin
+        let x = Queue.take q.buf in
+        Condition.signal q.nonfull;
+        Some x
+      end
+      else if q.closed then None
+      else begin
+        Condition.wait q.nonempty q.m;
+        go ()
+      end
+    in
+    let r = go () in
+    Mutex.unlock q.m;
+    r
+end
+
+type window_entry = {
+  e_result : (Pipeline.window_result, string) result;
+  e_tel : Telemetry.export option;
+      (** the window's telemetry delta, shipped home by worker domains;
+          [None] in sequential mode, where windows share the sweep's
+          registry *)
+}
+
+(* One detailed window: a throwaway pipeline seeded from the
+   checkpoint. Pure in the checkpoint (plus the shared config/plan), so
+   it runs identically on any domain in any order. *)
+let window_job ~config ~plan ~max_cycles ~digest prog ck =
+  let clone = Pipeline.create ~config prog in
+  match Checkpoint.restore ck ~program_digest:digest clone with
+  | Error e -> Error e
+  | Ok () ->
+    Pipeline.run_window ~max_cycles ~warmup:plan.Sampling_plan.warmup
+      ~window:plan.Sampling_plan.window clone
+
+let run_on ?(max_cycles = 2_000_000_000) ?plan ?(domains = 1) t =
+  let plan =
+    match plan with
+    | Some p -> Some p
+    | None -> (Pipeline.config t).Bor_uarch.Config.sample
+  in
+  match plan with
+  | None ->
+    Error "no sampling plan (pass ?plan or set Config.sample / --sample)"
+  | Some plan ->
+    let oracle = Pipeline.oracle t in
+    if
+      Pipeline.cycle t <> 0
+      || (Machine.stats oracle).Machine.instructions <> 0
+    then Error "sampled runs require a freshly created pipeline"
+    else begin
+      let config = Pipeline.config t in
+      let prog = Machine.program oracle in
+      let digest = Checkpoint.program_digest prog in
+      let domains = max 1 (min domains 64) in
+      (* The sampling.* instruments exist only in sampled runs, so a
+         full-detail run's telemetry dump — part of the golden bench
+         digests — is byte-identical with or without this code. *)
+      let sc = Telemetry.scope "sampling" in
+      let c_windows =
+        Telemetry.counter sc ~doc:"measured detailed windows" "windows"
+      in
+      let c_warmed =
+        Telemetry.counter sc ~unit_:"instructions"
+          ~doc:"instructions fast-forwarded under functional warming"
+          "warmed"
+      in
+      let c_detailed =
+        Telemetry.counter sc ~unit_:"instructions"
+          ~doc:"instructions executed inside detailed windows" "detailed"
+      in
+      let c_cpi =
+        Telemetry.counter sc ~unit_:"mCPI"
+          ~doc:"extrapolated CPI, in thousandths" "cpi_milli"
+      in
+      let c_ci =
+        Telemetry.counter sc ~unit_:"mCPI"
+          ~doc:"95% confidence half-width of the CPI, in thousandths"
+          "ci95_milli"
+      in
+      let phase = Sampling_plan.phase_stream plan in
+      let period = plan.Sampling_plan.period in
+      let warmed = ref 0 in
+      let halted () = Machine.halted oracle in
+      let results : (int, window_entry) Hashtbl.t = Hashtbl.create 64 in
+      let njobs = ref 0 in
+      (* The sweep warms the whole program on [t]; at each window
+         boundary it hands the checkpoint to [submit]. Every period
+         advances exactly [period] instructions, so window [i] starts
+         at [i * period + offset_i] — the same schedule at any domain
+         count. *)
+      let sweep submit =
+        while not (halted ()) do
+          let offset = phase () in
+          warmed := !warmed + Pipeline.run_warming ~max_steps:offset t;
+          if not (halted ()) then begin
+            submit !njobs (Checkpoint.capture ~program_digest:digest t);
+            incr njobs;
+            warmed :=
+              !warmed + Pipeline.run_warming ~max_steps:(period - offset) t
+          end
+        done
+      in
+      let run_seq () =
+        sweep (fun i ck ->
+            Hashtbl.replace results i
+              {
+                e_result =
+                  window_job ~config ~plan ~max_cycles ~digest prog ck;
+                e_tel = None;
+              })
+      in
+      let run_par () =
+        let q = Bqueue.create (2 * domains) in
+        let rm = Mutex.create () in
+        let tel_on = Telemetry.is_enabled () in
+        let worker () =
+          (* Fresh domain: its telemetry registry starts empty and
+             disabled. Mirror the parent's enablement so window
+             instruments register locally, and ship each window's delta
+             home inside its result. *)
+          if tel_on then Telemetry.set_enabled true;
+          let mine = ref 0 in
+          let rec loop () =
+            match Bqueue.pop q with
+            | None -> !mine
+            | Some (i, ck) ->
+              incr mine;
+              let r = window_job ~config ~plan ~max_cycles ~digest prog ck in
+              let tel =
+                if tel_on then begin
+                  let e = Telemetry.export () in
+                  Telemetry.reset ();
+                  Some e
+                end
+                else None
+              in
+              Mutex.lock rm;
+              Hashtbl.replace results i { e_result = r; e_tel = tel };
+              Mutex.unlock rm;
+              loop ()
+          in
+          loop ()
+        in
+        let workers = Array.init domains (fun _ -> Domain.spawn worker) in
+        (* Close the queue and join even when the sweep dies, so no
+           domain outlives the run. *)
+        let sweep_err =
+          try
+            sweep (fun i ck -> Bqueue.push q (i, ck));
+            None
+          with e -> Some e
+        in
+        Bqueue.close q;
+        let per_worker = Array.map Domain.join workers in
+        (match sweep_err with Some e -> raise e | None -> ());
+        per_worker
+      in
+      try
+        let per_worker =
+          if domains = 1 then begin
+            run_seq ();
+            None
+          end
+          else Some (run_par ())
+        in
+        let total = (Machine.stats oracle).Machine.instructions in
+        let samples = ref [] in
+        let windows = ref 0 in
+        let detailed = ref 0 in
+        let dcycles = ref 0 in
+        let merge_checks = ref 0 in
+        let err = ref None in
+        (* Merge strictly in window order: CPI samples join the
+           estimate in schedule order, telemetry deltas absorb in the
+           same order, and the first failing window (by index, not by
+           completion time) decides the error — all independent of
+           which domain ran what when. *)
+        for i = 0 to !njobs - 1 do
+          if !err = None then
+            match Hashtbl.find_opt results i with
+            | None -> err := Some "internal error: window result missing"
+            | Some { e_result = Error e; _ } -> err := Some e
+            | Some { e_result = Ok w; e_tel } ->
+              incr merge_checks;
+              (match e_tel with Some e -> Telemetry.absorb e | None -> ());
+              (match w.Pipeline.w_sample with
+              | Some (cycles, instrs) ->
+                samples :=
+                  (float_of_int cycles /. float_of_int instrs) :: !samples;
+                incr windows
+              | None -> ());
+              detailed := !detailed + w.Pipeline.w_detailed;
+              dcycles := !dcycles + w.Pipeline.w_cycles
+        done;
+        match !err with
+        | Some e -> Error e
+        | None ->
+          let est =
+            Sampling_plan.estimate ~cpi_samples:(List.rev !samples)
+              ~instructions:total
+          in
+          Telemetry.add c_windows !windows;
+          Telemetry.add c_warmed !warmed;
+          Telemetry.add c_detailed !detailed;
+          Telemetry.add c_cpi
+            (int_of_float ((est.Sampling_plan.cpi_mean *. 1000.) +. 0.5));
+          Telemetry.add c_ci
+            (int_of_float ((est.Sampling_plan.cpi_ci95 *. 1000.) +. 0.5));
+          (* The sampling.parallel.* family registers only when worker
+             domains actually ran, keeping sequential sampled telemetry
+             byte-identical to what it was before parallelism existed. *)
+          (match per_worker with
+          | None -> ()
+          | Some counts ->
+            let psc = Telemetry.scope "sampling.parallel" in
+            let pc_domains =
+              Telemetry.counter psc ~unit_:"domains"
+                ~doc:"worker domains used for detailed windows" "domains"
+            in
+            let ph_per_domain =
+              Telemetry.histogram psc ~unit_:"windows"
+                ~doc:"detailed windows executed per worker domain"
+                "windows_per_domain"
+            in
+            let pc_merge =
+              Telemetry.counter psc
+                ~doc:"window results verified to merge in window order"
+                "merge_checks"
+            in
+            Telemetry.add pc_domains domains;
+            Array.iter (fun n -> Telemetry.observe ph_per_domain n) counts;
+            Telemetry.add pc_merge !merge_checks);
+          Ok
+            {
+              sp_windows = !windows;
+              sp_instructions = total;
+              sp_warmed = !warmed;
+              sp_detailed = !detailed;
+              sp_detailed_cycles = !dcycles;
+              sp_cpi = est.Sampling_plan.cpi_mean;
+              sp_cpi_ci95 = est.Sampling_plan.cpi_ci95;
+              sp_cycles_estimate = est.Sampling_plan.cycles_estimate;
+            }
+      with
+      | Check.Violation v -> Error (Check.to_string v)
+      | Machine.Fault { pc; message } ->
+        Error (Printf.sprintf "oracle fault at 0x%x: %s" pc message)
+      | Bor_sim.Memory.Fault m -> Error m
+    end
+
+let run ?max_cycles ?plan ?domains ?config prog =
+  let t =
+    match config with
+    | Some c -> Pipeline.create ~config:c prog
+    | None -> Pipeline.create prog
+  in
+  match run_on ?max_cycles ?plan ?domains t with
+  | Ok s -> Ok (s, t)
+  | Error e -> Error e

@@ -1,0 +1,58 @@
+(** SMARTS-style sampled simulation over checkpointed windows,
+    optionally parallel across OCaml 5 domains.
+
+    One pipeline — the {e sweep} — executes the whole program under
+    functional warming. At each period's window boundary it emits a
+    {!Checkpoint}; every detailed window then runs on its own freshly
+    created pipeline seeded from its checkpoint and discarded
+    afterwards. A window is therefore a pure function of its
+    checkpoint, so the windows can execute in any order on any number
+    of domains: CPI samples are reassembled in window order, per-domain
+    telemetry registries are merged in window order, and the results —
+    CPI, confidence interval, telemetry totals — are identical at every
+    domain count, including [domains = 1] (which runs the same
+    capture/restore path inline). *)
+
+type stats = {
+  sp_windows : int;  (** detailed windows that produced a CPI sample *)
+  sp_instructions : int;  (** total instructions the sweep executed *)
+  sp_warmed : int;
+      (** instructions executed under functional warming — the whole
+          program, since windows run on clones off the sweep *)
+  sp_detailed : int;  (** oracle instructions executed inside windows *)
+  sp_detailed_cycles : int;  (** cycles simulated in detail, all windows *)
+  sp_cpi : float;  (** mean CPI over the measured windows *)
+  sp_cpi_ci95 : float;  (** 95% confidence half-width of [sp_cpi] *)
+  sp_cycles_estimate : float;  (** extrapolated whole-run cycles *)
+}
+
+val run_on :
+  ?max_cycles:int ->
+  ?plan:Bor_uarch.Sampling_plan.t ->
+  ?domains:int ->
+  Bor_uarch.Pipeline.t ->
+  (stats, string) result
+(** Run the whole program under the sampling schedule ([?plan], falling
+    back to the pipeline's [Config.sample]; an error when neither is
+    set) on a freshly created pipeline, farming detailed windows out to
+    [domains] worker domains ([1], the default, runs them inline).
+    [max_cycles] (default 2e9) bounds each window individually.
+
+    Registers the [sampling.*] telemetry counters — only in sampled
+    runs, never in full-detail ones — plus the [sampling.parallel.*]
+    family when (and only when) [domains > 1]. Never raises; simulator
+    errors, sanitizer violations and oracle faults from the sweep or
+    any window come back as [Error] (first window in window order
+    wins). *)
+
+val run :
+  ?max_cycles:int ->
+  ?plan:Bor_uarch.Sampling_plan.t ->
+  ?domains:int ->
+  ?config:Bor_uarch.Config.t ->
+  Bor_isa.Program.t ->
+  (stats * Bor_uarch.Pipeline.t, string) result
+(** {!run_on} on a pipeline created here; also hands back the sweep
+    pipeline so callers can read final architectural state. *)
+
+val pp : Format.formatter -> stats -> unit

@@ -1,5 +1,7 @@
 module Machine = Bor_sim.Machine
 module Pipeline = Bor_uarch.Pipeline
+module Backend = Bor_exec.Backend
+module Sampled = Bor_exec.Sampled
 module Check = Bor_check.Check
 module Program = Bor_isa.Program
 module Reg = Bor_isa.Reg
@@ -69,21 +71,24 @@ let run ?(max_steps = 2_000_000) ?(max_cycles = 20_000_000) ?(plan_seed = 0)
   in
   let violation stage v = fail stage "%s" (Check.to_string v) in
   try
-    (* Functional reference: External mode fed by a private engine gives
-       the in-order branch-on-random stream. Any error here (step
+    (* Every leg goes through the shared Bor_exec.Backend surface — the
+       same constructors and run closures the CLI and bench drivers
+       use. Functional reference: External mode fed by a private engine
+       gives the in-order branch-on-random stream. Any error here (step
        budget, memory fault) is the program's own doing — skip. *)
     let reference =
       let engine =
         Bor_core.Engine.create ~seed:config.Bor_uarch.Config.lfsr_seed ()
       in
-      let m =
-        Machine.create
+      let b =
+        Backend.functional
           ~brr_mode:(Machine.External (Bor_core.Engine.decide engine))
-          prog
+          ~max_steps prog
       in
-      (match Machine.run ~max_steps m with
+      (match b.Backend.run () with
       | Ok _ -> ()
       | Error e -> raise (Budgeted e));
+      let m = b.Backend.machine () in
       if !Check.on then (
         try Machine.check m with Check.Violation v -> violation "functional" v);
       snapshot prog m
@@ -92,23 +97,28 @@ let run ?(max_steps = 2_000_000) ?(max_cycles = 20_000_000) ?(plan_seed = 0)
       if state <> reference then
         fail name "%s" (explain_mismatch "functional" name state reference)
     in
+    (* The backends already fold sanitizer violations and oracle faults
+       into Error strings; this belt-and-braces wrapper catches the few
+       paths outside a run closure (Machine.check above, snapshots). *)
     let guarded stage f =
       try f () with
       | Check.Violation v -> violation stage v
       | Machine.Fault { pc; message } ->
         fail stage "oracle fault at pc 0x%x: %s" pc message
     in
-    let detail = Pipeline.create ~config prog in
-    guarded "pipeline" (fun () ->
-        match Pipeline.run ~max_cycles detail with
-        | Ok _ -> ()
-        | Error e when is_budget_error e -> raise (Budgeted e)
-        | Error e -> fail "pipeline" "%s" e);
-    against "pipeline" (snapshot prog (Pipeline.oracle detail));
-    let warming = Pipeline.create ~config prog in
-    guarded "warming" (fun () -> ignore (Pipeline.run_warming warming));
-    against "warming" (snapshot prog (Pipeline.oracle warming));
-    let sampled = Pipeline.create ~config prog in
+    let leg stage (b : Backend.t) =
+      guarded stage (fun () ->
+          match b.Backend.run () with
+          | Ok r -> r
+          | Error e when is_budget_error e -> raise (Budgeted e)
+          | Error e -> fail stage "%s" e)
+    in
+    let detail = Backend.detailed ~config ~max_cycles prog in
+    ignore (leg "pipeline" detail);
+    against "pipeline" (snapshot prog (detail.Backend.machine ()));
+    let warming = Backend.warming ~config prog in
+    ignore (leg "warming" warming);
+    against "warming" (snapshot prog (warming.Backend.machine ()));
     let plan =
       match
         Bor_uarch.Sampling_plan.make ~seed:plan_seed ~warmup:20 ~window:30
@@ -117,12 +127,33 @@ let run ?(max_steps = 2_000_000) ?(max_cycles = 20_000_000) ?(plan_seed = 0)
       | Ok p -> p
       | Error e -> fail "plan" "%s" e
     in
-    guarded "sampled" (fun () ->
-        match Pipeline.run_sampled ~max_cycles ~plan sampled with
-        | Ok _ -> ()
-        | Error e when is_budget_error e -> raise (Budgeted e)
-        | Error e -> fail "sampled" "%s" e);
-    against "sampled" (snapshot prog (Pipeline.oracle sampled));
+    let sampled = Backend.sampled ~config ~plan ~max_cycles ~domains:1 prog in
+    let seq_stats =
+      match leg "sampled" sampled with
+      | Backend.Sampled s -> s
+      | _ -> fail "sampled" "unexpected report kind"
+    in
+    against "sampled" (snapshot prog (sampled.Backend.machine ()));
+    (* Fifth leg: the same sampled run with detailed windows spread
+       over worker domains (count varied by the seed) must reproduce
+       the sequential leg bit for bit — same final architectural state
+       and the same sampled statistics, CPI and CI included. *)
+    let domains = 2 + (abs plan_seed mod 3) in
+    let par = Backend.sampled ~config ~plan ~max_cycles ~domains prog in
+    let par_stats =
+      match leg "parallel-sampled" par with
+      | Backend.Sampled s -> s
+      | _ -> fail "parallel-sampled" "unexpected report kind"
+    in
+    against "parallel-sampled" (snapshot prog (par.Backend.machine ()));
+    if par_stats <> seq_stats then
+      fail "parallel-sampled"
+        "stats diverge from sequential at %d domains: windows %d vs %d, CPI \
+         %.6f vs %.6f, CI %.6f vs %.6f, detailed cycles %d vs %d"
+        domains par_stats.Sampled.sp_windows seq_stats.Sampled.sp_windows
+        par_stats.Sampled.sp_cpi seq_stats.Sampled.sp_cpi
+        par_stats.Sampled.sp_cpi_ci95 seq_stats.Sampled.sp_cpi_ci95
+        par_stats.Sampled.sp_detailed_cycles seq_stats.Sampled.sp_detailed_cycles;
     Pass
   with
   | Failed f -> Fail f

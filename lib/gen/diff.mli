@@ -1,8 +1,12 @@
-(** The four-way differential property as a library: run one program
+(** The five-way differential property as a library: run one program
     under the functional simulator, the full-detail pipeline, functional
-    warming and sampled simulation, and demand identical final
-    architectural state (all registers, the whole data segment, and the
-    retirement statistics).
+    warming, sequential sampled simulation and domain-parallel sampled
+    simulation (worker count varied by the seed), and demand identical
+    final architectural state (all registers, the whole data segment,
+    and the retirement statistics) — plus, for the parallel leg,
+    sampled statistics identical to the sequential leg's, CPI and CI
+    included. Every leg is driven through {!Bor_exec.Backend}, the same
+    surface the CLI and bench drivers use.
 
     Used by both [test/gen_brisc.ml] (via QCheck) and the fuzzer, which
     additionally needs the three-way outcome split: a mutant that never
@@ -14,7 +18,8 @@
 type failure = {
   stage : string;
       (** which engine/phase failed: ["pipeline"], ["warming"],
-          ["sampled"], ["plan"], or a comparison stage *)
+          ["sampled"], ["parallel-sampled"], ["plan"], or a comparison
+          stage *)
   reason : string;
 }
 

@@ -116,6 +116,17 @@ let set_reg t r v =
 let memory t = t.mem
 let stats t = t.stats
 let halted t = t.halted
+
+type arch = { a_pc : int; a_regs : int array; a_halted : bool }
+
+let export_arch t = { a_pc = t.pc; a_regs = Array.copy t.regs; a_halted = t.halted }
+
+let import_arch t a =
+  if Array.length a.a_regs <> Array.length t.regs then
+    invalid_arg "Machine.import_arch: register-file width mismatch";
+  Array.blit a.a_regs 0 t.regs 0 (Array.length t.regs);
+  t.pc <- a.a_pc;
+  t.halted <- a.a_halted
 let on_site t f = t.site_hooks <- f :: t.site_hooks
 let on_marker t f = t.marker_hooks <- f :: t.marker_hooks
 

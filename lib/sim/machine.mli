@@ -55,6 +55,20 @@ val memory : t -> Memory.t
 val stats : t -> stats
 val halted : t -> bool
 
+type arch = { a_pc : int; a_regs : int array; a_halted : bool }
+(** The architectural register state of a machine — everything outside
+    {!Memory.t} that a checkpoint must carry. Statistics are
+    deliberately excluded: a restored machine starts its counts at
+    zero, exactly like a freshly created one. *)
+
+val export_arch : t -> arch
+(** Copy out the current register file, pc and halt flag. *)
+
+val import_arch : t -> arch -> unit
+(** Overwrite the register file, pc and halt flag (stats, mode and
+    hooks untouched).
+    @raise Invalid_argument on a register-file width mismatch. *)
+
 val on_site : t -> (int -> unit) -> unit
 (** Register a callback fired with the site id whenever the PC passes an
     address in the program's site table (ground-truth profiling; does

@@ -1,23 +1,60 @@
-type t = Bytes.t
+(* Flat byte-addressable memory with dirty-page tracking.
+
+   The backing store is one Bytes.t; alongside it lives a bitmap with
+   one bit per [page_bytes] page, set on every write (and over the
+   range of [load_segment]). The bitmap is what makes {!snapshot}
+   cheap: a checkpoint copies only the pages that were ever written —
+   a few tens of kilobytes for typical workloads instead of the whole
+   8 MiB image — cheap enough to take one per sampled window. *)
+
+type t = {
+  bytes : Bytes.t;
+  dirty : Bytes.t;  (** bitmap, bit [p] set = page [p] was written *)
+}
 
 exception Fault of string
 
 let fault fmt = Printf.ksprintf (fun m -> raise (Fault m)) fmt
 
+let page_bytes = 4096
+let page_shift = 12
+let pages_of size = (size + page_bytes - 1) / page_bytes
+
 let create ~size =
   if size <= 0 then invalid_arg "Memory.create";
-  Bytes.make size '\000'
+  {
+    bytes = Bytes.make size '\000';
+    dirty = Bytes.make ((pages_of size + 7) / 8) '\000';
+  }
 
-let size = Bytes.length
+let size t = Bytes.length t.bytes
+
+(* An aligned word never straddles a 4 KiB page, so one mark per write
+   suffices. *)
+let[@inline] mark_page t addr =
+  let p = addr lsr page_shift in
+  let i = p lsr 3 in
+  Bytes.unsafe_set t.dirty i
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.dirty i) lor (1 lsl (p land 7))))
+
+let[@inline] page_dirty dirty p =
+  Char.code (Bytes.unsafe_get dirty (p lsr 3)) land (1 lsl (p land 7)) <> 0
 
 let load_segment t ~base seg =
   let len = Bytes.length seg in
-  if base < 0 || base + len > Bytes.length t then
+  if base < 0 || base + len > Bytes.length t.bytes then
     fault "data segment [0x%x, 0x%x) does not fit memory" base (base + len);
-  Bytes.blit seg 0 t base len
+  Bytes.blit seg 0 t.bytes base len;
+  (* Mark the whole range so snapshots are self-contained over a blank
+     image: a restore target need not have the segment pre-loaded. *)
+  if len > 0 then
+    for p = base lsr page_shift to (base + len - 1) lsr page_shift do
+      mark_page t (p lsl page_shift)
+    done
 
 let check t addr len align what =
-  if addr < 0 || addr + len > Bytes.length t then
+  if addr < 0 || addr + len > Bytes.length t.bytes then
     fault "%s out of bounds at 0x%x" what addr;
   if addr land (align - 1) <> 0 then fault "misaligned %s at 0x%x" what addr
 
@@ -43,19 +80,87 @@ let[@inline] set16_le b i v =
 
 let read_word t addr =
   check t addr 4 4 "word read";
-  Bor_util.Bits.wrap32 (get16_le t addr lor (get16_le t (addr + 2) lsl 16))
+  Bor_util.Bits.wrap32
+    (get16_le t.bytes addr lor (get16_le t.bytes (addr + 2) lsl 16))
 
 let write_word t addr v =
   check t addr 4 4 "word write";
-  set16_le t addr v;
-  set16_le t (addr + 2) (v lsr 16)
+  mark_page t addr;
+  set16_le t.bytes addr v;
+  set16_le t.bytes (addr + 2) (v lsr 16)
 
 let read_byte t addr =
   check t addr 1 1 "byte read";
-  Char.code (Bytes.get t addr)
+  Char.code (Bytes.get t.bytes addr)
 
 let write_byte t addr v =
   check t addr 1 1 "byte write";
-  Bytes.set t addr (Char.chr (v land 0xFF))
+  mark_page t addr;
+  Bytes.set t.bytes addr (Char.chr (v land 0xFF))
 
-let copy = Bytes.copy
+let copy t = { bytes = Bytes.copy t.bytes; dirty = Bytes.copy t.dirty }
+
+(* ---------------------------------------------------------- snapshots *)
+
+type snapshot = {
+  s_size : int;
+  s_dirty : Bytes.t;  (** the source's dirty bitmap at capture time *)
+  s_pages : (int * Bytes.t) array;  (** (page index, page contents) *)
+}
+
+let snapshot t =
+  let size = Bytes.length t.bytes in
+  let npages = pages_of size in
+  let count = ref 0 in
+  for p = 0 to npages - 1 do
+    if page_dirty t.dirty p then incr count
+  done;
+  let pages = Array.make !count (0, Bytes.empty) in
+  let i = ref 0 in
+  for p = 0 to npages - 1 do
+    if page_dirty t.dirty p then begin
+      let base = p * page_bytes in
+      let len = min page_bytes (size - base) in
+      pages.(!i) <- (p, Bytes.sub t.bytes base len);
+      incr i
+    end
+  done;
+  { s_size = size; s_dirty = Bytes.copy t.dirty; s_pages = pages }
+
+let restore t s =
+  if Bytes.length t.bytes <> s.s_size then
+    invalid_arg "Memory.restore: size mismatch";
+  (* Pages the target wrote but the snapshot never did must go back to
+     zero; pages dirty in neither were never written on either side and
+     are already zero. *)
+  let npages = pages_of s.s_size in
+  for p = 0 to npages - 1 do
+    if page_dirty t.dirty p && not (page_dirty s.s_dirty p) then begin
+      let base = p * page_bytes in
+      Bytes.fill t.bytes base (min page_bytes (s.s_size - base)) '\000'
+    end
+  done;
+  Array.iter
+    (fun (p, bytes) ->
+      Bytes.blit bytes 0 t.bytes (p * page_bytes) (Bytes.length bytes))
+    s.s_pages;
+  Bytes.blit s.s_dirty 0 t.dirty 0 (Bytes.length s.s_dirty)
+
+let snapshot_size s = s.s_size
+let snapshot_pages s = s.s_pages
+
+let snapshot_of_pages ~size pages =
+  let npages = pages_of size in
+  let dirty = Bytes.make ((npages + 7) / 8) '\000' in
+  Array.iter
+    (fun (p, bytes) ->
+      if p < 0 || p >= npages then
+        invalid_arg "Memory.snapshot_of_pages: page out of range";
+      let base = p * page_bytes in
+      if Bytes.length bytes <> min page_bytes (size - base) then
+        invalid_arg "Memory.snapshot_of_pages: short page";
+      let i = p lsr 3 in
+      Bytes.set dirty i
+        (Char.chr (Char.code (Bytes.get dirty i) lor (1 lsl (p land 7)))))
+    pages;
+  { s_size = size; s_dirty = dirty; s_pages = pages }

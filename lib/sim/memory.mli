@@ -2,7 +2,12 @@
 
     The text segment is not stored here — instructions are fetched from
     the program image — but the data segment is copied in at load time
-    and the stack grows down from the top. *)
+    and the stack grows down from the top.
+
+    Writes are tracked at 4 KiB page granularity, which makes
+    {!snapshot} / {!restore} proportional to the written working set
+    rather than the memory size — cheap enough to checkpoint once per
+    sampled-simulation window. *)
 
 type t
 
@@ -13,7 +18,8 @@ val create : size:int -> t
 val size : t -> int
 
 val load_segment : t -> base:int -> Bytes.t -> unit
-(** Copy a program's data segment to [base]. *)
+(** Copy a program's data segment to [base] (marks the range dirty, so
+    snapshots are self-contained over a blank image). *)
 
 val read_word : t -> int -> int
 (** Aligned 4-byte little-endian read, sign-extended to 32-bit. *)
@@ -25,3 +31,27 @@ val read_byte : t -> int -> int
 
 val write_byte : t -> int -> int -> unit
 val copy : t -> t
+
+(** {1 Snapshots} *)
+
+type snapshot
+(** The dirty pages of a memory at capture time. Restoring into any
+    same-size memory whose own writes are tracked (i.e. one built by
+    {!create}) reproduces the captured contents exactly: pages dirty in
+    the target but absent from the snapshot are zeroed. *)
+
+val page_bytes : int
+(** Page granularity of dirty tracking (4096). *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
+val snapshot_size : snapshot -> int
+(** Size of the memory the snapshot was taken from. *)
+
+val snapshot_pages : snapshot -> (int * Bytes.t) array
+(** [(page index, contents)] pairs, ascending; for serialization. *)
+
+val snapshot_of_pages : size:int -> (int * Bytes.t) array -> snapshot
+(** Rebuild a snapshot from serialized pages. Raises [Invalid_argument]
+    on out-of-range indices or short pages. *)

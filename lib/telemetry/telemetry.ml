@@ -56,13 +56,30 @@ type instrument =
 
 type scope = string
 
-let enabled = ref false
-let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+(* The registry is domain-local: each OCaml 5 domain sees its own
+   enabled flag and instrument table, so worker domains (parallel
+   sampled windows, bench experiment pools) record without
+   synchronisation and ship their registries back via
+   {!export}/{!absorb}. Single-domain programs observe exactly the old
+   global-registry behavior — the main domain's DLS slot IS the global
+   registry. Instruments themselves are still plain mutable records:
+   they must never be shared across domains (they are not, since
+   creation registers them domain-locally). *)
+type state = {
+  mutable enabled : bool;
+  registry : (string, instrument) Hashtbl.t;
+}
 
-let set_enabled b = enabled := b
-let is_enabled () = !enabled
+let state_key =
+  Domain.DLS.new_key (fun () ->
+      { enabled = false; registry = Hashtbl.create 64 })
 
-let clear () = Hashtbl.reset registry
+let[@inline] state () = Domain.DLS.get state_key
+
+let set_enabled b = (state ()).enabled <- b
+let is_enabled () = (state ()).enabled
+
+let clear () = Hashtbl.reset (state ()).registry
 
 let reset () =
   Hashtbl.iter
@@ -79,24 +96,25 @@ let reset () =
         s.s_total <- 0;
         s.s_min <- max_int;
         s.s_max <- 0)
-    registry
+    (state ()).registry
 
 let scope name : scope = name
 
 let full_name sc name = sc ^ "." ^ name
 
-let register name instr same =
-  match Hashtbl.find_opt registry name with
+let register st name instr same =
+  match Hashtbl.find_opt st.registry name with
   | Some existing -> (
     match same existing with
     | Some v -> v
     | None -> invalid_arg ("Telemetry: " ^ name ^ " re-registered as a different kind"))
   | None ->
-    Hashtbl.replace registry name instr;
+    Hashtbl.replace st.registry name instr;
     (match same instr with Some v -> v | None -> assert false)
 
 let counter sc ?(unit_ = "events") ?(doc = "") name =
-  if not !enabled then
+  let st = state () in
+  if not st.enabled then
     { c_name = full_name sc name; c_unit = unit_; c_doc = doc;
       c_value = 0; c_live = false }
   else
@@ -104,11 +122,12 @@ let counter sc ?(unit_ = "events") ?(doc = "") name =
     let fresh =
       { c_name = n; c_unit = unit_; c_doc = doc; c_value = 0; c_live = true }
     in
-    register n (Counter fresh) (function Counter c -> Some c | _ -> None)
+    register st n (Counter fresh) (function Counter c -> Some c | _ -> None)
 
 let histogram sc ?(unit_ = "events") ?(doc = "") name =
+  let st = state () in
   let n = full_name sc name in
-  if not !enabled then
+  if not st.enabled then
     { h_name = n; h_unit = unit_; h_doc = doc;
       h_counts = Array.make histogram_buckets 0;
       h_count = 0; h_sum = 0; h_max = 0; h_live = false }
@@ -118,11 +137,12 @@ let histogram sc ?(unit_ = "events") ?(doc = "") name =
         h_counts = Array.make histogram_buckets 0;
         h_count = 0; h_sum = 0; h_max = 0; h_live = true }
     in
-    register n (Histogram fresh) (function Histogram h -> Some h | _ -> None)
+    register st n (Histogram fresh) (function Histogram h -> Some h | _ -> None)
 
 let span sc ?(unit_ = "cycles") ?(doc = "") name =
+  let st = state () in
   let n = full_name sc name in
-  if not !enabled then
+  if not st.enabled then
     { s_name = n; s_unit = unit_; s_doc = doc;
       s_count = 0; s_total = 0; s_min = max_int; s_max = 0; s_live = false }
   else
@@ -130,7 +150,7 @@ let span sc ?(unit_ = "cycles") ?(doc = "") name =
       { s_name = n; s_unit = unit_; s_doc = doc;
         s_count = 0; s_total = 0; s_min = max_int; s_max = 0; s_live = true }
     in
-    register n (Span fresh) (function Span s -> Some s | _ -> None)
+    register st n (Span fresh) (function Span s -> Some s | _ -> None)
 
 let incr c = if c.c_live then c.c_value <- c.c_value + 1
 let add c n = if c.c_live then c.c_value <- c.c_value + n
@@ -169,7 +189,7 @@ let sorted_instruments () =
     | Histogram h -> h.h_name
     | Span s -> s.s_name
   in
-  Hashtbl.fold (fun _ i acc -> i :: acc) registry []
+  Hashtbl.fold (fun _ i acc -> i :: acc) (state ()).registry []
   |> List.sort (fun a b -> compare (name a) (name b))
 
 let counters () =
@@ -178,9 +198,86 @@ let counters () =
     (sorted_instruments ())
 
 let find_counter name =
-  match Hashtbl.find_opt registry name with
+  match Hashtbl.find_opt (state ()).registry name with
   | Some (Counter c) -> Some c.c_value
   | _ -> None
+
+(* -------------------------------------------------- cross-domain merge *)
+
+(* An export is a deep copy of a registry's instruments — safe to hand
+   to another domain, since it shares no mutable cell with the live
+   registry. [absorb] folds one into the calling domain's registry,
+   creating missing instruments; every merge operation (sum for
+   counters/histogram buckets/span totals, min/max for extrema) is
+   commutative and associative, so a parent absorbing per-window
+   exports in any order ends up with exactly the totals a
+   single-registry sequential run would have accumulated. *)
+
+type export = instrument list
+
+let export () =
+  Hashtbl.fold
+    (fun _ i acc ->
+      (match i with
+      | Counter c -> Counter { c with c_value = c.c_value }
+      | Histogram h -> Histogram { h with h_counts = Array.copy h.h_counts }
+      | Span s -> Span { s with s_count = s.s_count })
+      :: acc)
+    (state ()).registry []
+
+let absorb ex =
+  let st = state () in
+  if st.enabled then
+    List.iter
+      (fun inc ->
+        match inc with
+        | Counter c ->
+          let local =
+            register st c.c_name
+              (Counter { c with c_value = 0; c_live = true })
+              (function Counter x -> Some x | _ -> None)
+          in
+          local.c_value <- local.c_value + c.c_value
+        | Histogram h ->
+          let local =
+            register st h.h_name
+              (Histogram
+                 {
+                   h with
+                   h_counts = Array.make histogram_buckets 0;
+                   h_count = 0;
+                   h_sum = 0;
+                   h_max = 0;
+                   h_live = true;
+                 })
+              (function Histogram x -> Some x | _ -> None)
+          in
+          for i = 0 to histogram_buckets - 1 do
+            local.h_counts.(i) <- local.h_counts.(i) + h.h_counts.(i)
+          done;
+          local.h_count <- local.h_count + h.h_count;
+          local.h_sum <- local.h_sum + h.h_sum;
+          if h.h_max > local.h_max then local.h_max <- h.h_max
+        | Span s ->
+          let local =
+            register st s.s_name
+              (Span
+                 {
+                   s with
+                   s_count = 0;
+                   s_total = 0;
+                   s_min = max_int;
+                   s_max = 0;
+                   s_live = true;
+                 })
+              (function Span x -> Some x | _ -> None)
+          in
+          local.s_count <- local.s_count + s.s_count;
+          local.s_total <- local.s_total + s.s_total;
+          (* The max_int empty-span sentinel survives the min merge. *)
+          if s.s_min < local.s_min then local.s_min <- s.s_min;
+          if s.s_max > local.s_max then local.s_max <- s.s_max)
+      ex
 
 let histogram_json h =
   (* Trailing empty buckets are trimmed so the JSON stays small; an

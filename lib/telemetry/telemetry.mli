@@ -30,7 +30,13 @@ type scope
 val set_enabled : bool -> unit
 (** Turn the registry on or off. Off (the default) makes instrument
     creation return dead objects; it does not retroactively silence
-    instruments that were created while enabled. *)
+    instruments that were created while enabled.
+
+    The registry (and this flag) is {e domain-local}: a freshly spawned
+    domain starts disabled and empty, enables its own registry, and
+    ships its instruments back to the parent with {!export}/{!absorb}.
+    Single-domain programs see exactly the historical global-registry
+    behavior. Instruments must never be shared across domains. *)
 
 val is_enabled : unit -> bool
 
@@ -85,3 +91,22 @@ val to_json : unit -> Json.t
 
 val pp : Format.formatter -> unit -> unit
 (** Human-readable dump, grouped by scope ([bor time --stats]). *)
+
+(** {2 Cross-domain merge} *)
+
+type export
+(** A deep copy of one registry's instruments, sharing no mutable state
+    with it — safe to move between domains. *)
+
+val export : unit -> export
+(** Snapshot the calling domain's registry. *)
+
+val absorb : export -> unit
+(** Fold an export into the calling domain's registry, creating any
+    instruments it does not have yet: counter values, histogram buckets
+    and span counts/totals add; extrema take min/max. Every merge
+    operation commutes and associates, so absorbing per-window exports
+    in any order reproduces exactly the totals of a single-registry
+    sequential run. No-op while disabled.
+    @raise Invalid_argument if an incoming instrument clashes with a
+    registered one of a different kind under the same name. *)

@@ -53,6 +53,19 @@ let insert t ~pc ~target =
 let hits t = t.hits
 let lookups t = t.lookups
 
+type state = { s_tags : int array; s_targets : int array }
+
+let export_state t =
+  { s_tags = Array.copy t.tags; s_targets = Array.copy t.targets }
+
+let import_state t s =
+  if
+    Array.length s.s_tags <> Array.length t.tags
+    || Array.length s.s_targets <> Array.length t.targets
+  then invalid_arg "Btb.import_state: entry-count mismatch";
+  Array.blit s.s_tags 0 t.tags 0 (Array.length t.tags);
+  Array.blit s.s_targets 0 t.targets 0 (Array.length t.targets)
+
 let state_digest t =
   let b = Buffer.create (Array.length t.tags * 8) in
   Array.iteri

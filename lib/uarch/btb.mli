@@ -20,6 +20,16 @@ val insert : t -> pc:int -> target:int -> unit
 val hits : t -> int
 val lookups : t -> int
 
+type state = { s_tags : int array; s_targets : int array }
+(** The full target store (lookup/hit statistics excluded). *)
+
+val export_state : t -> state
+(** Deep copy of the target store. *)
+
+val import_state : t -> state -> unit
+(** Overwrite the target store.
+    @raise Invalid_argument on an entry-count mismatch. *)
+
 val state_digest : t -> string
 (** SHA-256 of every valid (slot, pc, target) entry, for the
     warming-equivalence tests. *)

@@ -150,6 +150,20 @@ let check ?cycle t =
   done;
   Check.count (t.sets * t.assoc)
 
+type state = { s_tags : int array; s_lru : int array; s_clock : int }
+
+let export_state t =
+  { s_tags = Array.copy t.tags; s_lru = Array.copy t.lru; s_clock = t.clock }
+
+let import_state t s =
+  if
+    Array.length s.s_tags <> Array.length t.tags
+    || Array.length s.s_lru <> Array.length t.lru
+  then invalid_arg ("Cache.import_state: geometry mismatch on " ^ t.name);
+  Array.blit s.s_tags 0 t.tags 0 (Array.length t.tags);
+  Array.blit s.s_lru 0 t.lru 0 (Array.length t.lru);
+  t.clock <- s.s_clock
+
 let reset_stats t =
   t.stats.accesses <- 0;
   t.stats.misses <- 0

@@ -32,6 +32,18 @@ val check : ?cycle:int -> t -> unit
     broken invariant. Unconditional — callers gate on
     [!Bor_check.Check.on]. *)
 
+type state = { s_tags : int array; s_lru : int array; s_clock : int }
+(** The replacement-relevant contents of the tag store: tags, LRU
+    stamps and the LRU clock. Stats and telemetry are excluded — a
+    restored cache counts from zero like a fresh one. *)
+
+val export_state : t -> state
+(** Deep copy of the tag store. *)
+
+val import_state : t -> state -> unit
+(** Overwrite the tag store.
+    @raise Invalid_argument on a geometry mismatch. *)
+
 val reset_stats : t -> unit
 val sets : t -> int
 val line_bytes : t -> int

@@ -61,7 +61,7 @@ type t = {
           200k by default). The first overflow of a run warns once on
           stderr and {!Pipeline.retired_brr_dropped} counts the rest. *)
   sample : Sampling_plan.t option;
-      (** when set, {!Pipeline.run_sampled} (without an explicit plan)
+      (** when set, [Bor_exec.Sampled] (without an explicit plan)
           uses this schedule. [None] by default; plain {!Pipeline.run}
           never reads it, so full-detail behavior is unaffected. *)
 }

@@ -29,6 +29,13 @@ val check : ?cycle:int -> t -> unit
     {!Bor_check.Check.Violation} on the first broken invariant.
     Unconditional — callers gate on [!Bor_check.Check.on]. *)
 
+type state = { s_l1i : Cache.state; s_l1d : Cache.state; s_l2 : Cache.state }
+(** Tag-store contents of all three levels (see {!Cache.state}). *)
+
+val export_state : t -> state
+val import_state : t -> state -> unit
+(** @raise Invalid_argument on any per-level geometry mismatch. *)
+
 val state_digests : t -> (string * string) list
 (** [("l1i", d); ("l1d", d); ("l2", d)] per-level {!Cache.state_digest}
     values, so a warming-equivalence regression names the level that

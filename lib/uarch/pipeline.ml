@@ -294,9 +294,10 @@ type t = {
   mutable halt_committed : bool;
   mutable roi_active : bool;
   mutable roi_frozen : bool;
-  (* Sampled simulation (see [run_sampled]). All of this is inert in a
-     plain full-detail run: [sampling] stays false, the shadows are
-     never read, and [committed] is a plain field increment. *)
+  (* Sampled simulation (see [run_window] and [Bor_exec.Sampled]). All
+     of this is inert in a plain full-detail run: [sampling] stays
+     false, the shadows are never read, and [committed] is a plain
+     field increment. *)
   mutable sampling : bool;  (* inside a detailed window of a sampled run *)
   mutable committed : int;  (* retired instructions, whole run *)
   mutable arch_ghist : int;  (* retired-order shadow global history *)
@@ -1961,72 +1962,19 @@ let run_warming ?max_steps t =
 (* Hand over from functional warming to the detailed pipeline: point
    fetch at the oracle's pc and snapshot the architectural history and
    return stack so [exit_detail] can restore them after the window. *)
-let enter_detail t =
-  t.sampling <- true;
-  t.arch_ghist <- Predictor.ghist t.pred;
-  Ras.save_into t.ras t.arch_ras;
+(* Point fetch at the oracle's pc — the handover after functional
+   warming or a checkpoint restore, where the front end must start
+   fetching from wherever the architectural state says execution is. *)
+let resume_fetch t =
   t.fetch_pc <- Bor_sim.Machine.pc t.oracle;
   t.fetch_stall_until <- t.cycle;
   t.halted_decoded <- false
 
-(* Abandon the detailed window: drop all in-flight state (correct-path
-   instructions already decoded have executed on the oracle and simply
-   go unmeasured), unwind speculative LFSR clocks exactly as a squash
-   would, and restore the predictor history and RAS to their
-   retired-order shadows. *)
-let exit_detail t =
-  (* Correct-path entries in flight have already stepped the oracle but
-     will never retire: account for them so the sanitizer's
-     oracle-balance invariant survives the window boundary. Maintained
-     unconditionally (this path is per-window, not per-cycle) so the
-     balance is right even if the sanitizer is enabled mid-run. *)
-  let pos = ref t.rob_head in
-  while !pos < t.rob_tail do
-    if t.r_flags.(!pos land t.rob_mask) land rf_wrong = 0 then
-      t.san_dropped <- t.san_dropped + 1;
-    incr pos
-  done;
-  if t.cfg.Config.deterministic_lfsr then
-    for i = t.spec_brr_len - 1 downto 0 do
-      Bor_core.Engine.undo t.engine
-        ~shifted_out:(Bytes.unsafe_get t.spec_brr_log i <> '\000')
-    done;
-  t.spec_brr_len <- 0;
-  t.fq_head <- t.fq_tail;
-  t.rob_head <- t.rob_tail;
-  t.issue_scan <- t.rob_tail;
-  Array.fill t.producer 0 (Array.length t.producer) (-1);
-  Hashtbl.reset t.last_store;
-  t.wrong_path_decode <- false;
-  t.resolver <- -1;
-  t.resolver_pos <- -1;
-  t.halted_decoded <- false;
-  t.fetch_pc <- -1;
-  Predictor.restore_ghist t.pred t.arch_ghist;
-  Ras.restore t.ras t.arch_ras;
-  t.pending_brr := None;
-  t.warm_iline <- -1;
-  t.warm_dline <- -1;
-  t.sampling <- false
-
-type sampled_stats = {
-  sp_windows : int;
-  sp_instructions : int;
-  sp_warmed : int;
-  sp_detailed : int;
-  sp_detailed_cycles : int;
-  sp_cpi : float;
-  sp_cpi_ci95 : float;
-  sp_cycles_estimate : float;
-}
-
-let pp_sampled ppf s =
-  Format.fprintf ppf
-    "@[<v>sampled: %d windows over %d instructions (%d warmed, %d \
-     detailed, %d detailed cycles)@,CPI %.4f ± %.4f (95%% CI); estimated \
-     cycles %.0f@]"
-    s.sp_windows s.sp_instructions s.sp_warmed s.sp_detailed
-    s.sp_detailed_cycles s.sp_cpi s.sp_cpi_ci95 s.sp_cycles_estimate
+let enter_detail t =
+  t.sampling <- true;
+  t.arch_ghist <- Predictor.ghist t.pred;
+  Ras.save_into t.ras t.arch_ras;
+  resume_fetch t
 
 (* Run detailed cycles until [t.committed] reaches [target], the
    pipeline halts, or the budget runs out — the [run] loop with a
@@ -2048,118 +1996,45 @@ let detail_until t ~target ~max_cycles =
   in
   go ()
 
-let run_sampled ?(max_cycles = 2_000_000_000) ?plan t =
-  let plan = match plan with Some _ -> plan | None -> t.cfg.Config.sample in
-  match plan with
-  | None ->
-    Error "no sampling plan (pass ?plan or set Config.sample / --sample)"
-  | Some plan ->
-    if
-      t.cycle <> 0 || t.next_seq <> 0 || t.committed <> 0
-      || (Bor_sim.Machine.stats t.oracle).Bor_sim.Machine.instructions <> 0
-    then Error "run_sampled requires a freshly created pipeline"
-    else begin
-      (* The sampling.* instruments exist only in sampled runs, so a
-         full-detail run's telemetry dump — part of the golden bench
-         digests — is byte-identical with or without this code. *)
-      let sc = Telemetry.scope "sampling" in
-      let c_windows =
-        Telemetry.counter sc ~doc:"measured detailed windows" "windows"
-      in
-      let c_warmed =
-        Telemetry.counter sc ~unit_:"instructions"
-          ~doc:"instructions fast-forwarded under functional warming"
-          "warmed"
-      in
-      let c_detailed =
-        Telemetry.counter sc ~unit_:"instructions"
-          ~doc:"instructions executed inside detailed windows" "detailed"
-      in
-      let c_cpi =
-        Telemetry.counter sc ~unit_:"mCPI"
-          ~doc:"extrapolated CPI, in thousandths" "cpi_milli"
-      in
-      let c_ci =
-        Telemetry.counter sc ~unit_:"mCPI"
-          ~doc:"95% confidence half-width of the CPI, in thousandths"
-          "ci95_milli"
-      in
-      let phase = Sampling_plan.phase_stream plan in
-      let slack = Sampling_plan.slack plan in
-      let warmed = ref 0 in
-      let samples = ref [] in
-      let windows = ref 0 in
-      let oracle_halted () = Bor_sim.Machine.halted t.oracle in
-      let warm_many n = warmed := !warmed + warm_run t n in
-      try
-        let err = ref None in
-        while !err = None && (not t.halt_committed) && not (oracle_halted ())
-        do
-          let offset = phase () in
-          warm_many offset;
-          if not (oracle_halted ()) then begin
-            enter_detail t;
-            (match
-               detail_until t
-                 ~target:(t.committed + plan.Sampling_plan.warmup)
-                 ~max_cycles
-             with
-            | Error e -> err := Some e
-            | Ok () ->
-              if not t.halt_committed then begin
-                let c1 = t.cycle and i1 = t.committed in
-                match
-                  detail_until t ~target:(i1 + plan.Sampling_plan.window)
-                    ~max_cycles
-                with
-                | Error e -> err := Some e
-                | Ok () ->
-                  let got = t.committed - i1 in
-                  if got > 0 then begin
-                    samples :=
-                      (float_of_int (t.cycle - c1) /. float_of_int got)
-                      :: !samples;
-                    incr windows
-                  end
-              end);
-            if !err = None && not t.halt_committed then begin
-              exit_detail t;
-              warm_many (slack - offset)
-            end
-          end
-        done;
-        match !err with
-        | Some e -> Error e
-        | None ->
-          if oracle_halted () then t.halt_committed <- true;
-          let total =
-            (Bor_sim.Machine.stats t.oracle).Bor_sim.Machine.instructions
-          in
-          let est =
-            Sampling_plan.estimate ~cpi_samples:(List.rev !samples)
-              ~instructions:total
-          in
-          Telemetry.add c_windows !windows;
-          Telemetry.add c_warmed !warmed;
-          Telemetry.add c_detailed (max 0 (total - !warmed));
-          Telemetry.add c_cpi
-            (int_of_float ((est.Sampling_plan.cpi_mean *. 1000.) +. 0.5));
-          Telemetry.add c_ci
-            (int_of_float ((est.Sampling_plan.cpi_ci95 *. 1000.) +. 0.5));
-          Ok
-            {
-              sp_windows = !windows;
-              sp_instructions = total;
-              sp_warmed = !warmed;
-              sp_detailed = max 0 (total - !warmed);
-              sp_detailed_cycles = t.cycle;
-              sp_cpi = est.Sampling_plan.cpi_mean;
-              sp_cpi_ci95 = est.Sampling_plan.cpi_ci95;
-              sp_cycles_estimate = est.Sampling_plan.cycles_estimate;
-            }
-      with
-      | Sim_error m -> Error m
-      | Check.Violation v -> Error (Check.to_string v)
-      | Bor_sim.Machine.Fault { pc; message } ->
-        Error (Printf.sprintf "oracle fault at 0x%x: %s" pc message)
-    end
+type window_result = {
+  w_sample : (int * int) option;
+  w_detailed : int;
+  w_cycles : int;
+}
+
+(* Execute one detailed measurement window on [t], which the caller has
+   just created fresh and seeded (architectural + warmed state) from a
+   window-boundary checkpoint. The pipeline is a throwaway: it is never
+   handed back to warming, which is what makes a window a pure function
+   of its checkpoint — the property the domain-parallel sampled runner
+   rests on. [max_cycles] is a per-window budget ([t] starts at cycle
+   0). *)
+let run_window ?(max_cycles = 2_000_000_000) ~warmup ~window t =
+  enter_detail t;
+  let finish sample =
+    Ok
+      {
+        w_sample = sample;
+        w_detailed =
+          (Bor_sim.Machine.stats t.oracle).Bor_sim.Machine.instructions;
+        w_cycles = t.cycle;
+      }
+  in
+  try
+    match detail_until t ~target:(t.committed + warmup) ~max_cycles with
+    | Error e -> Error e
+    | Ok () ->
+      if t.halt_committed then finish None
+      else begin
+        let c1 = t.cycle and i1 = t.committed in
+        match detail_until t ~target:(i1 + window) ~max_cycles with
+        | Error e -> Error e
+        | Ok () ->
+          let got = t.committed - i1 in
+          finish (if got > 0 then Some (t.cycle - c1, got) else None)
+      end
+  with
+  | Sim_error m -> Error m
+  | Check.Violation v -> Error (Check.to_string v)
+  | Bor_sim.Machine.Fault { pc; message } ->
+    Error (Printf.sprintf "oracle fault at 0x%x: %s" pc message)

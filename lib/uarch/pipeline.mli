@@ -124,28 +124,34 @@ val predictor : t -> Predictor.t
 val btb : t -> Btb.t
 val ras : t -> Ras.t
 val hierarchy : t -> Hierarchy.t
-(** Warmed-structure accessors, for state-digest comparisons. *)
+(** Warmed-structure accessors, for state-digest comparisons (and for
+    {!Bor_exec.Checkpoint}'s state export/import). *)
 
-type sampled_stats = {
-  sp_windows : int;  (** detailed windows that produced a CPI sample *)
-  sp_instructions : int;  (** total instructions executed (oracle) *)
-  sp_warmed : int;  (** instructions fast-forwarded under warming *)
-  sp_detailed : int;  (** instructions run through the detailed pipeline *)
-  sp_detailed_cycles : int;  (** cycles simulated in detail (all windows) *)
-  sp_cpi : float;  (** mean CPI over the measured windows *)
-  sp_cpi_ci95 : float;  (** 95% confidence half-width of [sp_cpi] *)
-  sp_cycles_estimate : float;  (** extrapolated whole-run cycles *)
+val resume_fetch : t -> unit
+(** Point fetch at the oracle's current pc — the handover after seeding
+    a fresh pipeline's architectural state from elsewhere (a checkpoint
+    restore), where the front end must start fetching from wherever the
+    restored state says execution is. *)
+
+type window_result = {
+  w_sample : (int * int) option;
+      (** [(cycles, instructions)] of the measured stretch; [None] when
+          the program halted before anything was measured *)
+  w_detailed : int;  (** oracle instructions this window executed *)
+  w_cycles : int;  (** detailed cycles this window simulated *)
 }
 
-val run_sampled :
-  ?max_cycles:int -> ?plan:Sampling_plan.t -> t -> (sampled_stats, string) result
-(** Run the whole program under the sampling schedule ([?plan], falling
-    back to [Config.sample]; an error when neither is set). Requires a
-    freshly created pipeline. Registers the [sampling.*] telemetry
-    counters (windows, warmed, detailed, cpi_milli, ci95_milli) — only
-    in sampled runs, never in full-detail ones. *)
-
-val pp_sampled : Format.formatter -> sampled_stats -> unit
+val run_window :
+  ?max_cycles:int -> warmup:int -> window:int -> t -> (window_result, string) result
+(** Execute one detailed measurement window — [warmup] unmeasured
+    commits, then [window] measured ones — on a throwaway pipeline the
+    caller has just created and seeded from a window-boundary
+    checkpoint. Because the pipeline is discarded afterwards (never
+    handed back to warming), a window is a pure function of its
+    checkpoint: the foundation of {!Bor_exec.Sampled}'s domain-parallel
+    execution. [max_cycles] (default 2e9) is a per-window cycle budget.
+    Never raises; simulator errors, sanitizer violations and oracle
+    faults come back as [Error]. *)
 
 (** {2 Tracing}
 

@@ -106,6 +106,32 @@ let restore_ghist t h = t.ghist <- h land t.ghist_mask
 let shift_into t h ~taken =
   ((h lsl 1) lor Bool.to_int taken) land t.ghist_mask
 
+type state = {
+  s_gshare : int array;
+  s_bimodal : int array;
+  s_chooser : int array;
+  s_ghist : int;
+}
+
+let export_state t =
+  {
+    s_gshare = Array.copy t.gshare;
+    s_bimodal = Array.copy t.bimodal;
+    s_chooser = Array.copy t.chooser;
+    s_ghist = t.ghist;
+  }
+
+let import_state t s =
+  if
+    Array.length s.s_gshare <> Array.length t.gshare
+    || Array.length s.s_bimodal <> Array.length t.bimodal
+    || Array.length s.s_chooser <> Array.length t.chooser
+  then invalid_arg "Predictor.import_state: table-size mismatch";
+  Array.blit s.s_gshare 0 t.gshare 0 (Array.length t.gshare);
+  Array.blit s.s_bimodal 0 t.bimodal 0 (Array.length t.bimodal);
+  Array.blit s.s_chooser 0 t.chooser 0 (Array.length t.chooser);
+  t.ghist <- s.s_ghist land t.ghist_mask
+
 let state_digest t =
   let b = Buffer.create (Array.length t.gshare * 2) in
   let dump a =

@@ -50,6 +50,22 @@ val shift_into : t -> int -> taken:bool -> int
     history — used to maintain the architectural (retired-order) shadow
     history during sampled simulation. *)
 
+type state = {
+  s_gshare : int array;
+  s_bimodal : int array;
+  s_chooser : int array;
+  s_ghist : int;
+}
+(** All three counter tables plus the global history — the complete
+    predictive state (the telemetry counters are excluded). *)
+
+val export_state : t -> state
+(** Deep copy of the tables and history. *)
+
+val import_state : t -> state -> unit
+(** Overwrite the tables and history.
+    @raise Invalid_argument on a table-size mismatch. *)
+
 val state_digest : t -> string
 (** SHA-256 of all three counter tables plus the global history, for
     the warming-equivalence tests. *)

@@ -120,6 +120,18 @@ let check_snapshot ?cycle s =
 
 let snapshot_geometry_matches t s = Array.length t.stack = Array.length s.s_stack
 
+type state = { s_stack : int array; s_top : int; s_depth : int }
+
+let export_state t =
+  { s_stack = Array.copy t.stack; s_top = t.top; s_depth = t.depth }
+
+let import_state t s =
+  if Array.length s.s_stack <> Array.length t.stack then
+    invalid_arg "Ras.import_state: entry-count mismatch";
+  Array.blit s.s_stack 0 t.stack 0 (Array.length t.stack);
+  t.top <- s.s_top;
+  t.depth <- s.s_depth
+
 let state_digest t =
   let b = Buffer.create (t.depth * 8) in
   Buffer.add_string b (string_of_int t.depth);

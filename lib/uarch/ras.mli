@@ -55,6 +55,18 @@ val snapshot_geometry_matches : t -> snapshot -> bool
 (** Whether the snapshot's buffer matches the stack's entry count —
     the precondition of {!restore} and {!save_into}. *)
 
+type state = { s_stack : int array; s_top : int; s_depth : int }
+(** Immutable copy of the full stack for checkpoints (unlike
+    {!snapshot}, which is a mutable pooled buffer private to the
+    pipeline's flush machinery). *)
+
+val export_state : t -> state
+(** Deep copy of the stack. *)
+
+val import_state : t -> state -> unit
+(** Overwrite the stack.
+    @raise Invalid_argument on an entry-count mismatch. *)
+
 val state_digest : t -> string
 (** SHA-256 of the live entries (oldest to newest) and the depth, for
     the warming-equivalence tests. *)

@@ -4,8 +4,9 @@
     committed instructions to fill the ROB and fetch queue (discarded),
     then [window] measured commits — and the rest of the period
     fast-forwards on the functional oracle with {e functional warming}
-    (caches, BTB, predictor, RAS and the LFSR keep evolving; see
-    {!Pipeline.run_sampled}).
+    (caches, BTB, predictor, RAS and the LFSR keep evolving; the
+    orchestration lives in [Bor_exec.Sampled], which runs each window
+    on a throwaway pipeline clone restored from a checkpoint).
 
     With a [seed], the window's offset inside each period is drawn
     uniformly from the slack ([period - warmup - window]) — the random

@@ -1,0 +1,302 @@
+(* Tests for Bor_exec: the unified execution backends, versioned
+   digest-stamped checkpoints (round trips, corruption and version
+   rejection — always [Error], never an exception) and domain-parallel
+   sampled simulation (statistics, telemetry and final architectural
+   state byte-identical at every domain count). *)
+
+module Backend = Bor_exec.Backend
+module Checkpoint = Bor_exec.Checkpoint
+module Sampled = Bor_exec.Sampled
+module Pipeline = Bor_uarch.Pipeline
+module Machine = Bor_sim.Machine
+module Telemetry = Bor_telemetry.Telemetry
+module Json = Bor_telemetry.Json
+
+let check = Alcotest.check
+
+let brr64 =
+  Bor_minic.Instrument.(
+    Sampled (Brr (Bor_core.Freq.of_period 64), No_duplication))
+
+let micro_prog =
+  lazy (Bor_workload.Micro.compile ~chars:60_000 brr64).Bor_minic.Driver.program
+
+let alu_prog =
+  lazy
+    (Bor_minic.Driver.compile_exn
+       "int main() { int i; int s = 0; for (i = 0; i < 50000; i = i + 1) s = \
+        s + i; return s; }")
+      .Bor_minic.Driver.program
+
+let plan_exn s =
+  match Bor_uarch.Sampling_plan.of_string s with
+  | Ok p -> p
+  | Error e -> Alcotest.fail e
+
+let lfsr_of p = Bor_lfsr.Lfsr.peek (Bor_core.Engine.lfsr (Pipeline.engine p))
+
+let uarch_digests p =
+  Bor_uarch.Hierarchy.state_digests (Pipeline.hierarchy p)
+  @ [
+      ("predictor", Bor_uarch.Predictor.state_digest (Pipeline.predictor p));
+      ("btb", Bor_uarch.Btb.state_digest (Pipeline.btb p));
+      ("ras", Bor_uarch.Ras.state_digest (Pipeline.ras p));
+      ("lfsr", string_of_int (lfsr_of p));
+    ]
+
+(* Warm a fresh pipeline partway into the program and capture it. *)
+let warmed_checkpoint ?(steps = 20_000) prog =
+  let p = Pipeline.create prog in
+  ignore (Pipeline.run_warming ~max_steps:steps p);
+  let digest = Checkpoint.program_digest prog in
+  (p, digest, Checkpoint.capture ~program_digest:digest p)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* ----------------------------------------------------- checkpoint *)
+
+let test_restore_matches_capture () =
+  let prog = Lazy.force micro_prog in
+  let src, digest, ck = warmed_checkpoint prog in
+  let dst = Pipeline.create prog in
+  (match Checkpoint.restore ck ~program_digest:digest dst with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check
+    Alcotest.(list (pair string string))
+    "microarchitectural state digests" (uarch_digests src) (uarch_digests dst);
+  let ms = Pipeline.oracle src and md = Pipeline.oracle dst in
+  check Alcotest.int "pc" (Machine.pc ms) (Machine.pc md);
+  for i = 0 to Bor_isa.Reg.count - 1 do
+    let r = Bor_isa.Reg.of_int i in
+    check Alcotest.int (Bor_isa.Reg.name r) (Machine.reg ms r)
+      (Machine.reg md r)
+  done;
+  let db = prog.Bor_isa.Program.data_base in
+  let mem_s = Machine.memory ms and mem_d = Machine.memory md in
+  for i = 0 to Bytes.length prog.Bor_isa.Program.data - 1 do
+    if
+      Bor_sim.Memory.read_byte mem_s (db + i)
+      <> Bor_sim.Memory.read_byte mem_d (db + i)
+    then Alcotest.failf "data byte at offset %d differs after restore" i
+  done
+
+let test_resumed_run_deterministic () =
+  let prog = Lazy.force micro_prog in
+  let _, _, ck = warmed_checkpoint prog in
+  let run () =
+    match Backend.resume ck prog with
+    | Error e -> Alcotest.fail e
+    | Ok b -> (
+      match b.Backend.run () with
+      | Ok (Backend.Detailed st) -> (st, b.Backend.state_digests ())
+      | Ok _ -> Alcotest.fail "resume reported a non-detailed result"
+      | Error e -> Alcotest.fail e)
+  in
+  let st1, d1 = run () in
+  let st2, d2 = run () in
+  check Alcotest.bool "two resumes retire identical stats" true (st1 = st2);
+  check
+    Alcotest.(list (pair string string))
+    "two resumes end in identical warmed state" d1 d2;
+  check Alcotest.bool "the resumed run made progress" true
+    (st1.Pipeline.instructions > 0)
+
+let test_serialized_roundtrip () =
+  let prog = Lazy.force micro_prog in
+  let _, _, ck = warmed_checkpoint prog in
+  let s = Checkpoint.to_string ck in
+  (match Checkpoint.of_string s with
+  | Error e -> Alcotest.fail e
+  | Ok ck' ->
+    check Alcotest.string "parse . print = identity" s
+      (Checkpoint.to_string ck'));
+  let tmp = Filename.temp_file "bor_test" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () ->
+      (match Checkpoint.save_file tmp ck with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      match Checkpoint.load_file tmp with
+      | Error e -> Alcotest.fail e
+      | Ok ck' -> (
+        check Alcotest.string "file round trip" s (Checkpoint.to_string ck');
+        let dst = Pipeline.create prog in
+        match
+          Checkpoint.restore ck'
+            ~program_digest:(Checkpoint.program_digest prog)
+            dst
+        with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e))
+
+let test_rejects_bad_input () =
+  let prog = Lazy.force micro_prog in
+  let _, _, ck = warmed_checkpoint prog in
+  let s = Checkpoint.to_string ck in
+  let expect_error what x =
+    match Checkpoint.of_string x with
+    | Ok _ -> Alcotest.failf "%s: accepted" what
+    | Error e -> e
+  in
+  let e =
+    expect_error "bad magic"
+      ("XXXCKPT\n" ^ String.sub s 8 (String.length s - 8))
+  in
+  check Alcotest.bool "magic named in diagnostic" true (contains e "magic");
+  let flipped = Bytes.of_string s in
+  let mid = String.length s / 2 in
+  Bytes.set flipped mid (Char.chr (Char.code (Bytes.get flipped mid) lxor 1));
+  let e = expect_error "flipped payload byte" (Bytes.to_string flipped) in
+  check Alcotest.bool "stamp named in diagnostic" true (contains e "SHA-256");
+  ignore (expect_error "truncated" (String.sub s 0 (String.length s - 100)));
+  ignore (expect_error "empty" "");
+  (* A future format version with a correctly recomputed stamp must be
+     refused by the version check, not misparsed. *)
+  let payload = Bytes.of_string (String.sub s 0 (String.length s - 64)) in
+  Bytes.set_int64_le payload 8 (Int64.of_int (Checkpoint.version + 1));
+  let forged = Bytes.to_string payload in
+  let e =
+    expect_error "future version" (forged ^ Bor_telemetry.Sha256.digest forged)
+  in
+  check Alcotest.bool "version named in diagnostic" true (contains e "version")
+
+let test_rejects_wrong_program () =
+  let _, _, ck = warmed_checkpoint (Lazy.force micro_prog) in
+  match Backend.resume ck (Lazy.force alu_prog) with
+  | Ok _ -> Alcotest.fail "checkpoint accepted against a different program"
+  | Error e ->
+    check Alcotest.bool "program mismatch named in diagnostic" true
+      (contains e "different program")
+
+(* ------------------------------------------------- parallel sampled *)
+
+let snapshot_arch prog p =
+  let m = Pipeline.oracle p in
+  let db = prog.Bor_isa.Program.data_base in
+  let mem = Machine.memory m in
+  ( Machine.pc m,
+    Array.init Bor_isa.Reg.count (fun i ->
+        Machine.reg m (Bor_isa.Reg.of_int i)),
+    Array.init
+      (Bytes.length prog.Bor_isa.Program.data)
+      (fun i -> Bor_sim.Memory.read_byte mem (db + i)) )
+
+(* Registry snapshot as deterministic JSON text, with the
+   sampling.parallel.* family (present only in parallel runs, by
+   design) dropped so the rest can be compared across domain counts. *)
+let telemetry_without_parallel () =
+  match Telemetry.to_json () with
+  | Json.Obj fields ->
+    Json.to_string
+      (Json.Obj
+         (List.filter
+            (fun (n, _) ->
+              not (String.starts_with ~prefix:"sampling.parallel." n))
+            fields))
+  | j -> Json.to_string j
+
+let test_parallel_matches_sequential () =
+  let prog = Lazy.force micro_prog in
+  let plan = plan_exn "500:300:5000:3" in
+  let run domains =
+    Telemetry.clear ();
+    Telemetry.set_enabled true;
+    match Sampled.run ~plan ~domains prog with
+    | Error e -> Alcotest.fail e
+    | Ok (s, t) -> (s, telemetry_without_parallel (), snapshot_arch prog t)
+  in
+  let s1, tel1, a1 = run 1 in
+  check Alcotest.bool "sequential run registers no parallel counters" true
+    (Telemetry.find_counter "sampling.parallel.domains" = None);
+  let s4, tel4, a4 = run 4 in
+  check Alcotest.bool "4-domain stats = sequential stats" true (s1 = s4);
+  check Alcotest.string "4-domain telemetry = sequential telemetry" tel1 tel4;
+  check Alcotest.bool "4-domain final architectural state = sequential" true
+    (a1 = a4);
+  check
+    Alcotest.(option int)
+    "parallel run reports its domain count" (Some 4)
+    (Telemetry.find_counter "sampling.parallel.domains");
+  (match Telemetry.find_counter "sampling.parallel.merge_checks" with
+  | Some n when n > 0 -> ()
+  | other ->
+    Alcotest.failf "merge_checks = %s"
+      (match other with Some n -> string_of_int n | None -> "absent"));
+  let s3, tel3, a3 = run 3 in
+  check Alcotest.bool "3-domain stats = sequential stats" true (s1 = s3);
+  check Alcotest.string "3-domain telemetry = sequential telemetry" tel1 tel3;
+  check Alcotest.bool "3-domain final architectural state = sequential" true
+    (a1 = a3);
+  Telemetry.clear ();
+  Telemetry.set_enabled false
+
+let test_sampled_window_checkpoints_fresh_pipeline_only () =
+  let prog = Lazy.force alu_prog in
+  let t = Pipeline.create prog in
+  (match Pipeline.run t with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  match Sampled.run_on ~plan:(plan_exn "20:30:120") t with
+  | Ok _ -> Alcotest.fail "sampled run accepted a used pipeline"
+  | Error e ->
+    check Alcotest.bool "freshness named in diagnostic" true
+      (contains e "freshly created")
+
+(* --------------------------------------------------------- backends *)
+
+let test_backend_reports () =
+  let prog = Lazy.force alu_prog in
+  (match (Backend.functional prog).Backend.run () with
+  | Ok (Backend.Functional { instructions }) ->
+    check Alcotest.bool "functional ran" true (instructions > 0)
+  | Ok _ -> Alcotest.fail "functional: wrong report kind"
+  | Error e -> Alcotest.fail e);
+  (match (Backend.detailed prog).Backend.run () with
+  | Ok (Backend.Detailed st) ->
+    check Alcotest.bool "detailed ran" true (st.Pipeline.instructions > 0)
+  | Ok _ -> Alcotest.fail "detailed: wrong report kind"
+  | Error e -> Alcotest.fail e);
+  (match (Backend.warming prog).Backend.run () with
+  | Ok (Backend.Warmed { instructions }) ->
+    check Alcotest.bool "warming ran" true (instructions > 0)
+  | Ok _ -> Alcotest.fail "warming: wrong report kind"
+  | Error e -> Alcotest.fail e);
+  match
+    (Backend.sampled ~plan:(plan_exn "200:100:2000:7") prog).Backend.run ()
+  with
+  | Ok (Backend.Sampled s) ->
+    check Alcotest.bool "sampled measured windows" true
+      (s.Sampled.sp_windows > 0)
+  | Ok _ -> Alcotest.fail "sampled: wrong report kind"
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "bor_exec"
+    [
+      ( "checkpoint",
+        [
+          Alcotest.test_case "restore matches capture" `Quick
+            test_restore_matches_capture;
+          Alcotest.test_case "resumed run deterministic" `Quick
+            test_resumed_run_deterministic;
+          Alcotest.test_case "serialized round trip" `Quick
+            test_serialized_roundtrip;
+          Alcotest.test_case "rejects bad input" `Quick test_rejects_bad_input;
+          Alcotest.test_case "rejects wrong program" `Quick
+            test_rejects_wrong_program;
+        ] );
+      ( "sampled",
+        [
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "requires fresh pipeline" `Quick
+            test_sampled_window_checkpoints_fresh_pipeline_only;
+        ] );
+      ( "backend",
+        [ Alcotest.test_case "report kinds" `Quick test_backend_reports ] );
+    ]

@@ -1089,22 +1089,23 @@ let test_sampled_acceptance () =
       let full_cpi = full_cycles /. Float.of_int st.instructions in
       let s = Bor_uarch.Pipeline.create prog in
       let sp =
-        match Bor_uarch.Pipeline.run_sampled ~plan s with
+        match Bor_exec.Sampled.run_on ~plan s with
         | Ok sp -> sp
         | Error e -> Alcotest.failf "%s: %s" name e
       in
       check Alcotest.bool
         (Printf.sprintf "%s: several windows" name)
         true
-        (sp.Bor_uarch.Pipeline.sp_windows >= 2);
+        (sp.Bor_exec.Sampled.sp_windows >= 2);
       (* The default config keeps the paper's lossy LFSR clocking, so
          the branch-on-random outcome stream — and with it the dynamic
          instruction count — differs microscopically between the
          full-detail and sampled runs (the engine is clocked on
          different schedules). Demand agreement to 0.1%, not
          equality. *)
+      let open Bor_exec.Sampled in
       let drift =
-        Float.abs (Float.of_int (sp.Bor_uarch.Pipeline.sp_instructions - st.instructions))
+        Float.abs (Float.of_int (sp.sp_instructions - st.instructions))
         /. Float.of_int st.instructions
       in
       if drift > 0.001 then
