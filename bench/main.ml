@@ -946,6 +946,117 @@ let perf () =
   in
   table ~headers:throughput_headers rows
 
+(* -------------------------------------------------------------- warming *)
+
+(* Functional-warming throughput: the block translation cache
+   (Config.warm_block_cache, docs/WARMING.md) against the single-step
+   reference path, per experiment kernel. Host timing, so
+   digest-excluded — but the digest-equality column is simulated
+   behavior: both paths must leave bit-identical warmed structures.
+   BOR_WARM_FLOOR_MIPS=<float> turns the alu-loop row into a smoke
+   gate: the run fails if block-mode throughput drops below the floor
+   (the committed floor lives in .github/workflows/ci.yml). *)
+
+let warming_digests t =
+  Bor_uarch.Hierarchy.state_digests (Bor_uarch.Pipeline.hierarchy t)
+  @ [
+      ("predictor", Bor_uarch.Predictor.state_digest (Bor_uarch.Pipeline.predictor t));
+      ("btb", Bor_uarch.Btb.state_digest (Bor_uarch.Pipeline.btb t));
+      ("ras", Bor_uarch.Ras.state_digest (Bor_uarch.Pipeline.ras t));
+      ( "lfsr",
+        string_of_int
+          (Bor_lfsr.Lfsr.peek (Bor_core.Engine.lfsr (Bor_uarch.Pipeline.engine t))) );
+    ]
+
+let warming_row name prog =
+  let best_of_3 block =
+    let best = ref None in
+    for _ = 1 to 3 do
+      let config =
+        { Bor_uarch.Config.default with warm_block_cache = block }
+      in
+      let t = Bor_uarch.Pipeline.create ~config prog in
+      Gc.full_major ();
+      let t0 = Unix.gettimeofday () in
+      let n = Bor_uarch.Pipeline.run_warming t in
+      let dt = Unix.gettimeofday () -. t0 in
+      match !best with
+      | Some (_, _, d) when d <= dt -> ()
+      | _ -> best := Some (t, n, dt)
+    done;
+    match !best with Some r -> r | None -> assert false
+  in
+  let t_ss, n_ss, d_ss = best_of_3 false in
+  let t_bc, n_bc, d_bc = best_of_3 true in
+  if n_ss <> n_bc then
+    failwith (name ^ ": warmed instruction counts diverge between paths");
+  let equal = warming_digests t_ss = warming_digests t_bc in
+  let bs =
+    match Bor_uarch.Pipeline.block_cache t_bc with
+    | Some bc -> Bor_uarch.Block.stats bc
+    | None -> failwith (name ^ ": block cache never engaged")
+  in
+  let mips = Float.of_int n_bc /. d_bc /. 1e6 in
+  ( mips,
+    [
+      name;
+      string_of_int n_bc;
+      Printf.sprintf "%.1f" (Float.of_int n_ss /. d_ss /. 1e6);
+      Printf.sprintf "%.1f" mips;
+      Printf.sprintf "%.1fx" (d_ss /. d_bc);
+      (if equal then "yes" else "NO");
+      string_of_int bs.Bor_uarch.Block.compiled;
+      string_of_int bs.Bor_uarch.Block.hits;
+      string_of_int bs.Bor_uarch.Block.fallback_steps;
+    ] )
+
+let warming () =
+  section "Functional-warming throughput (block cache vs single-step)"
+    "Warmed instructions per second of wall-clock time with the block\n\
+     translation cache on and off (best of 3 runs each), per\n\
+     experiment kernel, plus the bit-identical-state cross-check the\n\
+     warming-equivalence tests enforce. Host timing, so\n\
+     digest-excluded.";
+  let brr64 =
+    Bor_minic.Instrument.(
+      Sampled (Brr (Bor_core.Freq.of_period 64), No_duplication))
+  in
+  let mchars = max !chars 200_000 in
+  let rows =
+    warming_row "alu-loop"
+      (Bor_minic.Driver.compile_exn alu_loop_src).Bor_minic.Driver.program
+    :: warming_row
+         (Printf.sprintf "micro-%d" mchars)
+         (Bor_workload.Micro.compile ~chars:mchars brr64)
+           .Bor_minic.Driver.program
+    :: List.map
+         (fun n ->
+           warming_row n
+             (Bor_workload.Apps.compile n brr64).Bor_minic.Driver.program)
+         Bor_workload.Apps.all_names
+  in
+  table
+    ~headers:
+      [
+        "kernel"; "instructions"; "single-step M/s"; "block M/s"; "speedup";
+        "identical"; "blocks"; "hits"; "fallback";
+      ]
+    (List.map snd rows);
+  match Sys.getenv_opt "BOR_WARM_FLOOR_MIPS" with
+  | None -> ()
+  | Some floor_s ->
+    let floor = float_of_string floor_s in
+    let alu_mips = fst (List.hd rows) in
+    if alu_mips < floor then
+      failwith
+        (Printf.sprintf
+           "warming throughput smoke: alu-loop at %.1f M instr/s is below \
+            the committed floor of %.1f"
+           alu_mips floor)
+    else
+      printf "\n(smoke: alu-loop %.1f M instr/s >= floor %.1f)\n" alu_mips
+        floor
+
 (* -------------------------------------------------------------- sampled *)
 
 (* Default plan: W=2000 warmup, D=1000 detailed, one window per 200k
@@ -1237,11 +1348,12 @@ let experiments =
     ("convergent", convergent);
     ("bechamel", bechamel);
     ("perf", perf);
+    ("warming", warming);
     ("sampled", sampled);
   ]
 
 (* Host-timing experiments: never part of DIGESTS.txt. *)
-let digest_excluded = [ "bechamel"; "perf"; "sampled" ]
+let digest_excluded = [ "bechamel"; "perf"; "warming"; "sampled" ]
 
 let () =
   let selected = ref [] in

@@ -34,7 +34,7 @@
    format (DESIGN.md).
 
    bor fuzz mutates random/seeded BRISC programs (and minic sources,
-   for .c seed files) through the five-way differential property with
+   for .c seed files) through the six-way differential property with
    the sanitizer on, guided by telemetry coverage; failures are
    auto-shrunk and written to the corpus directory. Options: --iters N,
    --seed N, --corpus DIR (default test/corpus), --max-cycles N. *)

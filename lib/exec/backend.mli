@@ -48,6 +48,10 @@ val detailed :
 
 val warming :
   ?config:Bor_uarch.Config.t -> ?max_steps:int -> Bor_isa.Program.t -> t
+(** Pure functional warming to completion. [run] goes through
+    {!Bor_uarch.Pipeline.run_warming} — and so, by default, the block
+    translation cache ([docs/WARMING.md]); [step] single-steps the
+    reference path. Either way the warmed state is bit-identical. *)
 
 val sampled :
   ?config:Bor_uarch.Config.t ->

@@ -10,6 +10,13 @@
     domain-parallel window execution on, and what makes
     [bor checkpoint save/resume] reproducible.
 
+    The warmer's block translation cache is {e not} part of a
+    checkpoint: it holds no state beyond a memoization of the decoded
+    text, so a restored pipeline recompiles blocks on demand and
+    re-derives the identical warming trajectory (see
+    [docs/WARMING.md]). The format predates the cache and is
+    unchanged by it.
+
     The file format is stamped three ways: a magic string, a format
     version, and a trailing SHA-256 of the whole payload. {!of_string}
     / {!load_file} reject mismatches of any of the three with a

@@ -116,9 +116,21 @@ let run ?(max_steps = 2_000_000) ?(max_cycles = 20_000_000) ?(plan_seed = 0)
     let detail = Backend.detailed ~config ~max_cycles prog in
     ignore (leg "pipeline" detail);
     against "pipeline" (snapshot prog (detail.Backend.machine ()));
+    (* Two warming legs: the default one exercises the block
+       translation cache (on by default), the second forces the
+       single-step reference path — so a compilation bug in either
+       shows up as a divergence from the functional machine. *)
     let warming = Backend.warming ~config prog in
     ignore (leg "warming" warming);
     against "warming" (snapshot prog (warming.Backend.machine ()));
+    let warming_ss =
+      Backend.warming
+        ~config:{ config with Bor_uarch.Config.warm_block_cache = false }
+        prog
+    in
+    ignore (leg "warming-singlestep" warming_ss);
+    against "warming-singlestep"
+      (snapshot prog (warming_ss.Backend.machine ()));
     let plan =
       match
         Bor_uarch.Sampling_plan.make ~seed:plan_seed ~warmup:20 ~window:30

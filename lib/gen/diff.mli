@@ -1,7 +1,9 @@
-(** The five-way differential property as a library: run one program
+(** The six-way differential property as a library: run one program
     under the functional simulator, the full-detail pipeline, functional
-    warming, sequential sampled simulation and domain-parallel sampled
-    simulation (worker count varied by the seed), and demand identical
+    warming (twice — through the block translation cache and with the
+    cache forced off onto the single-step path), sequential sampled
+    simulation and domain-parallel sampled simulation (worker count
+    varied by the seed), and demand identical
     final architectural state (all registers, the whole data segment,
     and the retirement statistics) — plus, for the parallel leg,
     sampled statistics identical to the sequential leg's, CPI and CI
@@ -18,8 +20,8 @@
 type failure = {
   stage : string;
       (** which engine/phase failed: ["pipeline"], ["warming"],
-          ["sampled"], ["parallel-sampled"], ["plan"], or a comparison
-          stage *)
+          ["warming-singlestep"], ["sampled"], ["parallel-sampled"],
+          ["plan"], or a comparison stage *)
   reason : string;
 }
 

@@ -1,4 +1,4 @@
-(** Coverage-guided mutation fuzzer over the five-way differential
+(** Coverage-guided mutation fuzzer over the six-way differential
     property, with the pipeline sanitizer enabled.
 
     The feedback signal is the telemetry registry: after each case the

@@ -33,13 +33,16 @@ type t = {
   site_index : (int, int) Hashtbl.t; (* text address -> site id *)
   mutable site_hooks : (int -> unit) list;
   mutable marker_hooks : (int -> unit) list;
+  mutable code_gen : int;
+      (* bumped on every code patch, so derived code (the warmer's block
+         translation cache) can notice and invalidate itself *)
 }
 
 let patch_brr_freq t ~pc freq =
   let idx = (pc - t.program.text_base) asr 2 in
   if pc land 3 <> 0 || idx < 0 || idx >= Array.length t.code then
     invalid_arg "Machine.patch_brr_freq: pc outside text";
-  match t.code.(idx) with
+  (match t.code.(idx) with
   | Decoded (Bor_isa.Instr.Brr (_, off)) ->
     t.code.(idx) <- Decoded (Bor_isa.Instr.Brr (freq, off))
   | Illegal_word w -> (
@@ -49,7 +52,10 @@ let patch_brr_freq t ~pc freq =
       | Ok w' -> t.code.(idx) <- Illegal_word w'
       | Error e -> invalid_arg ("Machine.patch_brr_freq: " ^ e))
     | None -> invalid_arg "Machine.patch_brr_freq: not a branch-on-random")
-  | Decoded _ -> invalid_arg "Machine.patch_brr_freq: not a branch-on-random"
+  | Decoded _ -> invalid_arg "Machine.patch_brr_freq: not a branch-on-random");
+  t.code_gen <- t.code_gen + 1
+
+let code_generation t = t.code_gen
 
 exception Fault of { pc : int; message : string }
 
@@ -103,10 +109,16 @@ let create ?(mem_size = 8 * 1024 * 1024)
     site_index;
     site_hooks = [];
     marker_hooks = [];
+    code_gen = 0;
   }
 
 let program t = t.program
 let pc t = t.pc
+let set_pc t pc = t.pc <- pc
+let unsafe_regs t = t.regs
+
+let has_site_hooks t =
+  t.site_hooks <> [] && Hashtbl.length t.site_index > 0
 let reg t r = t.regs.(Bor_isa.Reg.to_int r)
 
 let set_reg t r v =

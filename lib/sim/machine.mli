@@ -55,6 +55,31 @@ val memory : t -> Memory.t
 val stats : t -> stats
 val halted : t -> bool
 
+val set_pc : t -> int -> unit
+(** Overwrite the pc without executing anything. For the block-compiled
+    warmer ({!Bor_uarch.Block}), which elides per-instruction pc
+    maintenance inside a specialized block and resynchronizes the
+    machine before any executor that reads [pc t]. *)
+
+val unsafe_regs : t -> int array
+(** The live register file itself (index = {!Bor_isa.Reg.to_int}), not
+    a copy — the identity is stable for the machine's lifetime, even
+    across {!import_arch}. For the block-compiled warmer's specialized
+    closures only: writers must preserve the {!set_reg} invariants
+    ([x0] stays zero, values wrapped to signed 32 bits). *)
+
+val has_site_hooks : t -> bool
+(** Whether a site hook could fire on this machine (at least one hook
+    registered and the program has instrumented sites). The
+    block-compiled warmer falls back to single-stepping in that case,
+    because fused blocks skip the per-instruction site lookup. *)
+
+val code_generation : t -> int
+(** Generation counter for the decoded text image: bumped by every
+    {!patch_brr_freq}. Derived code caches (the warmer's block
+    translation cache) compare it to discover self-modification and
+    invalidate themselves. *)
+
 type arch = { a_pc : int; a_regs : int array; a_halted : bool }
 (** The architectural register state of a machine — everything outside
     {!Memory.t} that a checkpoint must carry. Statistics are

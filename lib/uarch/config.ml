@@ -28,6 +28,7 @@ type t = {
   brr_resolve_in_backend : bool;
   brr_in_predictor : bool;
   retired_brr_cap : int;
+  warm_block_cache : bool;
   sample : Sampling_plan.t option;
 }
 
@@ -62,5 +63,6 @@ let default =
     brr_resolve_in_backend = false;
     brr_in_predictor = false;
     retired_brr_cap = 200_000;
+    warm_block_cache = true;
     sample = None;
   }

@@ -60,6 +60,13 @@ type t = {
           {!Pipeline.retired_brr_outcomes} keeps (the oldest ones;
           200k by default). The first overflow of a run warns once on
           stderr and {!Pipeline.retired_brr_dropped} counts the rest. *)
+  warm_block_cache : bool;
+      (** use the block translation cache ({!Block}) in
+          {!Pipeline.run_warming} ([true] by default). The cache is a
+          pure throughput device — warmed state is bit-identical either
+          way (the warming-equivalence tests enforce it); [false]
+          forces the single-step reference path, for those tests and
+          for debugging. Full-detail runs never consult it. *)
   sample : Sampling_plan.t option;
       (** when set, [Bor_exec.Sampled] (without an explicit plan)
           uses this schedule. [None] by default; plain {!Pipeline.run}

@@ -302,9 +302,15 @@ type t = {
   mutable committed : int;  (* retired instructions, whole run *)
   mutable arch_ghist : int;  (* retired-order shadow global history *)
   arch_ras : Ras.snapshot;  (* retired-order shadow return stack *)
-  mutable warm_iline : int;  (* last icache line base touched by warming *)
-  mutable warm_dline : int;  (* last dcache line base touched by warming *)
+  warm_mru : Block.mru;
+      (* last icache/dcache line bases touched by warming, shared with
+         the block translation cache so the dedup carries across the
+         block/single-step boundary *)
   warm_line_mask : int;  (* lnot (line_bytes - 1); 0 = not a power of two *)
+  mutable blockcache : Block.t option;
+      (* the warmer's block translation cache, built lazily on the
+         first block-mode [run_warming] (so plain full-detail runs
+         never create it, and its telemetry family never registers) *)
   stats : stats;
   tel : tel;
   (* Sanitizer bookkeeping (see [sanitize_cycle]). [san_dropped] is
@@ -423,8 +429,8 @@ let create ?(config = Config.default) (program : Bor_isa.Program.t) =
     committed = 0;
     arch_ghist = 0;
     arch_ras = Ras.blank_snapshot ras;
-    warm_iline = -1;
-    warm_dline = -1;
+    warm_mru = Block.fresh_mru ();
+    blockcache = None;
     warm_line_mask =
       (if Bor_util.Bits.is_power_of_two config.Config.line_bytes then
          lnot (config.Config.line_bytes - 1)
@@ -1780,7 +1786,8 @@ let warm_run t budget =
     let brr_in_pred = t.cfg.Config.brr_in_predictor in
     let n = ref 0 in
     let pc = ref (Bor_sim.Machine.pc m) in
-    let iline = ref t.warm_iline in
+    let mru = t.warm_mru in
+    let iline = ref mru.Block.iline in
     let touch p =
       let il = if lmask <> 0 then p land lmask else p / line in
       if il <> !iline then begin
@@ -1790,8 +1797,8 @@ let warm_run t budget =
     in
     let touch_data addr =
       let dl = if lmask <> 0 then addr land lmask else addr / line in
-      if dl <> t.warm_dline then begin
-        t.warm_dline <- dl;
+      if dl <> mru.Block.dline then begin
+        mru.Block.dline <- dl;
         ignore (Hierarchy.access hier Hierarchy.D addr)
       end
     in
@@ -1915,7 +1922,13 @@ let warm_run t budget =
           incr n
         | Store (w, rsrc, rbase, soff) ->
           touch p;
-          touch_data (Bor_sim.Machine.exec_store m w rsrc rbase soff);
+          let addr = Bor_sim.Machine.exec_store m w rsrc rbase soff in
+          touch_data addr;
+          (* Keep the block cache's self-modification contract uniform:
+             a fallback store into the text range flushes it too. *)
+          (match t.blockcache with
+          | Some bc -> Block.note_store bc addr
+          | None -> ());
           pc := fall;
           incr n
         | Halt as instr ->
@@ -1930,15 +1943,70 @@ let warm_run t budget =
           incr n
       end
     done;
-    t.warm_iline <- !iline;
+    mru.Block.iline <- !iline;
     t.committed <- t.committed + !n;
     !n
   end
 
 (* One instruction of functional warming — the single-step unit the
    warming-equivalence tests exercise; [warm_run] is the batched
-   form. *)
+   form and [warm_blocks] the block-compiled one. *)
 let warm_step t = ignore (warm_run t 1)
+
+let get_blockcache t =
+  match t.blockcache with
+  | Some bc -> bc
+  | None ->
+    let bc =
+      Block.create ~code:t.code ~code_base:t.code_base ~cfg:t.cfg
+        ~machine:t.oracle ~hier:t.hier ~pred:t.pred ~btb:t.btb ~ras:t.ras
+        ~engine:t.engine ~mru:t.warm_mru
+        ~on_brr:(fun outcome -> log_retired_brr t outcome)
+    in
+    t.blockcache <- Some bc;
+    bc
+
+let block_cache t = t.blockcache
+
+(* Block-compiled warming: execute whole specialized blocks through the
+   translation cache and fall back to [warm_run] — the single-step
+   reference — for anything else. The two paths share the MRU line
+   trackers and perform identical sequences of structure updates, so
+   which one ran any given instruction is unobservable in the warmed
+   state. Budget exactness: a block longer than the remaining budget is
+   never entered ([Block.run] stops with [Out_of_budget]); its
+   instructions are single-stepped instead, so [max_steps] lands on
+   exactly the same instruction boundary as the reference path —
+   sampling plans place their windows identically. *)
+let warm_blocks t bc budget =
+  let m = t.oracle in
+  let n = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !n < budget && not (Bor_sim.Machine.halted m) do
+    let ran, status = Block.run bc ~budget:(budget - !n) in
+    n := !n + ran;
+    t.committed <- t.committed + ran;
+    match status with
+    | Block.Halted -> stop := true
+    | Block.Uncompilable ->
+      (* Nothing compilable at this pc (marker/rdlfsr, out-of-text):
+         single-step one instruction on the reference path. *)
+      let k = warm_run t 1 in
+      Block.note_fallback bc k;
+      n := !n + k;
+      if k = 0 then stop := true
+    | Block.Out_of_budget ->
+      (* Budget reached, or the next block would overshoot it:
+         single-step the remaining tail exactly. *)
+      let want = budget - !n in
+      if want > 0 then begin
+        let k = warm_run t want in
+        Block.note_fallback bc k;
+        n := !n + k
+      end;
+      stop := true
+  done;
+  !n
 
 let run_warming ?max_steps t =
   let budget = match max_steps with Some n -> n | None -> max_int in
@@ -1946,7 +2014,16 @@ let run_warming ?max_steps t =
   let continue_ = ref true in
   while !continue_ && !total < budget do
     let chunk = min 65536 (budget - !total) in
-    let ran = warm_run t chunk in
+    (* The block cache skips the per-instruction site lookup, so any
+       machine that could fire site hooks warms on the single-step
+       path (checked per chunk — hooks can be registered mid-run). *)
+    let ran =
+      if
+        t.cfg.Config.warm_block_cache
+        && not (Bor_sim.Machine.has_site_hooks t.oracle)
+      then warm_blocks t (get_blockcache t) chunk
+      else warm_run t chunk
+    in
     total := !total + ran;
     (* Warming has no cycles, so the per-cycle sanitizer never sees it:
        audit the warmed structures once per chunk instead. *)

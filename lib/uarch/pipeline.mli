@@ -113,12 +113,27 @@ val config : t -> Config.t
     (the bench golden digests enforce it). *)
 
 val warm_step : t -> unit
-(** Execute one instruction under functional warming. The oracle must
+(** Execute one instruction under functional warming, always on the
+    single-step reference path (never through the block cache) — the
+    unit the warming-equivalence tests compare against. The oracle must
     not be halted. *)
 
 val run_warming : ?max_steps:int -> t -> int
 (** Warm until the program halts (or [max_steps]); returns the number
-    of instructions executed. For the warming-equivalence tests. *)
+    of instructions executed. Unless {!Config.warm_block_cache} is off
+    (or the oracle has site hooks registered), warming runs through the
+    {!Block} translation cache: straight-line stretches are specialized
+    once into fused closures and replayed per block. The warmed state
+    is bit-identical to single-stepping — see [docs/WARMING.md] — and
+    [max_steps] is honored exactly: a block that would overshoot the
+    budget is single-stepped instead, so sampling plans land their
+    windows on the same instruction boundaries either way. *)
+
+val block_cache : t -> Block.t option
+(** The warmer's block translation cache, once a block-mode
+    {!run_warming} has created it ([None] before then, and forever in
+    full-detail or cache-disabled runs) — for the invalidation tests
+    and throughput reporting. *)
 
 val predictor : t -> Predictor.t
 val btb : t -> Btb.t

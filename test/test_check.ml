@@ -109,7 +109,7 @@ let () =
             test_zero_impact;
           Alcotest.test_case "component checks pass on real traffic" `Quick
             test_component_checks;
-          Alcotest.test_case "sanitized five-way differential" `Quick
+          Alcotest.test_case "sanitized six-way differential" `Quick
             test_sanitized_differential;
         ] );
     ]

@@ -173,6 +173,40 @@ let test_rejects_wrong_program () =
     check Alcotest.bool "program mismatch named in diagnostic" true
       (contains e "different program")
 
+(* Checkpoints never serialize the warmer's block translation cache:
+   capturing from a block-warmed pipeline and resuming into a fresh
+   one must rebuild blocks on demand and finish in exactly the state
+   of an uninterrupted warming run. *)
+let test_checkpoint_rebuilds_block_cache () =
+  let prog = Lazy.force micro_prog in
+  let src = Pipeline.create prog in
+  ignore (Pipeline.run_warming ~max_steps:20_000 src);
+  (match Pipeline.block_cache src with
+  | Some bc ->
+    check Alcotest.bool "cache was populated before capture" true
+      ((Bor_uarch.Block.stats bc).Bor_uarch.Block.hits > 0)
+  | None -> Alcotest.fail "block cache was never created");
+  let digest = Checkpoint.program_digest prog in
+  let ck = Checkpoint.capture ~program_digest:digest src in
+  let dst = Pipeline.create prog in
+  (match Checkpoint.restore ck ~program_digest:digest dst with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.bool "restored pipeline starts with no cache" true
+    (match Pipeline.block_cache dst with None -> true | Some _ -> false);
+  ignore (Pipeline.run_warming src);
+  ignore (Pipeline.run_warming dst);
+  let uninterrupted = Pipeline.create prog in
+  ignore (Pipeline.run_warming uninterrupted);
+  check
+    Alcotest.(list (pair string string))
+    "capture source finishes like an uninterrupted run"
+    (uarch_digests uninterrupted) (uarch_digests src);
+  check
+    Alcotest.(list (pair string string))
+    "restored pipeline finishes in the same state" (uarch_digests src)
+    (uarch_digests dst)
+
 (* ------------------------------------------------- parallel sampled *)
 
 let snapshot_arch prog p =
@@ -287,6 +321,8 @@ let () =
           Alcotest.test_case "serialized round trip" `Quick
             test_serialized_roundtrip;
           Alcotest.test_case "rejects bad input" `Quick test_rejects_bad_input;
+          Alcotest.test_case "rebuilds the block cache on resume" `Quick
+            test_checkpoint_rebuilds_block_cache;
           Alcotest.test_case "rejects wrong program" `Quick
             test_rejects_wrong_program;
         ] );

@@ -1058,6 +1058,158 @@ buf:    .space 64
       (Bor_sim.Machine.reg os r)
   done
 
+(* ------------------------------------------- Block translation cache *)
+
+(* A branchy, loopy, store-heavy program with a marker in the hot
+   loop: the marker is uncompilable, so block-mode warming has to mix
+   compiled blocks with single-step fallbacks on every pass. *)
+let blocky_src =
+  {|
+main:   la   s2, buf
+        li   s1, 97
+loop:   andi t0, s1, 7
+        bne  t0, zero, odd
+        addi t3, t3, 11
+        marker 7
+        j    join
+odd:    sub  t3, t3, s1
+        sll  t4, t3, t0
+join:   sw   t3, 0(s2)
+        lw   t4, 4(s2)
+        sw   t4, 8(s2)
+bsite:  brr  #2, skipc
+        call leaf
+skipc:  addi s1, s1, -1
+        bne  s1, zero, loop
+        halt
+leaf:   xor  t5, t3, s1
+        addi t6, t5, 1
+        ret
+        .data
+buf:    .space 64
+      |}
+
+let warm_cfg block =
+  { Bor_uarch.Config.default with Bor_uarch.Config.warm_block_cache = block }
+
+let oracle_regs t =
+  let m = Bor_uarch.Pipeline.oracle t in
+  Array.init Bor_isa.Reg.count (fun i ->
+      Bor_sim.Machine.reg m (Bor_isa.Reg.of_int i))
+
+(* Warm two pipelines over the same program, one through the block
+   translation cache and one forced onto the single-step reference
+   path, cycling [budgets] as [max_steps] increments. Instruction
+   counts must agree at every budget boundary (budget exactness: an
+   overshooting block is single-stepped, so both paths stop on the
+   same instruction) and the warmed digests and architectural
+   registers at the end. Returns the block-mode pipeline for further
+   assertions. *)
+let assert_block_equivalence ?(budgets = [ max_int ]) src =
+  let p = assemble src in
+  let blocked = Bor_uarch.Pipeline.create ~config:(warm_cfg true) p in
+  let stepped = Bor_uarch.Pipeline.create ~config:(warm_cfg false) p in
+  let halted t = Bor_sim.Machine.halted (Bor_uarch.Pipeline.oracle t) in
+  let nb = ref 0 and ns = ref 0 in
+  let bs = ref [] in
+  while not (halted blocked) do
+    (match !bs with [] -> bs := budgets | _ -> ());
+    let b = List.hd !bs in
+    bs := List.tl !bs;
+    nb := !nb + Bor_uarch.Pipeline.run_warming ~max_steps:b blocked;
+    ns := !ns + Bor_uarch.Pipeline.run_warming ~max_steps:b stepped;
+    check Alcotest.int "counts agree at every budget boundary" !nb !ns
+  done;
+  check Alcotest.bool "single-step run also halted" true (halted stepped);
+  check
+    Alcotest.(list (pair string string))
+    "block-warmed = single-stepped" (uarch_digests blocked)
+    (uarch_digests stepped);
+  check
+    Alcotest.(array int)
+    "architectural registers" (oracle_regs blocked) (oracle_regs stepped);
+  blocked
+
+let block_stats t =
+  match Bor_uarch.Pipeline.block_cache t with
+  | Some bc -> Bor_uarch.Block.stats bc
+  | None -> Alcotest.fail "block cache was never created"
+
+let test_block_warming_equivalence () =
+  let blocked = assert_block_equivalence blocky_src in
+  let s = block_stats blocked in
+  check Alcotest.bool "blocks compiled" true (s.Bor_uarch.Block.compiled > 0);
+  check Alcotest.bool "blocks reused" true
+    (s.Bor_uarch.Block.hits > s.Bor_uarch.Block.compiled);
+  check Alcotest.bool "marker forced single-step fallbacks" true
+    (s.Bor_uarch.Block.fallback_steps > 0)
+
+(* Irregular step budgets, including 1, primes and a budget larger
+   than most blocks — every boundary lands mid-block somewhere. *)
+let test_block_budget_exactness () =
+  ignore
+    (assert_block_equivalence
+       ~budgets:[ 1; 2; 3; 5; 7; 11; 13; 97; 1; 64 ]
+       blocky_src)
+
+(* A store landing in the text range must flush the cache. The decoded
+   image cannot actually change — the oracle fetches instructions from
+   its decoded array, not from memory — but the contract is
+   deliberately conservative, and the single-step path shares it via
+   [Block.note_store], so the flush has to be invisible in the warmed
+   state. *)
+let test_block_store_invalidation () =
+  let src =
+    {|
+main:   la   s2, main
+        la   s3, buf
+        li   s1, 12
+loop:   sw   t0, 0(s2)
+        addi t0, t0, 3
+        sw   t0, 0(s3)
+        addi s1, s1, -1
+        bne  s1, zero, loop
+        halt
+        .data
+buf:    .space 16
+      |}
+  in
+  let blocked = assert_block_equivalence src in
+  check Alcotest.bool "text-range stores flushed the cache" true
+    ((block_stats blocked).Bor_uarch.Block.invalidations >= 1)
+
+(* [patch_brr_freq] bumps the machine's code generation; the cache
+   must drop every block at its next entry. Warming behavior is
+   unchanged either way — both warming paths decode the
+   branch-on-random's frequency from the pipeline's own decoded text,
+   which patching the machine's image does not touch — so the flush
+   must both fire and stay invisible. *)
+let test_block_codegen_invalidation () =
+  let p = assemble blocky_src in
+  let pc =
+    match Bor_isa.Program.find_symbol p "bsite" with
+    | Some pc -> pc
+    | None -> Alcotest.fail "bsite label not found"
+  in
+  let run block =
+    let t = Bor_uarch.Pipeline.create ~config:(warm_cfg block) p in
+    let n0 = Bor_uarch.Pipeline.run_warming ~max_steps:50 t in
+    Bor_sim.Machine.patch_brr_freq
+      (Bor_uarch.Pipeline.oracle t)
+      ~pc
+      (Bor_core.Freq.of_period 2);
+    let n1 = Bor_uarch.Pipeline.run_warming t in
+    (t, n0 + n1)
+  in
+  let blocked, nb = run true in
+  let stepped, ns = run false in
+  check Alcotest.int "same instruction count" nb ns;
+  check
+    Alcotest.(list (pair string string))
+    "patched runs agree" (uarch_digests blocked) (uarch_digests stepped);
+  check Alcotest.bool "the patch flushed the cache" true
+    ((block_stats blocked).Bor_uarch.Block.invalidations >= 1)
+
 (* ---------------------------------------------- Sampled acceptance *)
 
 (* The headline acceptance property, as a regression test: on real
@@ -1210,6 +1362,14 @@ let () =
             test_warming_matches_full_detail;
           Alcotest.test_case "batched = single-stepped" `Quick
             test_warming_batching_equivalence;
+          Alcotest.test_case "block cache = single-stepped" `Quick
+            test_block_warming_equivalence;
+          Alcotest.test_case "block cache budget exactness" `Quick
+            test_block_budget_exactness;
+          Alcotest.test_case "store into text flushes the cache" `Quick
+            test_block_store_invalidation;
+          Alcotest.test_case "code patch flushes the cache" `Quick
+            test_block_codegen_invalidation;
         ] );
       ( "sampled",
         [
