@@ -1287,6 +1287,99 @@ let bechamel () =
           .Bor_minic.Driver.program;
     ]
 
+(* ------------------------------------------------------------- serve *)
+
+(* Cold vs warm-cache throughput through the serve scheduler
+   (docs/SERVE.md), one kernel, three answer paths: a cold submission
+   that actually simulates, a resubmission answered from the
+   scheduler's in-memory job table, and a store hit through a second
+   scheduler opened on the same cache directory (i.e. a server
+   restart). Payload byte-identity across all three is asserted here,
+   not just reported — it is the determinism contract.
+   BOR_SERVE_MAX_WARM_RATIO=<float> additionally turns the warm/cold
+   wall-clock ratio into a failing smoke (the acceptance bar is 0.05).
+   Host timing, so digest-excluded. *)
+let serve () =
+  section "Serve scheduler: cold vs warm-cache answer paths"
+    "Wall-clock to answer the same submission cold (simulated), from\n\
+     the scheduler's in-memory table (memory-warm), and from the\n\
+     content-addressed store via a fresh scheduler (store-warm, i.e.\n\
+     across a server restart), plus payload byte-identity between the\n\
+     paths. Host timing, so digest-excluded.";
+  let prog =
+    (Bor_minic.Driver.compile_exn alu_loop_src).Bor_minic.Driver.program
+  in
+  let spec = Bor_serve.Job.make ~backend:"detailed" prog in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bor-serve-bench-%d" (Unix.getpid ()))
+  in
+  let open_store () =
+    match Bor_store.Store.create dir with
+    | Ok s -> s
+    | Error e -> failwith ("serve: " ^ e)
+  in
+  let timed_submit sched =
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let key, _ = Bor_serve.Scheduler.submit sched spec in
+    match Bor_serve.Scheduler.await sched key with
+    | Some (Ok (payload, source)) ->
+      (payload, source, Unix.gettimeofday () -. t0)
+    | Some (Error e) -> failwith ("serve: job failed: " ^ e)
+    | None -> failwith "serve: job vanished"
+  in
+  let sched = Bor_serve.Scheduler.create ~domains:2 ~store:(open_store ()) () in
+  let p_cold, src_cold, t_cold = timed_submit sched in
+  let p_warm, _, t_warm = timed_submit sched in
+  Bor_serve.Scheduler.shutdown sched;
+  let sched2 = Bor_serve.Scheduler.create ~domains:1 ~store:(open_store ()) () in
+  let p_store, src_store, t_store = timed_submit sched2 in
+  Bor_serve.Scheduler.shutdown sched2;
+  (* Best-effort cleanup of the throwaway cache directory. *)
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir);
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  if src_cold <> `Cold then failwith "serve: first submission was not cold";
+  if src_store <> `Cached then
+    failwith "serve: restart submission missed the store";
+  if not (String.equal p_cold p_warm && String.equal p_cold p_store) then
+    failwith "serve: payloads differ across answer paths";
+  let row name t identical =
+    [
+      name;
+      Printf.sprintf "%.4f" t;
+      Printf.sprintf "%.4f" (t /. t_cold);
+      string_of_int (String.length p_cold);
+      (if identical then "yes" else "NO");
+    ]
+  in
+  table
+    ~headers:[ "path"; "wall s"; "vs cold"; "payload bytes"; "identical" ]
+    [
+      row "cold (simulated)" t_cold true;
+      row "memory-warm" t_warm (String.equal p_cold p_warm);
+      row "store-warm (restart)" t_store (String.equal p_cold p_store);
+    ];
+  match Sys.getenv_opt "BOR_SERVE_MAX_WARM_RATIO" with
+  | None -> ()
+  | Some max_s ->
+    let max_ratio = float_of_string max_s in
+    let ratio = t_warm /. t_cold in
+    if ratio > max_ratio then
+      failwith
+        (Printf.sprintf
+           "serve warm-cache smoke: warm resubmission at %.4fs is %.1f%% of \
+            the %.4fs cold run (ceiling %.1f%%)"
+           t_warm (100. *. ratio) t_cold (100. *. max_ratio))
+    else
+      printf "\n(smoke: warm resubmission %.2f%% of cold <= ceiling %.1f%%)\n"
+        (100. *. ratio) (100. *. max_ratio)
+
 (* ----------------------------------------------------------- JSON dump *)
 
 let rec ensure_dir dir =
@@ -1350,10 +1443,11 @@ let experiments =
     ("perf", perf);
     ("warming", warming);
     ("sampled", sampled);
+    ("serve", serve);
   ]
 
 (* Host-timing experiments: never part of DIGESTS.txt. *)
-let digest_excluded = [ "bechamel"; "perf"; "warming"; "sampled" ]
+let digest_excluded = [ "bechamel"; "perf"; "warming"; "sampled"; "serve" ]
 
 let () =
   let selected = ref [] in
@@ -1424,29 +1518,28 @@ let () =
     | _ -> ()
   in
   let read_file = Bor_isa.Toolchain.read_file in
-  (* --jobs: run experiments on a pool of [n] worker domains, each
-     claiming the next job off a shared counter. A worker buffers its
-     experiment's output in its domain-local context; the parent
-     replays the buffers in canonical order once the pool has joined,
-     so worker output can never interleave. Caches are reset before
-     every pooled experiment so each BENCH_<name>.json is identical to
-     running that experiment alone — the guarantee the fork-based pool
-     this replaces got from one process per experiment. *)
+  (* --jobs: run experiments through the serve library's domain pool
+     (the ad-hoc worker loop this file used to carry is gone). A
+     worker buffers its experiment's output in its domain-local
+     context; Pool.map lands each buffer in its submission-order slot,
+     so replaying after the join can never interleave worker output.
+     Caches are reset before every pooled experiment so each
+     BENCH_<name>.json is identical to running that experiment alone —
+     the guarantee the fork-based pool this replaced got from one
+     process per experiment. *)
   let run_parallel n =
-    let jobs = Array.of_list to_run in
-    let outputs = Array.make (Array.length jobs) "" in
-    let next = Atomic.make 0 in
     let failed = Atomic.make false in
     let telemetry_on = !json_dir <> None in
-    let worker () =
-      (* Fresh domain, fresh domain-local telemetry registry: mirror
-         the enable flag before any simulator component registers. *)
-      if telemetry_on then Telemetry.set_enabled true;
-      let c = ctx () in
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < Array.length jobs then begin
-          let (name, _) as job = jobs.(i) in
+    flush stdout;
+    let outputs =
+      Bor_serve.Pool.map ~domains:n
+        ~init:(fun () ->
+          (* Fresh domain, fresh domain-local telemetry registry:
+             mirror the enable flag before any simulator component
+             registers. *)
+          if telemetry_on then Telemetry.set_enabled true)
+        (fun ((name, _) as job) ->
+          let c = ctx () in
           let buf = Buffer.create 4096 in
           c.out <- Some buf;
           Hashtbl.reset (timing_cache ());
@@ -1455,19 +1548,10 @@ let () =
            with e ->
              Atomic.set failed true;
              Printf.eprintf "%s: %s\n%!" name (Printexc.to_string e));
-          outputs.(i) <- Buffer.contents buf;
           c.out <- None;
-          loop ()
-        end
-      in
-      loop ()
+          Buffer.contents buf)
+        (Array.of_list to_run)
     in
-    flush stdout;
-    let pool =
-      List.init (max 1 (min n (Array.length jobs))) (fun _ ->
-          Domain.spawn worker)
-    in
-    List.iter Domain.join pool;
     Array.iter print_string outputs;
     if Atomic.get failed then begin
       Printf.eprintf "bench: an experiment failed\n%!";

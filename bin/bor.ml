@@ -11,6 +11,10 @@
      bor checkpoint resume FILE --from CKPT
                              restore a checkpoint and simulate in detail
      bor fuzz [SEED-FILES]   coverage-guided differential fuzzing
+     bor serve --socket S    simulation service with a content-addressed cache
+     bor submit --socket S FILE
+                             submit a job to a running server
+     bor digest FILE         print a job's cache key (content address)
 
    Compilation options: --framework none|full|cbs|brr, --interval N,
    --fulldup, --edges, --empty-payload.
@@ -37,7 +41,18 @@
    for .c seed files) through the six-way differential property with
    the sanitizer on, guided by telemetry coverage; failures are
    auto-shrunk and written to the corpus directory. Options: --iters N,
-   --seed N, --corpus DIR (default test/corpus), --max-cycles N. *)
+   --seed N, --corpus DIR (default test/corpus), --max-cycles N.
+
+   bor serve runs the job server of docs/SERVE.md on a Unix-domain
+   socket: submissions are deduped by content address (bor digest
+   prints it), fanned across a domain worker pool (--domains N), and
+   memoized in an on-disk store (--store DIR [--cache-max-bytes N]).
+   bor submit is the matching client: it assembles FILE, submits it
+   with --backend/--sample/--window-domains, and with --wait blocks
+   and prints the deterministic result payload on stdout (key,
+   disposition and source go to stderr, so payloads can be compared
+   byte-for-byte). bor submit --shutdown / --stats drive a running
+   server without submitting. *)
 
 type stats_mode = Stats_off | Stats_text | Stats_json
 
@@ -65,6 +80,11 @@ let usage () =
      \       bor checkpoint save FILE --at N -o OUT.ckpt [--sanitize]\n\
      \       bor checkpoint resume FILE --from CKPT [--stats[=json]] [--max-cycles N] [--sanitize]\n\
      \       bor fuzz [SEED-FILES] [--iters N] [--seed N] [--corpus DIR] [--max-cycles N]\n\
+     \       bor serve --socket PATH [--domains N] [--store DIR [--cache-max-bytes N]] \
+     [--stats[=json]] [--sanitize]\n\
+     \       bor submit --socket PATH FILE [--backend NAME] [--sample W:D:P[:SEED]] \
+     [--window-domains N] [--wait] | --stats | --shutdown\n\
+     \       bor digest FILE [--backend NAME] [--sample W:D:P[:SEED]] [--explain]\n\
      FILE may be assembly (.s), minic (.c for cc*) or a BOR1 object image";
   exit 2
 
@@ -345,10 +365,227 @@ let run_fuzz rest =
   Format.printf "%a@." Bor_gen.Fuzz.pp_report report;
   if report.Bor_gen.Fuzz.crashes <> [] then exit 1
 
+(* bor serve: the docs/SERVE.md job server. Runs until a client sends
+   a shutdown request; the final counter line makes smoke tests and
+   operators see cache behavior without parsing JSON. *)
+let run_serve rest =
+  let socket = ref None
+  and domains = ref (max 1 (Domain.recommended_domain_count () - 1))
+  and store_dir = ref None
+  and cache_max = ref None
+  and stats = ref Stats_off in
+  let rec parse = function
+    | [] -> ()
+    | "--socket" :: v :: r ->
+      socket := Some v;
+      parse r
+    | "--domains" :: v :: r ->
+      (match int_of_string_opt v with
+      | Some n when n >= 1 -> domains := n
+      | _ ->
+        Printf.eprintf "bor: --domains %s: expected a positive integer\n" v;
+        exit 2);
+      parse r
+    | "--store" :: v :: r ->
+      store_dir := Some v;
+      parse r
+    | "--cache-max-bytes" :: v :: r ->
+      (match int_of_string_opt v with
+      | Some n when n >= 1 -> cache_max := Some n
+      | _ ->
+        Printf.eprintf
+          "bor: --cache-max-bytes %s: expected a positive integer\n" v;
+        exit 2);
+      parse r
+    | "--stats" :: r ->
+      stats := Stats_text;
+      parse r
+    | "--stats=json" :: r ->
+      stats := Stats_json;
+      parse r
+    | "--sanitize" :: r ->
+      Bor_check.Check.set_enabled true;
+      parse r
+    | _ -> usage ()
+  in
+  parse rest;
+  let socket = match !socket with Some s -> s | None -> usage () in
+  (* Telemetry before the scheduler: the serve.* instruments register
+     at scheduler creation. *)
+  if !stats <> Stats_off then Bor_telemetry.Telemetry.set_enabled true;
+  let store =
+    match !store_dir with
+    | None -> None
+    | Some dir -> (
+      match Bor_store.Store.create ?max_bytes:!cache_max dir with
+      | Ok s -> Some s
+      | Error e ->
+        Printf.eprintf "bor: %s\n" e;
+        exit 1)
+  in
+  let sched = Bor_serve.Scheduler.create ~domains:!domains ?store () in
+  Printf.eprintf "bor serve: listening on %s (%d worker%s%s)\n%!" socket
+    !domains
+    (if !domains = 1 then "" else "s")
+    (match !store_dir with
+    | None -> ", no store"
+    | Some d -> Printf.sprintf ", store %s" d);
+  match Bor_serve.Server.run ~socket sched with
+  | Error e ->
+    Printf.eprintf "bor: %s\n" e;
+    exit 1
+  | Ok () ->
+    List.iter
+      (fun (k, v) -> Printf.printf "serve.%s=%d\n" k v)
+      (Bor_serve.Scheduler.stats sched);
+    print_registry !stats
+
+let json_str_field name j =
+  match Bor_telemetry.Json.member name j with
+  | Some (Bor_telemetry.Json.String s) -> Some s
+  | _ -> None
+
+(* bor submit: payload on stdout (byte-comparable), bookkeeping on
+   stderr — the CI smoke diffs the former and greps the latter. *)
+let run_submit rest =
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.eprintf "bor: submit: %s\n" s;
+        exit 1)
+      fmt
+  in
+  let socket = ref None
+  and file = ref None
+  and backend = ref "detailed"
+  and plan = ref None
+  and window_domains = ref None
+  and wait = ref false
+  and stats_only = ref false
+  and shutdown = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--socket" :: v :: r ->
+      socket := Some v;
+      parse r
+    | "--backend" :: v :: r ->
+      backend := v;
+      parse r
+    | "--sample" :: v :: r ->
+      plan := Some v;
+      parse r
+    | "--window-domains" :: v :: r ->
+      (match int_of_string_opt v with
+      | Some n when n >= 1 -> window_domains := Some n
+      | _ ->
+        Printf.eprintf "bor: --window-domains %s: expected a positive integer\n" v;
+        exit 2);
+      parse r
+    | "--wait" :: r ->
+      wait := true;
+      parse r
+    | "--stats" :: r ->
+      stats_only := true;
+      parse r
+    | "--shutdown" :: r ->
+      shutdown := true;
+      parse r
+    | f :: r when String.length f > 0 && f.[0] <> '-' ->
+      file := Some f;
+      parse r
+    | _ -> usage ()
+  in
+  parse rest;
+  let socket = match !socket with Some s -> s | None -> usage () in
+  let request req =
+    match Bor_serve.Client.request ~socket req with
+    | Error e -> fail "%s" e
+    | Ok resp -> (
+      match Bor_telemetry.Json.member "ok" resp with
+      | Some (Bor_telemetry.Json.Bool true) -> resp
+      | _ ->
+        fail "%s"
+          (Option.value ~default:"server refused the request"
+             (json_str_field "error" resp)))
+  in
+  if !shutdown then begin
+    ignore (request Bor_serve.Client.shutdown_request);
+    Printf.eprintf "server at %s shut down\n" socket
+  end
+  else if !stats_only then begin
+    let resp = request Bor_serve.Client.stats_request in
+    match Bor_telemetry.Json.member "stats" resp with
+    | Some stats -> print_string (Bor_telemetry.Json.to_string stats)
+    | None -> fail "malformed stats response"
+  end
+  else begin
+    let file = match !file with Some f -> f | None -> usage () in
+    let prog = assemble file in
+    let resp =
+      request
+        (Bor_serve.Client.submit_request ?plan:!plan
+           ?window_domains:!window_domains ~backend:!backend prog)
+    in
+    let key =
+      match json_str_field "key" resp with
+      | Some k -> k
+      | None -> fail "malformed submit response"
+    in
+    Printf.eprintf "key=%s disposition=%s\n%!" key
+      (Option.value ~default:"?" (json_str_field "disposition" resp));
+    if !wait then begin
+      let resp =
+        request (Bor_serve.Client.result_request ~wait:true key)
+      in
+      match (json_str_field "payload" resp, json_str_field "source" resp) with
+      | Some payload, source ->
+        Printf.eprintf "source=%s\n%!" (Option.value ~default:"?" source);
+        print_string payload
+      | None, _ -> fail "malformed result response"
+    end
+  end
+
+(* bor digest: predict/debug the cache key of a submission without a
+   server. --explain shows the canonical preimage field by field. *)
+let run_digest rest =
+  let file = ref None
+  and backend = ref "detailed"
+  and plan = ref None
+  and explain = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--backend" :: v :: r ->
+      backend := v;
+      parse r
+    | "--sample" :: v :: r ->
+      (match Bor_uarch.Sampling_plan.of_string v with
+      | Ok p -> plan := Some p
+      | Error e -> sample_usage v e);
+      parse r
+    | "--explain" :: r ->
+      explain := true;
+      parse r
+    | f :: r when String.length f > 0 && f.[0] <> '-' ->
+      file := Some f;
+      parse r
+    | _ -> usage ()
+  in
+  parse rest;
+  let file = match !file with Some f -> f | None -> usage () in
+  let prog = assemble file in
+  let key =
+    Bor_store.Key.make ~program:prog ?plan:!plan ~kind:!backend ()
+  in
+  print_endline (Bor_store.Key.hex key);
+  if !explain then prerr_string (Bor_store.Key.preimage key)
+
 let () =
   let args = Array.to_list Sys.argv in
   match args with
   | _ :: "fuzz" :: rest -> run_fuzz rest
+  | _ :: "serve" :: rest -> run_serve rest
+  | _ :: "submit" :: rest -> run_submit rest
+  | _ :: "digest" :: rest -> run_digest rest
   | _ :: "checkpoint" :: rest -> run_checkpoint rest
   | _ :: cmd :: path :: rest ->
     let opts =

@@ -126,3 +126,43 @@ let resume ?config ?max_cycles ck prog =
                match Pipeline.run ?max_cycles p with
                | Ok s -> Ok (Detailed s)
                | Error e -> Error e)))
+
+let names = [ "functional"; "detailed"; "warming"; "sampled" ]
+
+let of_name ?config ?plan ?domains name prog =
+  match name with
+  | "sampled" -> Ok (sampled ?config ?plan ?domains prog)
+  | _ when Option.is_some plan ->
+    Error
+      (Printf.sprintf
+         "backend %S does not take a sampling plan (only \"sampled\" does)"
+         name)
+  | "functional" -> Ok (functional prog)
+  | "detailed" -> Ok (detailed ?config prog)
+  | "warming" -> Ok (warming ?config prog)
+  | _ ->
+    Error
+      (Printf.sprintf "unknown backend %S (expected %s)" name
+         (String.concat "|" names))
+
+let run_cached ?store ~key ~render create =
+  let compute () =
+    match create () with
+    | Error e -> Error e
+    | Ok b -> (
+      match b.run () with Error e -> Error e | Ok report -> Ok (render report))
+  in
+  match store with
+  | None -> Result.map (fun payload -> (payload, `Cold)) (compute ())
+  | Some st -> (
+    match Bor_store.Store.find st key with
+    | Some payload -> Ok (payload, `Cached)
+    | None -> (
+      match compute () with
+      | Error e -> Error e
+      | Ok payload ->
+        (* Best-effort publish: a full disk must not turn a good run
+           into a failure. *)
+        (match Bor_store.Store.put st key payload with
+        | Ok () | Error _ -> ());
+        Ok (payload, `Cold)))

@@ -64,6 +64,38 @@ val sampled :
     backend's sweep pipeline; [step] single-steps functional warming;
     [machine]/[state_digests] expose the sweep's final state. *)
 
+val names : string list
+(** The backend kinds {!of_name} accepts, in documentation order. *)
+
+val of_name :
+  ?config:Bor_uarch.Config.t ->
+  ?plan:Bor_uarch.Sampling_plan.t ->
+  ?domains:int ->
+  string ->
+  Bor_isa.Program.t ->
+  (t, string) result
+(** Construct a backend from its kind name — the dispatch used by the
+    serve scheduler and [bor submit], where the kind arrives as data
+    (and doubles as the cache key's [kind] component). [plan] and
+    [domains] only make sense for ["sampled"]; passing a plan to any
+    other kind is an [Error] rather than a silently ignored — and
+    therefore cache-aliasing — argument. *)
+
+val run_cached :
+  ?store:Bor_store.Store.t ->
+  key:Bor_store.Key.t ->
+  render:(report -> string) ->
+  (unit -> (t, string) result) ->
+  (string * [ `Cold | `Cached ], string) result
+(** Memoized execution: serve the rendered payload from [store] when
+    present, otherwise build the backend, [run] it, render the report,
+    and publish the bytes under [key] before returning them. The bytes
+    a caller sees are identical either way — that is the whole
+    determinism contract, and what the digest-equality tests pin. A
+    failed cache write is deliberately non-fatal (the result is still
+    returned); a failed run is never cached. With no [store], always
+    computes and reports [`Cold]. *)
+
 val resume :
   ?config:Bor_uarch.Config.t ->
   ?max_cycles:int ->

@@ -1,0 +1,25 @@
+(** Thin client side of the serve protocol: one connection per
+    request, plus builders for the request objects — all [bor submit]
+    and the tests need. *)
+
+val request :
+  socket:string ->
+  Bor_telemetry.Json.t ->
+  (Bor_telemetry.Json.t, string) result
+(** Connect to the server socket, send one request frame, read one
+    response frame, close. Connection and protocol failures come back
+    as [Error]; never raises. *)
+
+val submit_request :
+  ?plan:string ->
+  ?window_domains:int ->
+  backend:string ->
+  Bor_isa.Program.t ->
+  Bor_telemetry.Json.t
+(** The program travels as the hex of its {!Bor_isa.Objfile} image —
+    the same bytes the cache key digests. *)
+
+val status_request : string -> Bor_telemetry.Json.t
+val result_request : ?wait:bool -> string -> Bor_telemetry.Json.t
+val stats_request : Bor_telemetry.Json.t
+val shutdown_request : Bor_telemetry.Json.t

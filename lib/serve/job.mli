@@ -1,0 +1,48 @@
+(** One simulation job: a (program, config, plan, backend kind) tuple,
+    its content address, and its deterministic result payload.
+
+    The payload a job produces is a single {!Bor_telemetry.Json} text
+    (schema ["bor-serve-result-v1"]): the key, the backend's report
+    with every statistic rendered as an integer or a pre-formatted
+    fixed-precision string (no float printing anywhere near a digest),
+    and the run's telemetry snapshot plus its SHA-256. The
+    [sampling.parallel.*] telemetry family is filtered out of the
+    snapshot — it exists only when a sampled job fans its windows
+    across domains, and the contract (docs/SERVE.md) is that the
+    payload is byte-identical at {e any} [window_domains], exactly as
+    the underlying merge guarantees for the measured counters. *)
+
+type spec = {
+  sp_program : Bor_isa.Program.t;
+  sp_backend : string;  (** a {!Bor_exec.Backend.of_name} kind *)
+  sp_config : Bor_uarch.Config.t;
+  sp_plan : Bor_uarch.Sampling_plan.t option;
+  sp_window_domains : int;
+      (** domains for a sampled job's per-window fan-out; affects
+          wall-clock only, never the payload bytes *)
+}
+
+val make :
+  ?config:Bor_uarch.Config.t ->
+  ?plan:Bor_uarch.Sampling_plan.t ->
+  ?window_domains:int ->
+  backend:string ->
+  Bor_isa.Program.t ->
+  spec
+
+val key : spec -> Bor_store.Key.t
+(** The job's content address: program bytes + full canonical config +
+    plan + backend kind ({!Bor_store.Key.make} with [~kind:sp_backend]).
+    [sp_window_domains] is deliberately {e not} part of the key — it
+    cannot change the bytes. *)
+
+val run :
+  ?store:Bor_store.Store.t ->
+  spec ->
+  (string * [ `Cold | `Cached ], string) result
+(** Execute (or fetch) the job via {!Bor_exec.Backend.run_cached} and
+    return the payload text. Owns the calling domain's telemetry
+    lifecycle: the registry is cleared and enabled for the run so the
+    snapshot covers exactly this job, then cleared again and the
+    enabled flag restored — safe to call on scheduler worker domains,
+    whose registries are job-scoped by construction. *)

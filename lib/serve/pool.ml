@@ -1,0 +1,32 @@
+let map ?(domains = 1) ?(init = fun () -> ()) f items =
+  let n = Array.length items in
+  let workers = min domains n in
+  if workers <= 1 then begin
+    init ();
+    Array.map f items
+  end
+  else begin
+    let next = Atomic.make 0 in
+    let out = Array.make n None in
+    let worker () =
+      init ();
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (out.(i) <- Some (try Ok (f items.(i)) with e -> Error e));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let ds = List.init workers (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join ds;
+    (* Slots are disjoint per item and the joins order every write
+       before these reads. *)
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      out
+  end

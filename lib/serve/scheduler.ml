@@ -1,0 +1,250 @@
+module Telemetry = Bor_telemetry.Telemetry
+
+type disposition = [ `Queued | `Joined | `Hit ]
+type outcome = (string * [ `Cold | `Cached ], string) result
+type state = Queued | Running | Done of outcome
+
+type entry = { e_spec : Job.spec; mutable e_state : state }
+
+(* Telemetry instruments mirror the atomics; they belong to the domain
+   that created the scheduler and are only touched there (submit/stats
+   run on that domain), never by workers — instruments must not cross
+   domains. Worker-side counts reach them as deltas via [sync]. *)
+type mirror = {
+  mutable m_completed : int;
+  mutable m_failed : int;
+  mutable m_hits : int;
+  mutable m_misses : int;
+}
+
+type t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  jobs : (string, entry) Hashtbl.t;
+  queue : string Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t option array;
+  s_store : Bor_store.Store.t option;
+  s_domains : int;
+  (* submit-side counts (owner domain, under [mu]) *)
+  mutable n_submitted : int;
+  mutable n_joins : int;
+  mutable n_mem_hits : int;
+  (* worker-side counts *)
+  a_completed : int Atomic.t;
+  a_failed : int Atomic.t;
+  a_cold : int Atomic.t;
+  a_cached : int Atomic.t;
+  a_busy : int Atomic.t;
+  (* serve.* telemetry *)
+  c_submitted : Telemetry.counter;
+  c_completed : Telemetry.counter;
+  c_failed : Telemetry.counter;
+  c_hits : Telemetry.counter;
+  c_misses : Telemetry.counter;
+  c_joins : Telemetry.counter;
+  h_queue_depth : Telemetry.histogram;
+  h_busy : Telemetry.histogram;
+  mirror : mirror;
+}
+
+let rec worker_loop t =
+  Mutex.lock t.mu;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.cond t.mu
+  done;
+  if Queue.is_empty t.queue then (* stopping, queue drained *)
+    Mutex.unlock t.mu
+  else begin
+    let key = Queue.pop t.queue in
+    let entry = Hashtbl.find t.jobs key in
+    entry.e_state <- Running;
+    Atomic.incr t.a_busy;
+    Mutex.unlock t.mu;
+    let outcome = Job.run ?store:t.s_store entry.e_spec in
+    (match outcome with
+    | Ok (_, `Cold) ->
+        Atomic.incr t.a_completed;
+        Atomic.incr t.a_cold
+    | Ok (_, `Cached) ->
+        Atomic.incr t.a_completed;
+        Atomic.incr t.a_cached
+    | Error _ -> Atomic.incr t.a_failed);
+    Atomic.decr t.a_busy;
+    Mutex.lock t.mu;
+    entry.e_state <- Done outcome;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mu;
+    worker_loop t
+  end
+
+let create ?(domains = 1) ?store () =
+  if domains < 1 then invalid_arg "Scheduler.create: domains must be >= 1";
+  let scope = Telemetry.scope "serve" in
+  let t =
+    {
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      jobs = Hashtbl.create 64;
+      queue = Queue.create ();
+      stopping = false;
+      workers = Array.make domains None;
+      s_store = store;
+      s_domains = domains;
+      n_submitted = 0;
+      n_joins = 0;
+      n_mem_hits = 0;
+      a_completed = Atomic.make 0;
+      a_failed = Atomic.make 0;
+      a_cold = Atomic.make 0;
+      a_cached = Atomic.make 0;
+      a_busy = Atomic.make 0;
+      c_submitted =
+        Telemetry.counter scope ~unit_:"jobs"
+          ~doc:"submissions accepted (all dispositions)" "jobs.submitted";
+      c_completed =
+        Telemetry.counter scope ~unit_:"jobs" ~doc:"worker runs that returned Ok"
+          "jobs.completed";
+      c_failed =
+        Telemetry.counter scope ~unit_:"jobs"
+          ~doc:"worker runs that returned an error" "jobs.failed";
+      c_hits =
+        Telemetry.counter scope ~unit_:"jobs"
+          ~doc:"submissions answered without a fresh run (memory or store)"
+          "cache.hits";
+      c_misses =
+        Telemetry.counter scope ~unit_:"jobs" ~doc:"jobs computed cold"
+          "cache.misses";
+      c_joins =
+        Telemetry.counter scope ~unit_:"jobs"
+          ~doc:"submissions that joined an in-flight job" "dedup.joins";
+      h_queue_depth =
+        Telemetry.histogram scope ~unit_:"jobs"
+          ~doc:"queue depth observed at each submission" "queue.depth";
+      h_busy =
+        Telemetry.histogram scope ~unit_:"workers"
+          ~doc:"busy workers observed at each submission" "workers.busy";
+      mirror = { m_completed = 0; m_failed = 0; m_hits = 0; m_misses = 0 };
+    }
+  in
+  for i = 0 to domains - 1 do
+    t.workers.(i) <- Some (Domain.spawn (fun () -> worker_loop t))
+  done;
+  t
+
+(* Fold the worker-side atomics into the telemetry mirror. Memory hits
+   and store hits both count as serve.cache.hits; only cold runs are
+   misses. Owner domain only. *)
+let sync t =
+  let m = t.mirror in
+  let bump counter current stored =
+    if current > stored then Telemetry.add counter (current - stored);
+    current
+  in
+  m.m_completed <- bump t.c_completed (Atomic.get t.a_completed) m.m_completed;
+  m.m_failed <- bump t.c_failed (Atomic.get t.a_failed) m.m_failed;
+  m.m_hits <- bump t.c_hits (t.n_mem_hits + Atomic.get t.a_cached) m.m_hits;
+  m.m_misses <- bump t.c_misses (Atomic.get t.a_cold) m.m_misses
+
+let submit t spec =
+  let key = Bor_store.Key.hex (Job.key spec) in
+  Mutex.lock t.mu;
+  if t.stopping then begin
+    Mutex.unlock t.mu;
+    invalid_arg "Scheduler.submit: scheduler is shut down"
+  end;
+  t.n_submitted <- t.n_submitted + 1;
+  Telemetry.incr t.c_submitted;
+  Telemetry.observe t.h_queue_depth (Queue.length t.queue);
+  Telemetry.observe t.h_busy (Atomic.get t.a_busy);
+  let disposition =
+    match Hashtbl.find_opt t.jobs key with
+    | Some { e_state = Done _; _ } ->
+        t.n_mem_hits <- t.n_mem_hits + 1;
+        `Hit
+    | Some _ ->
+        t.n_joins <- t.n_joins + 1;
+        Telemetry.incr t.c_joins;
+        `Joined
+    | None ->
+        Hashtbl.add t.jobs key { e_spec = spec; e_state = Queued };
+        Queue.push key t.queue;
+        Condition.broadcast t.cond;
+        `Queued
+  in
+  sync t;
+  Mutex.unlock t.mu;
+  (key, disposition)
+
+let job_state t key =
+  Mutex.lock t.mu;
+  let st = Option.map (fun e -> e.e_state) (Hashtbl.find_opt t.jobs key) in
+  Mutex.unlock t.mu;
+  st
+
+let await t key =
+  Mutex.lock t.mu;
+  match Hashtbl.find_opt t.jobs key with
+  | None ->
+      Mutex.unlock t.mu;
+      None
+  | Some entry ->
+      let rec wait () =
+        match entry.e_state with
+        | Done outcome -> outcome
+        | Queued | Running ->
+            Condition.wait t.cond t.mu;
+            wait ()
+      in
+      let outcome = wait () in
+      Mutex.unlock t.mu;
+      Some outcome
+
+let store t = t.s_store
+let domains t = t.s_domains
+
+let stats t =
+  Mutex.lock t.mu;
+  sync t;
+  let base =
+    [
+      ("submitted", t.n_submitted);
+      ("completed", Atomic.get t.a_completed);
+      ("failed", Atomic.get t.a_failed);
+      ("cache_hits", t.n_mem_hits + Atomic.get t.a_cached);
+      ("cache_misses", Atomic.get t.a_cold);
+      ("dedup_joins", t.n_joins);
+      ("queue_depth", Queue.length t.queue);
+      ("workers_busy", Atomic.get t.a_busy);
+      ("workers", t.s_domains);
+    ]
+  in
+  Mutex.unlock t.mu;
+  match t.s_store with
+  | None -> base
+  | Some st ->
+      let s = Bor_store.Store.stats st in
+      base
+      @ [
+          ("store_hits", s.Bor_store.Store.st_hits);
+          ("store_misses", s.Bor_store.Store.st_misses);
+          ("store_corrupt", s.Bor_store.Store.st_corrupt);
+          ("store_puts", s.Bor_store.Store.st_puts);
+          ("store_evictions", s.Bor_store.Store.st_evictions);
+        ]
+
+let shutdown t =
+  Mutex.lock t.mu;
+  let already = t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mu;
+  if not already then
+    Array.iteri
+      (fun i d ->
+        match d with
+        | Some d ->
+            Domain.join d;
+            t.workers.(i) <- None
+        | None -> ())
+      t.workers

@@ -1,0 +1,61 @@
+(** The serve scheduler: a keyed job table in front of a long-lived
+    domain worker pool.
+
+    Every submission is addressed by its job's content key, which is
+    what makes the three fast paths fall out of one table lookup:
+
+    - the key is already [Done] → answered immediately from memory
+      ([`Hit] — a warm resubmission never touches a worker);
+    - the key is queued or running → the submission {e joins} the
+      in-flight job ([`Joined]) and will observe the same bytes;
+    - otherwise the job is enqueued ([`Queued]) and a worker runs it
+      through {!Job.run}, where the content-addressed store (when
+      configured) supplies cross-process / cross-restart reuse.
+
+    The payload bytes are identical on every path — cold, memory-hit,
+    store-hit, dedup-join — per the determinism contract the
+    digest-equality tests pin (docs/SERVE.md).
+
+    Counters live in atomics (workers update them from their own
+    domains); {!stats} additionally mirrors them into the [serve.*]
+    telemetry family, whose instruments are registered on the creating
+    domain at {!create} time (enable telemetry first, as always). *)
+
+type t
+
+type disposition = [ `Queued | `Joined | `Hit ]
+(** What {!submit} did with the submission. *)
+
+type outcome = (string * [ `Cold | `Cached ], string) result
+(** A finished job: the payload text and whether the worker computed
+    it ([`Cold]) or the store served it ([`Cached]) — or the run's
+    error. *)
+
+type state = Queued | Running | Done of outcome
+
+val create : ?domains:int -> ?store:Bor_store.Store.t -> unit -> t
+(** Spawn [domains] worker domains (default 1; must be >= 1). *)
+
+val submit : t -> Job.spec -> string * disposition
+(** Returns the job's key (64-char hex), which is also its job id.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val job_state : t -> string -> state option
+(** [None] for a key this scheduler has never seen. *)
+
+val await : t -> string -> outcome option
+(** Block until the keyed job completes. [None] for an unknown key. *)
+
+val store : t -> Bor_store.Store.t option
+val domains : t -> int
+
+val stats : t -> (string * int) list
+(** Deterministically ordered counter snapshot: submissions, completions,
+    failures, cache hits/misses, dedup joins, instantaneous queue depth
+    and busy workers, worker count, and the store's counters when one is
+    configured. Also the point where worker-side counts are folded into
+    the [serve.*] telemetry instruments. *)
+
+val shutdown : t -> unit
+(** Drain the queue (every queued job still runs), join the workers.
+    Idempotent. *)

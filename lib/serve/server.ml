@@ -1,0 +1,154 @@
+module Json = Bor_telemetry.Json
+
+let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
+let err msg = Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ]
+
+let str_field name j =
+  match Json.member name j with Some (Json.String s) -> Some s | _ -> None
+
+let int_field name j =
+  match Json.member name j with Some (Json.Int n) -> Some n | _ -> None
+
+let bool_field name j =
+  match Json.member name j with Some (Json.Bool b) -> Some b | _ -> None
+
+let stats_json sched =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (Scheduler.stats sched))
+
+let disposition_string = function
+  | `Queued -> "queued"
+  | `Joined -> "joined"
+  | `Hit -> "hit"
+
+let source_string = function `Cold -> "cold" | `Cached -> "cached"
+
+let parse_spec req =
+  match str_field "program" req with
+  | None -> Error "submit: missing \"program\" (hex object image)"
+  | Some hex -> (
+      match Wire.of_hex hex with
+      | Error e -> Error ("submit: program: " ^ e)
+      | Ok bytes -> (
+          match Bor_isa.Objfile.load bytes with
+          | Error e -> Error ("submit: program: " ^ e)
+          | Ok program -> (
+              let backend =
+                Option.value ~default:"detailed" (str_field "backend" req)
+              in
+              let window_domains =
+                Option.value ~default:1 (int_field "window_domains" req)
+              in
+              match str_field "plan" req with
+              | None ->
+                  Ok (Job.make ~window_domains ~backend program)
+              | Some plan_s -> (
+                  match Bor_uarch.Sampling_plan.of_string plan_s with
+                  | Error e -> Error ("submit: plan: " ^ e)
+                  | Ok plan ->
+                      Ok (Job.make ~plan ~window_domains ~backend program)))))
+
+let handle sched req =
+  match str_field "op" req with
+  | Some "submit" -> (
+      match parse_spec req with
+      | Error e -> err e
+      | Ok spec ->
+          let key, disposition = Scheduler.submit sched spec in
+          ok
+            [
+              ("key", Json.String key);
+              ("disposition", Json.String (disposition_string disposition));
+            ])
+  | Some "status" -> (
+      match str_field "key" req with
+      | None -> err "status: missing \"key\""
+      | Some key ->
+          let state, source =
+            match Scheduler.job_state sched key with
+            | None -> ("unknown", None)
+            | Some Scheduler.Queued -> ("queued", None)
+            | Some Scheduler.Running -> ("running", None)
+            | Some (Scheduler.Done (Ok (_, src))) -> ("done", Some (source_string src))
+            | Some (Scheduler.Done (Error _)) -> ("failed", None)
+          in
+          ok
+            ([ ("state", Json.String state) ]
+            @ (match source with
+              | None -> []
+              | Some s -> [ ("source", Json.String s) ])
+            @ [ ("stats", stats_json sched) ]))
+  | Some "result" -> (
+      match str_field "key" req with
+      | None -> err "result: missing \"key\""
+      | Some key -> (
+          let wait = Option.value ~default:false (bool_field "wait" req) in
+          let outcome =
+            if wait then Scheduler.await sched key
+            else
+              match Scheduler.job_state sched key with
+              | Some (Scheduler.Done outcome) -> Some outcome
+              | Some _ | None -> None
+          in
+          match outcome with
+          | Some (Ok (payload, source)) ->
+              ok
+                [
+                  ("source", Json.String (source_string source));
+                  ("payload", Json.String payload);
+                ]
+          | Some (Error e) -> err ("job failed: " ^ e)
+          | None -> (
+              match Scheduler.job_state sched key with
+              | None -> err (Printf.sprintf "unknown job %s" key)
+              | Some _ -> err (Printf.sprintf "job %s not finished" key))))
+  | Some "stats" -> ok [ ("stats", stats_json sched) ]
+  | Some "shutdown" -> ok []
+  | Some op -> err (Printf.sprintf "unknown op %S" op)
+  | None -> err "missing \"op\""
+
+let is_shutdown req =
+  match str_field "op" req with Some "shutdown" -> true | _ -> false
+
+(* One conversation: frames until clean EOF or a shutdown request.
+   Returns [true] when the server should stop. *)
+let serve_connection sched fd =
+  let rec loop () =
+    match Wire.read_json fd with
+    | None -> false
+    | Some req ->
+        let resp = handle sched req in
+        Wire.write_json fd resp;
+        if is_shutdown req then true else loop ()
+  in
+  loop ()
+
+let run ~socket ?(on_ready = fun () -> ()) sched =
+  (try if Sys.file_exists socket then Sys.remove socket with Sys_error _ -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Unix.bind listener (Unix.ADDR_UNIX socket);
+    Unix.listen listener 16
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Unix.close listener;
+      Error
+        (Printf.sprintf "serve: cannot listen on %s: %s" socket
+           (Unix.error_message e))
+  | () ->
+      on_ready ();
+      let stop = ref false in
+      while not !stop do
+        match Unix.accept listener with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | fd, _ ->
+            (* A client that talks garbage or dies mid-frame only costs
+               its own connection. *)
+            (match serve_connection sched fd with
+            | should_stop -> stop := should_stop
+            | exception (Wire.Protocol_error _ | Unix.Unix_error _) -> ());
+            (try Unix.close fd with Unix.Unix_error _ -> ())
+      done;
+      Unix.close listener;
+      (try Sys.remove socket with Sys_error _ -> ());
+      Scheduler.shutdown sched;
+      Ok ()

@@ -1,0 +1,32 @@
+(** The [bor serve] Unix-domain-socket front end: one accept loop
+    translating {!Wire} frames into {!Scheduler} calls.
+
+    Protocol (each request one JSON object; full spec in
+    docs/SERVE.md):
+
+    - [submit]: program image as hex + backend kind + optional plan and
+      [window_domains] → key + disposition ([queued]/[joined]/[hit]).
+    - [status]: key → job state, plus a [serve.*] counter snapshot in
+      every reply (the polling form of per-job telemetry streaming;
+      the completed job's full registry snapshot is embedded in its
+      payload).
+    - [result]: key (+ [wait: true] to block) → the payload text,
+      byte-identical on every path.
+    - [stats]: the scheduler/store counter snapshot.
+    - [shutdown]: acknowledge, drain the queue, stop serving.
+
+    Connections are handled one at a time — requests are tiny and jobs
+    run on the scheduler's worker domains, so the only long-held
+    connection is a blocking [result] wait, which progresses
+    independently of the accept loop. A connection that talks garbage
+    is dropped; the server keeps serving. *)
+
+val run :
+  socket:string ->
+  ?on_ready:(unit -> unit) ->
+  Scheduler.t ->
+  (unit, string) result
+(** Bind (replacing any stale socket file at [socket]), call
+    [on_ready], and serve until a [shutdown] request. Always shuts the
+    scheduler down and removes the socket file on the way out.
+    [Error] only for setup failures (unbindable path). *)

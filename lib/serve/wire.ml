@@ -1,0 +1,81 @@
+module Json = Bor_telemetry.Json
+
+let max_frame = 256 * 1024 * 1024
+
+exception Protocol_error of string
+
+let rec write_all fd buf pos len =
+  if len > 0 then begin
+    let n = Unix.write fd buf pos len in
+    write_all fd buf (pos + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let len = String.length payload in
+  let header = Bytes.create 8 in
+  Bytes.set_int64_le header 0 (Int64.of_int len);
+  write_all fd header 0 8;
+  write_all fd (Bytes.of_string payload) 0 len
+
+(* [None] only when EOF lands exactly between frames; inside a frame it
+   is a torn conversation and raises. *)
+let read_exact fd n ~at_boundary =
+  let buf = Bytes.create n in
+  let rec loop pos =
+    if pos = n then Some (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf pos (n - pos) with
+      | 0 ->
+          if pos = 0 && at_boundary then None
+          else raise (Protocol_error "unexpected EOF mid-frame")
+      | got -> loop (pos + got)
+  in
+  loop 0
+
+let read_frame fd =
+  match read_exact fd 8 ~at_boundary:true with
+  | None -> None
+  | Some header ->
+      let len64 = String.get_int64_le header 0 in
+      if Int64.compare len64 0L < 0 || Int64.compare len64 (Int64.of_int max_frame) > 0
+      then
+        raise
+          (Protocol_error (Printf.sprintf "bad frame length %Ld" len64));
+      read_exact fd (Int64.to_int len64) ~at_boundary:false
+
+let write_json fd j = write_frame fd (Json.to_string j)
+
+let read_json fd =
+  match read_frame fd with
+  | None -> None
+  | Some payload -> (
+      match Json.of_string payload with
+      | j -> Some j
+      | exception Json.Parse_error m ->
+          raise (Protocol_error ("frame is not valid JSON: " ^ m)))
+
+let to_hex s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let of_hex s =
+  let len = String.length s in
+  if len mod 2 <> 0 then Error "hex string has odd length"
+  else
+    let nib c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> -1
+    in
+    let buf = Bytes.create (len / 2) in
+    let bad = ref false in
+    for i = 0 to (len / 2) - 1 do
+      let hi = nib s.[2 * i] and lo = nib s.[(2 * i) + 1] in
+      if hi < 0 || lo < 0 then bad := true
+      else Bytes.set buf i (Char.chr ((hi lsl 4) lor lo))
+    done;
+    if !bad then Error "hex string has non-hex characters"
+    else Ok (Bytes.unsafe_to_string buf)

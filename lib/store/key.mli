@@ -1,0 +1,45 @@
+(** Content addresses for simulation artifacts.
+
+    A key is the SHA-256 of a canonical, versioned preimage covering
+    everything a run's output is a pure function of: the program's
+    serialized image bytes, the {e complete} timing configuration
+    (every {!Bor_uarch.Config.t} field, canonicalized field-by-field),
+    the sampling plan (or its absence), and the backend kind. Two jobs
+    share a key exactly when PR 5's purity argument says they must
+    produce byte-identical results — which is what lets {!Store}
+    memoize results and checkpoints, and lets the serve scheduler
+    dedupe in-flight work (docs/SERVE.md).
+
+    The preimage is kept alongside the digest so [bor digest --explain]
+    and the tests can show {e why} two keys differ. *)
+
+type t
+
+val make :
+  program:Bor_isa.Program.t ->
+  ?config:Bor_uarch.Config.t ->
+  ?plan:Bor_uarch.Sampling_plan.t ->
+  kind:string ->
+  unit ->
+  t
+(** [config] defaults to {!Bor_uarch.Config.default}; [plan] defaults
+    to absent (canonicalized as ["-"]). [kind] is a short token naming
+    the backend or artifact family (["detailed"], ["sampled"],
+    ["checkpoint"], ...).
+    @raise Invalid_argument if [kind] is empty or contains a newline
+    (the preimage is line-framed). *)
+
+val hex : t -> string
+(** The content address: 64 lowercase hex characters. *)
+
+val preimage : t -> string
+(** The canonical text the address digests (program {e digest}, not the
+    raw bytes, appears here — the bytes themselves are hashed first). *)
+
+val canon_config : Bor_uarch.Config.t -> string
+(** One-line [field=value] rendering of every configuration field, in
+    declaration order. Destructures the record completely, so adding a
+    config field without extending the canonicalization is a compile
+    error, not a silent cache-aliasing bug. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,330 @@
+(* Tests for Bor_serve: wire framing, the domain pool, job payload
+   determinism (cold runs, window-domain counts, cache and dedup-join
+   paths all byte-identical — the digest-equality contract of
+   docs/SERVE.md), scheduler dispositions and counters, and the
+   socket server end to end. *)
+
+module Wire = Bor_serve.Wire
+module Pool = Bor_serve.Pool
+module Job = Bor_serve.Job
+module Scheduler = Bor_serve.Scheduler
+module Server = Bor_serve.Server
+module Client = Bor_serve.Client
+module Store = Bor_store.Store
+module Json = Bor_telemetry.Json
+
+let check = Alcotest.check
+
+let alu_prog =
+  lazy
+    (Bor_minic.Driver.compile_exn
+       "int main() { int i; int s = 0; for (i = 0; i < 2000; i = i + 1) s = \
+        s + i; return s; }")
+      .Bor_minic.Driver.program
+
+let slow_prog =
+  lazy
+    (Bor_minic.Driver.compile_exn
+       "int main() { int i; int s = 0; for (i = 0; i < 60000; i = i + 1) s = \
+        s + i; return s; }")
+      .Bor_minic.Driver.program
+
+let plan_exn s =
+  match Bor_uarch.Sampling_plan.of_string s with
+  | Ok p -> p
+  | Error e -> Alcotest.fail e
+
+let tmp_counter = ref 0
+
+let fresh_path prefix =
+  incr tmp_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) !tmp_counter)
+
+let store_exn dir =
+  match Store.create dir with Ok s -> s | Error e -> Alcotest.fail e
+
+let payload_exn = function
+  | Ok (payload, source) -> (payload, source)
+  | Error e -> Alcotest.fail e
+
+(* -------------------------------------------------------------- wire *)
+
+let test_wire_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let msgs = [ ""; "x"; String.make 100_000 'q'; "bytes\x00\xff\n" ] in
+  List.iter (fun m -> Wire.write_frame a m) msgs;
+  List.iter
+    (fun m ->
+      match Wire.read_frame b with
+      | Some got -> check Alcotest.string "frame round trip" m got
+      | None -> Alcotest.fail "unexpected EOF")
+    msgs;
+  let j = Json.Obj [ ("op", Json.String "status"); ("n", Json.Int 3) ] in
+  Wire.write_json a j;
+  (match Wire.read_json b with
+  | Some got -> check Alcotest.string "json round trip" (Json.to_string j) (Json.to_string got)
+  | None -> Alcotest.fail "unexpected EOF");
+  Unix.close a;
+  check Alcotest.bool "clean EOF at frame boundary" true (Wire.read_frame b = None);
+  Unix.close b
+
+let test_wire_rejects_garbage () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* A length header far past max_frame. *)
+  let header = Bytes.create 8 in
+  Bytes.set_int64_le header 0 0x7fff_ffff_ffff_ffffL;
+  ignore (Unix.write a header 0 8);
+  (match Wire.read_frame b with
+  | exception Wire.Protocol_error _ -> ()
+  | _ -> Alcotest.fail "oversized frame accepted");
+  Unix.close a;
+  Unix.close b;
+  let c, d = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* EOF mid-frame: a header promising bytes that never arrive. *)
+  Bytes.set_int64_le header 0 64L;
+  ignore (Unix.write c header 0 8);
+  Unix.close c;
+  (match Wire.read_frame d with
+  | exception Wire.Protocol_error _ -> ()
+  | _ -> Alcotest.fail "torn frame accepted");
+  Unix.close d
+
+let test_hex_roundtrip () =
+  let bytes = String.init 256 Char.chr in
+  (match Wire.of_hex (Wire.to_hex bytes) with
+  | Ok got -> check Alcotest.string "hex round trip" bytes got
+  | Error e -> Alcotest.fail e);
+  check Alcotest.bool "odd length rejected" true
+    (match Wire.of_hex "abc" with Error _ -> true | Ok _ -> false);
+  check Alcotest.bool "non-hex rejected" true
+    (match Wire.of_hex "zz" with Error _ -> true | Ok _ -> false)
+
+(* -------------------------------------------------------------- pool *)
+
+let test_pool_preserves_order () =
+  let items = Array.init 37 (fun i -> i) in
+  let out = Pool.map ~domains:4 (fun i -> i * i) items in
+  Array.iteri (fun i v -> check Alcotest.int "slot matches item" (i * i) v) out
+
+let test_pool_propagates_first_failure () =
+  let items = Array.init 16 (fun i -> i) in
+  match
+    Pool.map ~domains:4
+      (fun i -> if i mod 5 = 3 then failwith (string_of_int i) else i)
+      items
+  with
+  | _ -> Alcotest.fail "expected a propagated exception"
+  | exception Failure msg ->
+    (* Items 3, 8 and 13 fail; submission order pins which wins. *)
+    check Alcotest.string "earliest item's exception wins" "3" msg
+
+let test_pool_runs_init_per_domain () =
+  let inits = Atomic.make 0 in
+  let out =
+    Pool.map ~domains:3
+      ~init:(fun () -> Atomic.incr inits)
+      (fun i -> i + 1)
+      (Array.init 12 (fun i -> i))
+  in
+  check Alcotest.int "all items mapped" 12 (Array.length out);
+  check Alcotest.int "one init per worker domain" 3 (Atomic.get inits)
+
+(* --------------------------------------------------------------- job *)
+
+let test_job_payload_deterministic () =
+  let spec = Job.make ~backend:"detailed" (Lazy.force alu_prog) in
+  let p1, _ = payload_exn (Job.run spec) in
+  let p2, _ = payload_exn (Job.run spec) in
+  check Alcotest.string "cold reruns are byte-identical" p1 p2;
+  (* The payload names its own key and digests its telemetry. *)
+  let j = Json.of_string p1 in
+  check Alcotest.bool "payload carries the key" true
+    (Json.member "key" j = Some (Json.String (Bor_store.Key.hex (Job.key spec))));
+  check Alcotest.bool "payload digests its telemetry" true
+    (match (Json.member "telemetry" j, Json.member "telemetry_digest" j) with
+    | Some t, Some (Json.String d) ->
+      String.equal d (Bor_telemetry.Sha256.digest (Json.to_string t))
+    | _ -> false)
+
+let test_job_payload_independent_of_window_domains () =
+  let plan = plan_exn "200:100:2000" in
+  let payload_at window_domains =
+    fst
+      (payload_exn
+         (Job.run
+            (Job.make ~plan ~window_domains ~backend:"sampled"
+               (Lazy.force alu_prog))))
+  in
+  check Alcotest.string
+    "sampled payload byte-identical at any window-domain count"
+    (payload_at 1) (payload_at 2)
+
+let test_job_key_ignores_window_domains () =
+  let k n =
+    Bor_store.Key.hex
+      (Job.key (Job.make ~window_domains:n ~backend:"detailed" (Lazy.force alu_prog)))
+  in
+  check Alcotest.string "window domains never alias the cache" (k 1) (k 4)
+
+let test_job_rejects_unknown_backend () =
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  match Job.run (Job.make ~backend:"warp-drive" (Lazy.force alu_prog)) with
+  | Error e -> check Alcotest.bool "names the backend" true (contains e "warp-drive")
+  | Ok _ -> Alcotest.fail "unknown backend accepted"
+
+(* --------------------------------------------------------- scheduler *)
+
+let test_scheduler_paths_byte_identical () =
+  let dir = fresh_path "bor-serve-store" in
+  let spec = Job.make ~backend:"detailed" (Lazy.force alu_prog) in
+  let slow = Job.make ~backend:"detailed" (Lazy.force slow_prog) in
+  (* One worker: [slow] occupies it, so [spec] is still queued when
+     resubmitted — a deterministic dedup join. *)
+  let sched = Scheduler.create ~domains:1 ~store:(store_exn dir) () in
+  let _, d_slow = Scheduler.submit sched slow in
+  let key, d1 = Scheduler.submit sched spec in
+  let key', d2 = Scheduler.submit sched spec in
+  check Alcotest.string "same spec, same job id" key key';
+  check Alcotest.bool "first submission queued" true (d1 = `Queued);
+  check Alcotest.bool "resubmission joined in flight" true (d2 = `Joined);
+  check Alcotest.bool "slow job queued" true (d_slow = `Queued);
+  let p_cold, src = payload_exn (Option.get (Scheduler.await sched key)) in
+  check Alcotest.bool "computed cold" true (src = `Cold);
+  (* Now complete: a third submission is a memory hit with the same
+     bytes. *)
+  let _, d3 = Scheduler.submit sched spec in
+  check Alcotest.bool "post-completion submission is a hit" true (d3 = `Hit);
+  let p_hit, _ = payload_exn (Option.get (Scheduler.await sched key)) in
+  check Alcotest.string "dedup-joined/hit bytes identical" p_cold p_hit;
+  let stats = Scheduler.stats sched in
+  let stat name = List.assoc name stats in
+  check Alcotest.int "submitted" 4 (stat "submitted");
+  check Alcotest.int "dedup joins" 1 (stat "dedup_joins");
+  check Alcotest.int "memory hit counted" 1 (stat "cache_hits");
+  Scheduler.shutdown sched;
+  (* A fresh scheduler on the same store answers from disk,
+     byte-identically: the cross-restart path. *)
+  let sched2 = Scheduler.create ~domains:1 ~store:(store_exn dir) () in
+  let key2, _ = Scheduler.submit sched2 spec in
+  let p_store, src2 = payload_exn (Option.get (Scheduler.await sched2 key2)) in
+  check Alcotest.bool "restart answered from the store" true (src2 = `Cached);
+  check Alcotest.string "store bytes identical" p_cold p_store;
+  Scheduler.shutdown sched2
+
+let test_scheduler_reports_failures () =
+  let sched = Scheduler.create ~domains:1 () in
+  let key, _ =
+    Scheduler.submit sched (Job.make ~backend:"warp-drive" (Lazy.force alu_prog))
+  in
+  (match Scheduler.await sched key with
+  | Some (Error _) -> ()
+  | Some (Ok _) -> Alcotest.fail "bad backend reported success"
+  | None -> Alcotest.fail "job vanished");
+  check Alcotest.int "failure counted" 1
+    (List.assoc "failed" (Scheduler.stats sched));
+  check Alcotest.bool "unknown key" true (Scheduler.await sched "beef" = None);
+  Scheduler.shutdown sched;
+  Scheduler.shutdown sched;
+  (* Idempotent; and submitting after shutdown is a caller error. *)
+  match Scheduler.submit sched (Job.make ~backend:"detailed" (Lazy.force alu_prog)) with
+  | _ -> Alcotest.fail "submit after shutdown accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------ server *)
+
+let test_server_end_to_end () =
+  let socket = fresh_path "bor-serve-sock" in
+  let sched = Scheduler.create ~domains:2 () in
+  let ready = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Server.run ~socket ~on_ready:(fun () -> Atomic.set ready true) sched)
+  in
+  while not (Atomic.get ready) do
+    Domain.cpu_relax ()
+  done;
+  let request req =
+    match Client.request ~socket req with
+    | Ok resp -> resp
+    | Error e -> Alcotest.fail e
+  in
+  let str name j =
+    match Json.member name j with
+    | Some (Json.String s) -> s
+    | _ -> Alcotest.fail (name ^ " missing")
+  in
+  let prog = Lazy.force alu_prog in
+  let resp = request (Client.submit_request ~backend:"detailed" prog) in
+  let key = str "key" resp in
+  check Alcotest.string "wire key matches bor digest" key
+    (Bor_store.Key.hex
+       (Job.key (Job.make ~backend:"detailed" prog)));
+  let r1 = request (Client.result_request ~wait:true key) in
+  let p1 = str "payload" r1 in
+  (* Resubmission: a hit, and the payload bytes are identical. *)
+  let resp2 = request (Client.submit_request ~backend:"detailed" prog) in
+  check Alcotest.string "resubmission is a hit" "hit" (str "disposition" resp2);
+  let p2 = str "payload" (request (Client.result_request ~wait:true key)) in
+  check Alcotest.string "served bytes identical" p1 p2;
+  (* Status and stats answer; errors are structured, not hangups. *)
+  (match Json.member "state" (request (Client.status_request key)) with
+  | Some (Json.String "done") -> ()
+  | _ -> Alcotest.fail "status should be done");
+  (match Json.member "stats" (request Client.stats_request) with
+  | Some (Json.Obj _) -> ()
+  | _ -> Alcotest.fail "stats missing");
+  (match Client.request ~socket (Json.Obj [ ("op", Json.String "nope") ]) with
+  | Ok (Json.Obj fields) ->
+    check Alcotest.bool "unknown op refused" true
+      (List.assoc_opt "ok" fields = Some (Json.Bool false))
+  | Ok _ | Error _ -> Alcotest.fail "unknown op should get a structured error");
+  ignore (request Client.shutdown_request);
+  (match Domain.join server with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.bool "socket file removed" false (Sys.file_exists socket)
+
+let () =
+  Alcotest.run "bor_serve"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "frame round trip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_wire_rejects_garbage;
+          Alcotest.test_case "hex round trip" `Quick test_hex_roundtrip;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "preserves order" `Quick test_pool_preserves_order;
+          Alcotest.test_case "propagates first failure" `Quick
+            test_pool_propagates_first_failure;
+          Alcotest.test_case "init per domain" `Quick
+            test_pool_runs_init_per_domain;
+        ] );
+      ( "job",
+        [
+          Alcotest.test_case "payload deterministic" `Quick
+            test_job_payload_deterministic;
+          Alcotest.test_case "payload independent of window domains" `Quick
+            test_job_payload_independent_of_window_domains;
+          Alcotest.test_case "key ignores window domains" `Quick
+            test_job_key_ignores_window_domains;
+          Alcotest.test_case "rejects unknown backend" `Quick
+            test_job_rejects_unknown_backend;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "all answer paths byte-identical" `Quick
+            test_scheduler_paths_byte_identical;
+          Alcotest.test_case "failures and shutdown" `Quick
+            test_scheduler_reports_failures;
+        ] );
+      ( "server",
+        [ Alcotest.test_case "end to end" `Quick test_server_end_to_end ] );
+    ]

@@ -1,0 +1,355 @@
+(* Tests for Bor_store: content-address keys (canonical preimages,
+   sensitivity to every component), the content-addressed store's
+   hit/miss round trips, corrupted-entry detection (never serves bad
+   bytes — callers fall back to recompute), concurrent writers racing
+   safely through atomic tmp-rename, mtime-LRU eviction under a byte
+   budget, and the Backend.run_cached / Checkpoint store adapters. *)
+
+module Key = Bor_store.Key
+module Store = Bor_store.Store
+module Backend = Bor_exec.Backend
+module Checkpoint = Bor_exec.Checkpoint
+
+let check = Alcotest.check
+
+let prog =
+  lazy
+    (Bor_minic.Driver.compile_exn "int main() { return 7; }")
+      .Bor_minic.Driver.program
+
+let prog2 =
+  lazy
+    (Bor_minic.Driver.compile_exn "int main() { return 8; }")
+      .Bor_minic.Driver.program
+
+let key ?config ?plan kind =
+  Key.make ~program:(Lazy.force prog) ?config ?plan ~kind ()
+
+let tmp_counter = ref 0
+
+let fresh_dir () =
+  incr tmp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bor-store-test-%d-%d" (Unix.getpid ()) !tmp_counter)
+  in
+  (try
+     Array.iter
+       (fun f -> Sys.remove (Filename.concat dir f))
+       (try Sys.readdir dir with Sys_error _ -> [||]);
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  dir
+
+let store_exn ?max_bytes dir =
+  match Store.create ?max_bytes dir with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+let entry_path st k = Filename.concat (Store.dir st) (Key.hex k)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------- keys *)
+
+let test_key_deterministic () =
+  check Alcotest.string "same inputs, same address" (Key.hex (key "detailed"))
+    (Key.hex (key "detailed"));
+  check Alcotest.int "64 hex chars" 64 (String.length (Key.hex (key "detailed")))
+
+let test_key_covers_every_component () =
+  let base = Key.hex (key "detailed") in
+  let plan =
+    match Bor_uarch.Sampling_plan.of_string "200:100:2000" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let different name hex =
+    if String.equal base hex then Alcotest.fail (name ^ ": key did not change")
+  in
+  different "kind" (Key.hex (key "sampled"));
+  different "plan" (Key.hex (key ~plan "detailed"));
+  different "config"
+    (Key.hex
+       (key ~config:{ Bor_uarch.Config.default with ghist_bits = 4 } "detailed"));
+  different "program"
+    (Key.hex (Key.make ~program:(Lazy.force prog2) ~kind:"detailed" ()))
+
+let test_key_preimage_and_bad_kind () =
+  let k = key "detailed" in
+  let pre = Key.preimage k in
+  check Alcotest.bool "versioned" true (contains pre "bor-key-v1");
+  check Alcotest.bool "names the kind" true (contains pre "kind=detailed");
+  check Alcotest.bool "canonical config is embedded" true
+    (contains pre (Key.canon_config Bor_uarch.Config.default));
+  check Alcotest.bool "empty kind rejected" true
+    (match key "" with _ -> false | exception Invalid_argument _ -> true);
+  check Alcotest.bool "multi-line kind rejected" true
+    (match key "a\nb" with _ -> false | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------ store *)
+
+let test_hit_miss_roundtrip () =
+  let st = store_exn (fresh_dir ()) in
+  let k = key "detailed" in
+  check Alcotest.bool "fresh store misses" true (Store.find st k = None);
+  (match Store.put st k "payload-bytes" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.(option string) "hit returns the bytes" (Some "payload-bytes")
+    (Store.find st k);
+  check Alcotest.bool "other key still misses" true
+    (Store.find st (key "sampled") = None);
+  let s = Store.stats st in
+  check Alcotest.int "hits" 1 s.Store.st_hits;
+  check Alcotest.int "misses" 2 s.Store.st_misses;
+  check Alcotest.int "puts" 1 s.Store.st_puts;
+  check Alcotest.int "corrupt" 0 s.Store.st_corrupt;
+  check Alcotest.bool "mem sees it" true (Store.mem st k)
+
+let corrupt_file path f =
+  let ic = open_in_bin path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (f raw);
+  close_out oc
+
+let test_corrupt_entry_is_a_miss () =
+  let flip raw =
+    (* Flip one payload bit past the "BORSTORE1\n" magic. *)
+    let b = Bytes.of_string raw in
+    let i = 12 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+    Bytes.to_string b
+  in
+  let cases =
+    [
+      ("bit flip", flip);
+      ("truncation", fun raw -> String.sub raw 0 (String.length raw / 2));
+      ("wrong magic", fun raw -> "XORSTORE1\n" ^ String.sub raw 10 (String.length raw - 10));
+      ("empty file", fun _ -> "");
+    ]
+  in
+  List.iteri
+    (fun i (name, mutate) ->
+      let st = store_exn (fresh_dir ()) in
+      let k = key "detailed" in
+      (match Store.put st k "precious payload" with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      corrupt_file (entry_path st k) mutate;
+      check Alcotest.bool (name ^ ": never serves bad bytes") true
+        (Store.find st k = None);
+      check Alcotest.bool (name ^ ": offender deleted") false
+        (Sys.file_exists (entry_path st k));
+      let s = Store.stats st in
+      check Alcotest.int (name ^ ": counted corrupt") 1 s.Store.st_corrupt;
+      ignore i)
+    cases
+
+let test_corrupt_falls_back_to_recompute () =
+  let st = store_exn (fresh_dir ()) in
+  let k = key "detailed" in
+  let computes = ref 0 in
+  let run () =
+    Backend.run_cached ~store:st ~key:k
+      ~render:(fun _ ->
+        incr computes;
+        "recomputed-bytes")
+      (fun () -> Ok (Backend.functional (Lazy.force prog)))
+  in
+  (match run () with
+  | Ok (p, `Cold) -> check Alcotest.string "cold bytes" "recomputed-bytes" p
+  | Ok (_, `Cached) -> Alcotest.fail "fresh store cannot hit"
+  | Error e -> Alcotest.fail e);
+  corrupt_file (entry_path st k) (fun raw -> String.sub raw 0 20);
+  (match run () with
+  | Ok (p, `Cold) ->
+    check Alcotest.string "recomputed after corruption" "recomputed-bytes" p
+  | Ok (_, `Cached) -> Alcotest.fail "served a corrupted entry"
+  | Error e -> Alcotest.fail e);
+  check Alcotest.int "computed twice" 2 !computes;
+  (* The recompute republished a good entry. *)
+  match run () with
+  | Ok (_, `Cached) -> ()
+  | Ok (_, `Cold) -> Alcotest.fail "republished entry not served"
+  | Error e -> Alcotest.fail e
+
+let test_concurrent_writers_race_safely () =
+  let st = store_exn (fresh_dir ()) in
+  let k = key "detailed" in
+  (* A payload big enough that a torn (non-atomic) write would be
+     caught by the digest stamp. *)
+  let payload = String.init 65_536 (fun i -> Char.chr (i land 0xff)) in
+  let writers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 25 do
+              match Store.put st k payload with
+              | Ok () -> ()
+              | Error e -> failwith e
+            done))
+  in
+  (* Read concurrently with the writers: every observed entry must be
+     complete (atomic rename means no reader sees a partial write). *)
+  for _ = 1 to 100 do
+    match Store.find st k with
+    | None -> ()
+    | Some got ->
+      if not (String.equal got payload) then
+        Alcotest.fail "reader observed a partial or corrupt entry"
+  done;
+  List.iter Domain.join writers;
+  check Alcotest.(option string) "last write wins with intact bytes"
+    (Some payload) (Store.find st k);
+  check Alcotest.int "no entry was ever corrupt" 0
+    (Store.stats st).Store.st_corrupt
+
+let test_lru_eviction () =
+  let payload = String.make 100 'x' in
+  (* Entry file = 10 (magic) + 100 (payload) + 64 (stamp) = 174 bytes;
+     budget of 550 holds three entries, never four. *)
+  let st = store_exn ~max_bytes:550 (fresh_dir ()) in
+  let ka = key "a" and kb = key "b" and kc = key "c" in
+  List.iter
+    (fun k ->
+      match Store.put st k payload with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    [ ka; kb; kc ];
+  (* Pin distinct access times so the LRU order is explicit, oldest
+     first: a, then b, then c. *)
+  Unix.utimes (entry_path st ka) 1000. 1000.;
+  Unix.utimes (entry_path st kb) 2000. 2000.;
+  Unix.utimes (entry_path st kc) 3000. 3000.;
+  (match Store.put st (key "d") payload with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.bool "least recently used evicted" true
+    (Store.find st ka = None);
+  check Alcotest.bool "younger entry kept" true (Store.find st kb <> None);
+  check Alcotest.int "one eviction" 1 (Store.stats st).Store.st_evictions;
+  (* A hit refreshes LRU order: touch b, age c, and the next put must
+     evict c, not b. *)
+  Unix.utimes (entry_path st kc) 100. 100.;
+  ignore (Store.find st kb);
+  (match Store.put st (key "e") payload with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.bool "hit-refreshed entry survives" true (Store.mem st kb);
+  check Alcotest.bool "aged entry evicted instead" false (Store.mem st kc)
+
+let test_create_validates () =
+  check Alcotest.bool "non-positive budget rejected" true
+    (match Store.create ~max_bytes:0 (fresh_dir ()) with
+    | Error _ -> true
+    | Ok _ -> false);
+  let nested = Filename.concat (fresh_dir ()) "a/b/c" in
+  match Store.create nested with
+  | Ok st -> check Alcotest.string "creates nested dirs" nested (Store.dir st)
+  | Error e -> Alcotest.fail e
+
+(* -------------------------------------------------- exec adapters *)
+
+let test_run_cached_cold_then_cached () =
+  let st = store_exn (fresh_dir ()) in
+  let k = key "functional" in
+  let run () =
+    Backend.run_cached ~store:st ~key:k
+      ~render:(fun report ->
+        match report with
+        | Backend.Functional { instructions } ->
+          Printf.sprintf "ran %d instructions" instructions
+        | _ -> Alcotest.fail "wrong report kind")
+      (fun () -> Ok (Backend.functional (Lazy.force prog)))
+  in
+  let cold =
+    match run () with
+    | Ok (p, `Cold) -> p
+    | Ok (_, `Cached) -> Alcotest.fail "first run cannot be cached"
+    | Error e -> Alcotest.fail e
+  in
+  match run () with
+  | Ok (p, `Cached) -> check Alcotest.string "byte-identical" cold p
+  | Ok (_, `Cold) -> Alcotest.fail "second run missed the cache"
+  | Error e -> Alcotest.fail e
+
+let test_run_cached_never_caches_errors () =
+  let st = store_exn (fresh_dir ()) in
+  let k = key "failing" in
+  let attempts = ref 0 in
+  let run () =
+    Backend.run_cached ~store:st ~key:k
+      ~render:(fun _ -> "unreachable")
+      (fun () ->
+        incr attempts;
+        Error "boom")
+  in
+  (match run () with Error "boom" -> () | _ -> Alcotest.fail "expected error");
+  (match run () with Error "boom" -> () | _ -> Alcotest.fail "expected error");
+  check Alcotest.int "every attempt recomputed" 2 !attempts;
+  check Alcotest.int "nothing was published" 0 (Store.stats st).Store.st_puts
+
+let test_checkpoint_store_roundtrip () =
+  let st = store_exn (fresh_dir ()) in
+  let program = Lazy.force prog in
+  let p = Bor_uarch.Pipeline.create program in
+  ignore (Bor_uarch.Pipeline.run_warming ~max_steps:50 p);
+  let ck =
+    Checkpoint.capture ~program_digest:(Checkpoint.program_digest program) p
+  in
+  let k = key "checkpoint" in
+  check Alcotest.bool "cold store has no checkpoint" true
+    (Checkpoint.of_store st k = None);
+  (match Checkpoint.to_store st k ck with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Checkpoint.of_store st k with
+  | None -> Alcotest.fail "stored checkpoint not found"
+  | Some ck2 ->
+    check Alcotest.string "round trip is byte-identical"
+      (Checkpoint.to_string ck) (Checkpoint.to_string ck2));
+  corrupt_file (entry_path st k) (fun raw -> String.sub raw 0 (String.length raw - 7));
+  check Alcotest.bool "corrupt checkpoint reads as None" true
+    (Checkpoint.of_store st k = None)
+
+let () =
+  Alcotest.run "bor_store"
+    [
+      ( "key",
+        [
+          Alcotest.test_case "deterministic" `Quick test_key_deterministic;
+          Alcotest.test_case "covers every component" `Quick
+            test_key_covers_every_component;
+          Alcotest.test_case "preimage and bad kinds" `Quick
+            test_key_preimage_and_bad_kind;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "hit/miss round trip" `Quick
+            test_hit_miss_roundtrip;
+          Alcotest.test_case "corrupt entries are misses" `Quick
+            test_corrupt_entry_is_a_miss;
+          Alcotest.test_case "corrupt falls back to recompute" `Quick
+            test_corrupt_falls_back_to_recompute;
+          Alcotest.test_case "concurrent writers race safely" `Quick
+            test_concurrent_writers_race_safely;
+          Alcotest.test_case "LRU eviction by byte budget" `Quick
+            test_lru_eviction;
+          Alcotest.test_case "create validates" `Quick test_create_validates;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "run_cached cold then cached" `Quick
+            test_run_cached_cold_then_cached;
+          Alcotest.test_case "errors are never cached" `Quick
+            test_run_cached_never_caches_errors;
+          Alcotest.test_case "checkpoint store round trip" `Quick
+            test_checkpoint_store_roundtrip;
+        ] );
+    ]
