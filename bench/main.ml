@@ -1380,6 +1380,81 @@ let serve () =
       printf "\n(smoke: warm resubmission %.2f%% of cold <= ceiling %.1f%%)\n"
         (100. *. ratio) (100. *. max_ratio)
 
+let opt () =
+  section "Superoptimizer throughput: oracle evaluations per second"
+    "Fixed-budget bor opt search (docs/OPT.md) over a small counted-loop\n\
+     target, single-chain vs multi-chain across 1 and N domains.\n\
+     Proposal and oracle-evaluation rates are host wall-clock, so the\n\
+     experiment is digest-excluded; the best program found must be\n\
+     byte-identical across domain counts at the same seed (checked\n\
+     with failwith, so the determinism contract still gates CI).";
+  let target =
+    Bor_isa.Asm.assemble_exn
+      "main:\n\
+      \  li s7, 64\n\
+       loop:\n\
+      \  addi a0, a0, 1\n\
+      \  nop\n\
+      \  nop\n\
+      \  addi s7, s7, -1\n\
+      \  bne s7, zero, loop\n\
+      \  halt\n"
+  in
+  let n = max 2 !jobs in
+  let run ~chains ~domains =
+    let params =
+      {
+        Bor_opt.Search.default_params with
+        Bor_opt.Search.p_seed = 11;
+        p_rounds = 3;
+        p_iters = 150;
+        p_chains = chains;
+        p_domains = domains;
+      }
+    in
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    match Bor_opt.Search.run params target with
+    | Error e -> failwith ("opt: " ^ e)
+    | Ok r -> (r, Unix.gettimeofday () -. t0)
+  in
+  let configs =
+    [
+      ("1 chain / 1 domain", 1, 1);
+      (Printf.sprintf "%d chains / 1 domain" n, n, 1);
+      (Printf.sprintf "%d chains / %d domains" n n, n, n);
+    ]
+  in
+  let results =
+    List.map (fun (name, c, d) -> (name, run ~chains:c ~domains:d)) configs
+  in
+  (* Determinism gate: same seed and chain count -> identical best
+     program regardless of how many domains ran the chains. *)
+  (match results with
+  | [ _; (_, (r1, _)); (name, (rn, _)) ] ->
+    let open Bor_opt.Search in
+    if Bor_gen.Corpus.to_asm rn.r_best <> Bor_gen.Corpus.to_asm r1.r_best then
+      failwith (Printf.sprintf "opt: %s best differs from 1-domain run" name);
+    if (rn.r_best_cost, rn.r_counters) <> (r1.r_best_cost, r1.r_counters) then
+      failwith
+        (Printf.sprintf "opt: %s cost/counters differ from 1-domain run" name)
+  | _ -> failwith "opt: unexpected config count");
+  table
+    ~headers:
+      [ "config"; "wall s"; "proposals/s"; "oracle evals/s"; "best cost"; "verified" ]
+    (List.map
+       (fun (name, (r, t)) ->
+         let open Bor_opt.Search in
+         [
+           name;
+           Printf.sprintf "%.3f" t;
+           Printf.sprintf "%.0f" (float_of_int r.r_counters.n_proposals /. t);
+           Printf.sprintf "%.0f" (float_of_int r.r_counters.n_oracle_evals /. t);
+           string_of_int r.r_best_cost;
+           (if r.r_verified then "yes" else "no");
+         ])
+       results)
+
 (* ----------------------------------------------------------- JSON dump *)
 
 let rec ensure_dir dir =
@@ -1444,10 +1519,11 @@ let experiments =
     ("warming", warming);
     ("sampled", sampled);
     ("serve", serve);
+    ("opt", opt);
   ]
 
 (* Host-timing experiments: never part of DIGESTS.txt. *)
-let digest_excluded = [ "bechamel"; "perf"; "warming"; "sampled"; "serve" ]
+let digest_excluded = [ "bechamel"; "perf"; "warming"; "sampled"; "serve"; "opt" ]
 
 let () =
   let selected = ref [] in

@@ -11,6 +11,7 @@
      bor checkpoint resume FILE --from CKPT
                              restore a checkpoint and simulate in detail
      bor fuzz [SEED-FILES]   coverage-guided differential fuzzing
+     bor opt FILE...         STOKE-style stochastic superoptimization
      bor serve --socket S    simulation service with a content-addressed cache
      bor submit --socket S FILE
                              submit a job to a running server
@@ -80,6 +81,8 @@ let usage () =
      \       bor checkpoint save FILE --at N -o OUT.ckpt [--sanitize]\n\
      \       bor checkpoint resume FILE --from CKPT [--stats[=json]] [--max-cycles N] [--sanitize]\n\
      \       bor fuzz [SEED-FILES] [--iters N] [--seed N] [--corpus DIR] [--max-cycles N]\n\
+     \       bor opt FILE... [--seed N] [--rounds N] [--iters N] [--chains N] [--domains N]\n\
+     \               [--temp F] [--vectors K] [--sample W:D:P[:SEED]] [-o DIR] [--json FILE]\n\
      \       bor serve --socket PATH [--domains N] [--store DIR [--cache-max-bytes N]] \
      [--stats[=json]] [--sanitize]\n\
      \       bor submit --socket PATH FILE [--backend NAME] [--sample W:D:P[:SEED]] \
@@ -365,6 +368,192 @@ let run_fuzz rest =
   Format.printf "%a@." Bor_gen.Fuzz.pp_report report;
   if report.Bor_gen.Fuzz.crashes <> [] then exit 1
 
+(* bor opt: STOKE-style stochastic superoptimization (docs/OPT.md).
+   Each target (.s/.bor assembles, .c compiles as minic) gets a
+   seeded Metropolis–Hastings search; verified rewrites are written as
+   .s files (-o DIR) and a machine-readable rewrite table (--json). *)
+let run_opt rest =
+  let opt_usage () =
+    prerr_endline
+      "usage: bor opt FILE... [--seed N] [--rounds N] [--iters N] [--chains N] \
+       [--domains N]\n\
+       \               [--temp F] [--vectors K] [--sample W:D:P[:SEED]] \
+       [-o DIR] [--json FILE]\n\
+       \               [--progress] [--stats[=json]] [--sanitize]";
+    exit 2
+  in
+  let p = ref Bor_opt.Search.default_params
+  and out_dir = ref None
+  and json_out = ref None
+  and progress = ref false
+  and stats = ref Stats_off
+  and files = ref [] in
+  let pos_int flag v =
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> n
+    | _ ->
+      Printf.eprintf "bor: %s %s: expected a positive integer\n" flag v;
+      exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--seed" :: v :: r ->
+      p := { !p with Bor_opt.Search.p_seed = int_of_string v };
+      parse r
+    | "--rounds" :: v :: r ->
+      p := { !p with Bor_opt.Search.p_rounds = pos_int "--rounds" v };
+      parse r
+    | "--iters" :: v :: r ->
+      p := { !p with Bor_opt.Search.p_iters = pos_int "--iters" v };
+      parse r
+    | "--chains" :: v :: r ->
+      p := { !p with Bor_opt.Search.p_chains = pos_int "--chains" v };
+      parse r
+    | "--domains" :: v :: r ->
+      p := { !p with Bor_opt.Search.p_domains = pos_int "--domains" v };
+      parse r
+    | "--vectors" :: v :: r ->
+      p := { !p with Bor_opt.Search.p_vectors = pos_int "--vectors" v };
+      parse r
+    | "--temp" :: v :: r ->
+      p := { !p with Bor_opt.Search.p_temperature = float_of_string v };
+      parse r
+    | "--sample" :: v :: r ->
+      (match Bor_uarch.Sampling_plan.of_string v with
+      | Ok plan ->
+        p := { !p with Bor_opt.Search.p_oracle = Bor_opt.Cost.Sampled plan }
+      | Error e -> sample_usage v e);
+      parse r
+    | "-o" :: v :: r ->
+      out_dir := Some v;
+      parse r
+    | "--json" :: v :: r ->
+      json_out := Some v;
+      parse r
+    | "--progress" :: r ->
+      progress := true;
+      parse r
+    | "--stats" :: r ->
+      stats := Stats_text;
+      parse r
+    | "--stats=json" :: r ->
+      stats := Stats_json;
+      parse r
+    | "--sanitize" :: r ->
+      Bor_check.Check.set_enabled true;
+      parse r
+    | f :: r when String.length f > 0 && f.[0] <> '-' ->
+      files := f :: !files;
+      parse r
+    | _ -> opt_usage ()
+  in
+  parse rest;
+  let files = List.rev !files in
+  if files = [] then opt_usage ();
+  if !stats <> Stats_off then Bor_telemetry.Telemetry.set_enabled true;
+  let failed = ref false in
+  let reports =
+    List.map
+      (fun file ->
+        let prog =
+          if Filename.check_suffix file ".c" then
+            (compile
+               {
+                 framework = "none";
+                 interval = 1024;
+                 fulldup = false;
+                 edges = false;
+                 yieldpoints = false;
+                 empty_payload = false;
+                 output = None;
+                 trace = 0;
+                 dot = false;
+                 stats = Stats_off;
+                 sample = None;
+                 domains = 1;
+               }
+               file)
+              .Bor_minic.Driver.program
+          else assemble file
+        in
+        let progress_fn =
+          if !progress then
+            Some
+              (fun ~round ~best ->
+                Printf.eprintf "bor opt: %s: round %d, best cost %d\n%!" file
+                  round best)
+          else None
+        in
+        match Bor_opt.Search.run ?progress:progress_fn !p prog with
+        | Error e ->
+          Printf.eprintf "bor opt: %s: %s\n" file e;
+          failed := true;
+          (file, None)
+        | Ok r ->
+          let open Bor_opt.Search in
+          if r.r_verified then begin
+            Printf.printf
+              "bor opt: %s: verified rewrite, cost %d -> %d (%d -> %d \
+               instructions)\n"
+              file r.r_target_cost r.r_best_cost
+              (Bor_isa.Program.instr_count r.r_target)
+              (Bor_isa.Program.instr_count r.r_best);
+            match !out_dir with
+            | None -> ()
+            | Some dir ->
+              let name =
+                Filename.remove_extension (Filename.basename file) ^ "_opt"
+              in
+              let path =
+                Bor_gen.Corpus.write ~dir ~name ~tool:"bor opt" ~seed:!p.p_seed
+                  ~note:
+                    (Printf.sprintf "bor opt rewrite of %s: cost %d -> %d" file
+                       r.r_target_cost r.r_best_cost)
+                  r.r_best
+              in
+              Printf.printf "bor opt: wrote %s\n" path
+          end
+          else if r.r_improved then
+            Printf.printf
+              "bor opt: %s: candidate at cost %d failed verification (%s), \
+               keeping target (cost %d)\n"
+              file r.r_best_cost r.r_note r.r_target_cost
+          else
+            Printf.printf "bor opt: %s: no rewrite found (cost %d)\n" file
+              r.r_target_cost;
+          (file, Some r))
+      files
+  in
+  (match !json_out with
+  | None -> ()
+  | Some path ->
+    let entries =
+      List.filter_map
+        (fun (file, r) ->
+          Option.map
+            (fun r ->
+              match Bor_opt.Search.report_json r with
+              | Bor_telemetry.Json.Obj fields ->
+                Bor_telemetry.Json.Obj
+                  (("target", Bor_telemetry.Json.String file) :: fields)
+              | j -> j)
+            r)
+        reports
+    in
+    let doc =
+      Bor_telemetry.Json.Obj
+        [
+          ("schema", Bor_telemetry.Json.String "bor-opt-rewrites-v1");
+          ("rewrites", Bor_telemetry.Json.List entries);
+        ]
+    in
+    let oc = open_out path in
+    output_string oc (Bor_telemetry.Json.to_string doc);
+    close_out oc;
+    Printf.printf "bor opt: wrote %s\n" path);
+  print_registry !stats;
+  if !failed then exit 1
+
 (* bor serve: the docs/SERVE.md job server. Runs until a client sends
    a shutdown request; the final counter line makes smoke tests and
    operators see cache behavior without parsing JSON. *)
@@ -583,6 +772,7 @@ let () =
   let args = Array.to_list Sys.argv in
   match args with
   | _ :: "fuzz" :: rest -> run_fuzz rest
+  | _ :: "opt" :: rest -> run_opt rest
   | _ :: "serve" :: rest -> run_serve rest
   | _ :: "submit" :: rest -> run_submit rest
   | _ :: "digest" :: rest -> run_digest rest

@@ -25,7 +25,7 @@ let render i ins =
   | Instr.Brr_always off -> Printf.sprintf "brra %s" (lbl off)
   | ins -> Instr.to_string ins
 
-let to_asm ?seed ?note (p : Program.t) =
+let to_asm ?(tool = "bor fuzz") ?seed ?note (p : Program.t) =
   let text = p.Program.text in
   let n = Array.length text in
   let targets = Hashtbl.create 32 in
@@ -58,7 +58,7 @@ let to_asm ?seed ?note (p : Program.t) =
   in
   let buf = Buffer.create 4096 in
   let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  out "; bor fuzz reproducer\n";
+  out "; %s reproducer\n" tool;
   (match seed with Some s -> out "; seed %d\n" s | None -> ());
   (match note with Some s -> out "; %s\n" s | None -> ());
   out ".text\n";
@@ -92,13 +92,13 @@ let rec mkdirs dir =
     (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
   end
 
-let write ~dir ~name ?seed ?note p =
+let write ~dir ~name ?tool ?seed ?note p =
   mkdirs dir;
   let path = Filename.concat dir (name ^ ".s") in
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_asm ?seed ?note p));
+    (fun () -> output_string oc (to_asm ?tool ?seed ?note p));
   path
 
 let load_file = Bor_isa.Toolchain.load_program_file

@@ -12,14 +12,15 @@
     seed and failure note, making each corpus file self-describing. *)
 
 val to_asm :
-  ?seed:int -> ?note:string -> Bor_isa.Program.t -> string
-(** Render [p] as assembly source.
+  ?tool:string -> ?seed:int -> ?note:string -> Bor_isa.Program.t -> string
+(** Render [p] as assembly source; [tool] names the producer in the
+    header comment (default ["bor fuzz"]).
     @raise Invalid_argument when a direct branch targets outside
     [[0, instruction count]] — such an image cannot be expressed with
     labels (and cannot execute the branch without faulting either). *)
 
 val write :
-  dir:string -> name:string -> ?seed:int -> ?note:string ->
+  dir:string -> name:string -> ?tool:string -> ?seed:int -> ?note:string ->
   Bor_isa.Program.t -> string
 (** [write ~dir ~name p] saves [to_asm p] as [dir/name.s] (creating
     [dir] if needed) and returns the path. *)

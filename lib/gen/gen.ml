@@ -25,8 +25,11 @@ let alu_ops =
 let conds = Instr.[| Eq; Ne; Lt; Ge; Ltu; Geu |]
 let imm12 rng = Prng.int rng 4096 - 2048
 
-(* One computational (non-control) instruction. *)
-let gen_plain rng =
+(* One computational (non-control) instruction whose memory accesses
+   stay inside a [db]-byte data segment ([gp]-based, so mutants of
+   programs with small or absent data segments don't fault on every
+   generated load). *)
+let plain_sized rng db =
   match Prng.int rng 10 with
   | 0 | 1 | 2 ->
     Instr.Alu
@@ -37,15 +40,18 @@ let gen_plain rng =
       (alu_ops.(Prng.int rng (Array.length alu_ops)), any_rd rng, any_rs rng,
        imm12 rng)
   | 6 -> Instr.Lui (any_rd rng, Prng.int rng 0x100000)
-  | 7 ->
-    if Prng.bool rng then
-      Instr.Load (Instr.Word, any_rd rng, Reg.gp, 4 * Prng.int rng (data_bytes / 4))
-    else Instr.Load (Instr.Byte, any_rd rng, Reg.gp, Prng.int rng data_bytes)
-  | 8 ->
-    if Prng.bool rng then
-      Instr.Store (Instr.Word, any_rs rng, Reg.gp, 4 * Prng.int rng (data_bytes / 4))
-    else Instr.Store (Instr.Byte, any_rs rng, Reg.gp, Prng.int rng data_bytes)
+  | 7 when db >= 1 ->
+    if Prng.bool rng && db >= 4 then
+      Instr.Load (Instr.Word, any_rd rng, Reg.gp, 4 * Prng.int rng (db / 4))
+    else Instr.Load (Instr.Byte, any_rd rng, Reg.gp, Prng.int rng db)
+  | 8 when db >= 1 ->
+    if Prng.bool rng && db >= 4 then
+      Instr.Store (Instr.Word, any_rs rng, Reg.gp, 4 * Prng.int rng (db / 4))
+    else Instr.Store (Instr.Byte, any_rs rng, Reg.gp, Prng.int rng db)
   | _ -> Instr.Nop
+
+(* One computational (non-control) instruction. *)
+let gen_plain rng = plain_sized rng data_bytes
 
 (* A random terminating program. Layout (instruction indices):
 
@@ -176,3 +182,269 @@ let mutate rng (p : Program.t) =
   Program.make ~text_base:p.Program.text_base ~data_base:p.Program.data_base
     ~entry:p.Program.entry ~symbols:p.Program.symbols ~sites:p.Program.sites
     ~data text
+
+(* ------------------------------------------------------------------ *)
+(* Move-based mutation for the superoptimizer ([Bor_opt]): five
+   STOKE-style edit kinds over the program's editable region, each
+   preserving the well-formedness discipline above — generated-skeleton
+   programs keep their terminating loop shape, and no move ever writes
+   the counter register or touches the protected slots. *)
+
+type move = Replace | Swap | Insert | Delete | Change_imm
+
+let all_moves = [| Replace; Swap; Insert; Delete; Change_imm |]
+
+let move_name = function
+  | Replace -> "replace"
+  | Swap -> "swap"
+  | Insert -> "insert"
+  | Delete -> "delete"
+  | Change_imm -> "change-imm"
+
+type rates = {
+  replace : int;
+  swap : int;
+  insert : int;
+  delete : int;
+  change_imm : int;
+}
+
+let default_rates =
+  { replace = 35; swap = 15; insert = 10; delete = 25; change_imm = 15 }
+
+let pick_move rng r =
+  let total = r.replace + r.swap + r.insert + r.delete + r.change_imm in
+  if total <= 0 then invalid_arg "Gen.pick_move: rates sum to zero";
+  let v = Prng.int rng total in
+  if v < r.replace then Replace
+  else if v < r.replace + r.swap then Swap
+  else if v < r.replace + r.swap + r.insert then Insert
+  else if v < r.replace + r.swap + r.insert + r.delete then Delete
+  else Change_imm
+
+let max_text_len = 512
+
+(* The editable slot range [lo, hi] (inclusive; possibly empty) and the
+   inclusive upper bound for forward-branch targets. A program matching
+   the generated skeleton keeps slot 0 (trip-count load), the
+   decrement, the backedge and the halt protected, exactly like
+   {!mutate}; any other program with a halt is treated as a plain
+   sequence whose pre-halt instructions are all editable. *)
+let edit_region text =
+  let h = halt_index text in
+  if h < 0 then None
+  else
+    let skeleton =
+      h >= 4
+      && (match text.(0) with
+         | Instr.Alui (Instr.Add, rd, rz, _) -> rd = counter && rz = Reg.zero
+         | _ -> false)
+      && text.(h - 2) = Instr.Alui (Instr.Add, counter, counter, -1)
+      && (match text.(h - 1) with
+         | Instr.Branch (Instr.Ne, a, b, off) ->
+           a = counter && b = Reg.zero && off < 0
+         | _ -> false)
+    in
+    if skeleton then Some (1, h - 3, h - 2) else Some (0, h - 1, h)
+
+(* Rebuild a direct-control instruction with a new word offset. *)
+let with_offset i off =
+  match i with
+  | Instr.Branch (c, a, b, _) -> Instr.Branch (c, a, b, off)
+  | Instr.Jal (rd, _) -> Instr.Jal (rd, off)
+  | Instr.Brr (f, _) -> Instr.Brr (f, off)
+  | Instr.Brr_always _ -> Instr.Brr_always off
+  | _ -> i
+
+(* One instruction valid at slot [i]: plain work sized to a [db]-byte
+   data segment, or forward control flow with targets in (i, bound]. *)
+let gen_slot rng ~db ~bound i =
+  let fwd () = 1 + i + Prng.int rng (bound - i) in
+  match Prng.int rng 100 with
+  | r when r < 10 -> Instr.Nop
+  | r when r < 70 -> plain_sized rng db
+  | r when r < 84 ->
+    Instr.Branch
+      (conds.(Prng.int rng (Array.length conds)), any_rs rng, any_rs rng,
+       fwd () - i)
+  | r when r < 96 ->
+    Instr.Brr (Bor_core.Freq.of_field (Prng.int rng 16), fwd () - i)
+  | _ -> Instr.Brr_always (fwd () - i)
+
+(* Splice an instruction in at [pos], preserving every direct branch's
+   target instruction: a branch to an index >= pos follows it one slot
+   down. This uniformly fixes forward body branches, the skeleton
+   backedge and calls into leaf functions. *)
+let insert_at text pos instr =
+  let n = Array.length text in
+  let adj =
+    Array.mapi
+      (fun k i ->
+        match Instr.branch_offset i with
+        | None -> i
+        | Some off ->
+          let t = k + off in
+          let k' = if k >= pos then k + 1 else k in
+          let t' = if t >= pos then t + 1 else t in
+          with_offset i (t' - k'))
+      text
+  in
+  Array.init (n + 1) (fun k ->
+      if k < pos then adj.(k) else if k = pos then instr else adj.(k - 1))
+
+(* Remove the instruction at [pos]; branches that targeted it now
+   target its successor (same index), everything past it shifts up. *)
+let delete_at text pos =
+  let n = Array.length text in
+  let adj =
+    Array.mapi
+      (fun k i ->
+        match Instr.branch_offset i with
+        | None -> i
+        | Some off ->
+          let t = k + off in
+          let k' = if k > pos then k - 1 else k in
+          let t' = if t > pos then t - 1 else t in
+          with_offset i (t' - k'))
+      text
+  in
+  Array.init (n - 1) (fun k -> if k < pos then adj.(k) else adj.(k + 1))
+
+(* Shift a text-segment address across an insert/delete at slot [pos];
+   data addresses (and, on delete, the deleted slot itself, whose
+   address now names the successor) are left alone. *)
+let shift_addr ~insert ~base ~n ~pos a =
+  let lim = base + (4 * pos) in
+  if a < base || a >= base + (4 * n) then a
+  else if insert then if a >= lim then a + 4 else a
+  else if a > lim then a - 4
+  else a
+
+let apply_move rng m (p : Program.t) =
+  let text = p.Program.text in
+  let n = Array.length text in
+  let db = Bytes.length p.Program.data in
+  match edit_region text with
+  | None -> None
+  | Some (lo, hi, bound) ->
+    let len = hi - lo + 1 in
+    (* Region-of-interest markers are measurement scaffolding for the
+       ROI-gated pipeline stats, not program semantics: a move that
+       relocates or removes one changes what a later timing run
+       *reports* without changing what the program does, so marker
+       slots are as immovable as the loop skeleton. *)
+    let marker i =
+      match text.(i) with Instr.Marker _ -> true | _ -> false
+    in
+    let remake ?(shift = fun a -> a) text' =
+      Some
+        (Program.make ~text_base:p.Program.text_base
+           ~data_base:p.Program.data_base
+           ~entry:(shift p.Program.entry)
+           ~symbols:(List.map (fun (s, a) -> (s, shift a)) p.Program.symbols)
+           ~sites:(List.map (fun (a, id) -> (shift a, id)) p.Program.sites)
+           ~data:(Bytes.copy p.Program.data) text')
+    in
+    (match m with
+    | Replace ->
+      if len < 1 then None
+      else begin
+        let i = lo + Prng.int rng len in
+        if marker i then None
+        else begin
+          let t = Array.copy text in
+          t.(i) <- gen_slot rng ~db ~bound i;
+          remake t
+        end
+      end
+    | Swap ->
+      if len < 2 then None
+      else begin
+        let i = lo + Prng.int rng len in
+        let j = lo + Prng.int rng (len - 1) in
+        let j = if j >= i then j + 1 else j in
+        let i, j = (min i j, max i j) in
+        if marker i || marker j then None
+        else
+        (* Moving a direct branch keeps its absolute target when that
+           target is still legal from the new slot (out-of-region
+           targets — calls into leaf functions — always are); a target
+           that would become backward or out of the forward range is
+           re-aimed at a fresh forward slot, preserving the
+           discipline. *)
+        let moved src dst ins =
+          match Instr.branch_offset ins with
+          | None -> ins
+          | Some off ->
+            let target = src + off in
+            if target > bound || (target > dst && target <= bound) then
+              with_offset ins (target - dst)
+            else with_offset ins (1 + Prng.int rng (bound - dst))
+        in
+        let t = Array.copy text in
+        t.(i) <- moved j i text.(j);
+        t.(j) <- moved i j text.(i);
+        remake t
+      end
+    | Insert ->
+      if n >= max_text_len then None
+      else begin
+        let pos = lo + Prng.int rng (len + 1) in
+        remake
+          ~shift:(shift_addr ~insert:true ~base:p.Program.text_base ~n ~pos)
+          (insert_at text pos (plain_sized rng db))
+      end
+    | Delete ->
+      if len < 2 then None
+      else begin
+        let pos = lo + Prng.int rng len in
+        if marker pos then None
+        else
+          remake
+            ~shift:(shift_addr ~insert:false ~base:p.Program.text_base ~n ~pos)
+            (delete_at text pos)
+      end
+    | Change_imm ->
+      let tweakable i =
+        match text.(i) with
+        | Instr.Alui _ | Instr.Lui _ -> true
+        | Instr.Load (_, _, base, _) | Instr.Store (_, _, base, _) ->
+          base = Reg.gp && db >= 1
+        | Instr.Branch _ | Instr.Brr _ | Instr.Brr_always _ -> true
+        | _ -> false
+      in
+      let cands = ref [] in
+      for i = hi downto lo do
+        if tweakable i then cands := i :: !cands
+      done;
+      (match !cands with
+      | [] -> None
+      | cs ->
+        let cs = Array.of_list cs in
+        let i = cs.(Prng.int rng (Array.length cs)) in
+        let fwd () = 1 + Prng.int rng (bound - i) in
+        let t = Array.copy text in
+        (t.(i) <-
+           (match text.(i) with
+           | Instr.Alui (op, rd, rs, _) -> Instr.Alui (op, rd, rs, imm12 rng)
+           | Instr.Lui (rd, _) -> Instr.Lui (rd, Prng.int rng 0x100000)
+           | Instr.Load (w, rd, base, _) ->
+             let off =
+               match w with
+               | Instr.Word when db >= 4 -> 4 * Prng.int rng (db / 4)
+               | _ -> Prng.int rng db
+             in
+             Instr.Load ((if db >= 4 then w else Instr.Byte), rd, base, off)
+           | Instr.Store (w, rs, base, _) ->
+             let off =
+               match w with
+               | Instr.Word when db >= 4 -> 4 * Prng.int rng (db / 4)
+               | _ -> Prng.int rng db
+             in
+             Instr.Store ((if db >= 4 then w else Instr.Byte), rs, base, off)
+           | Instr.Branch (c, a, b, _) -> Instr.Branch (c, a, b, fwd ())
+           | Instr.Brr (_, off) ->
+             Instr.Brr (Bor_core.Freq.of_field (Prng.int rng 16), off)
+           | Instr.Brr_always _ -> Instr.Brr_always (fwd ())
+           | ins -> ins));
+        remake t))

@@ -36,3 +36,55 @@ val mutate : Bor_util.Prng.t -> Bor_isa.Program.t -> Bor_isa.Program.t
     Never touches the loop decrement, the backedge or the halt. Falls
     back to data-byte mutation when the program has no recoverable
     skeleton. [p] itself is not modified. *)
+
+(** {1 Move-based mutation (superoptimizer)}
+
+    Single-edit proposal moves for [Bor_opt]'s Metropolis–Hastings
+    search. Each move produces at most one well-formed neighbour of the
+    input program: generated-skeleton programs keep their terminating
+    loop shape (slot 0 trip count, decrement, backedge and halt are
+    protected, exactly as in {!mutate}); any other halting program is
+    treated as a plain sequence whose pre-halt slots are all editable.
+    Inserted/replacing control flow is strictly forward, and the loop
+    {!counter} is never written. *)
+
+type move =
+  | Replace  (** overwrite one editable slot with a fresh instruction *)
+  | Swap  (** exchange two editable slots, re-aiming illegal branches *)
+  | Insert  (** splice in one plain instruction, branch targets kept *)
+  | Delete  (** remove one editable slot, branch targets kept *)
+  | Change_imm  (** retune an immediate/offset/frequency field in place *)
+
+val all_moves : move array
+
+val move_name : move -> string
+
+type rates = {
+  replace : int;
+  swap : int;
+  insert : int;
+  delete : int;
+  change_imm : int;
+}
+(** Relative move weights (arbitrary non-negative integers, summed). *)
+
+val default_rates : rates
+
+val pick_move : Bor_util.Prng.t -> rates -> move
+(** Draw one move kind with probability proportional to its weight.
+    Raises [Invalid_argument] if all weights are zero. *)
+
+val max_text_len : int
+(** Upper bound on text length for {!Insert} (512 instructions). *)
+
+val apply_move :
+  Bor_util.Prng.t -> move -> Bor_isa.Program.t -> Bor_isa.Program.t option
+(** [apply_move rng m p] is one random neighbour of [p] under move [m],
+    or [None] when the move does not apply (no halt instruction, region
+    too small to swap/delete, text at {!max_text_len} for insert, no
+    tweakable slot for change-immediate, or the drawn slot holds a
+    region-of-interest [Marker] — measurement scaffolding that is never
+    replaced, swapped or deleted). Insert/delete preserve every direct
+    branch's target {e instruction} by offset fixup and shift the entry
+    point, text symbols and call-site table accordingly. [p] itself is
+    never modified. *)

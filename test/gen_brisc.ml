@@ -56,6 +56,53 @@ let check_case case_seed =
     QCheck.Test.fail_reportf "case seed %d: %s: %s%s" case_seed stage reason
       where
 
+(* Satellite property for the superoptimizer: on random generated
+   targets, the search never reports a best cost above the target's,
+   and any rewrite it reports as verified must be independently
+   accepted by the six-way differential (re-run here with a sampling
+   plan the verifier never used) and must have survived the search's
+   own enlarged fresh-vector equivalence check. Equivalence on
+   arbitrary *other* input vectors is deliberately not asserted:
+   verification is testing-based (docs/OPT.md), so a random target
+   whose behaviour hinges on input patterns outside the fresh set's
+   coverage can in principle slip through — that is STOKE's regime
+   too, and a hard assertion on it would fail for statistical, not
+   implementation, reasons. *)
+let check_opt_case case_seed =
+  let prog = Gen.gen_program (Prng.create ~seed:case_seed) in
+  let params =
+    {
+      Bor_opt.Search.default_params with
+      Bor_opt.Search.p_seed = case_seed;
+      p_rounds = 1;
+      p_iters = 25;
+      p_chains = 1;
+      p_domains = 1;
+    }
+  in
+  match Bor_opt.Search.run params prog with
+  | Error _ -> true (* target itself not optimizable (budget): skip *)
+  | Ok r ->
+    let open Bor_opt.Search in
+    if r.r_best_cost > r.r_target_cost then
+      QCheck.Test.fail_reportf
+        "case seed %d: best cost %d exceeds target cost %d" case_seed
+        r.r_best_cost r.r_target_cost
+    else if not r.r_verified then true
+    else begin
+      (match Diff.run ~plan_seed:case_seed r.r_best with
+      | Diff.Pass -> ()
+      | Diff.Fail { stage; reason } ->
+        QCheck.Test.fail_reportf
+          "case seed %d: reported rewrite fails the differential (%s: %s)"
+          case_seed stage reason
+      | Diff.Budget e ->
+        QCheck.Test.fail_reportf
+          "case seed %d: reported rewrite blew the differential budget: %s"
+          case_seed e);
+      true
+    end
+
 let env_int name default =
   match Sys.getenv_opt name with
   | Some v -> ( match int_of_string_opt v with Some n -> n | None -> default)
@@ -81,7 +128,15 @@ let () =
     QCheck.Test.make ~count ~name:"functional = pipeline = warming = sampled"
       case_seed check_case
   in
+  (* Each opt case runs a whole (tiny) search — dozens of simulator
+     evaluations — so it gets a reduced case count. *)
+  let opt_test =
+    QCheck.Test.make
+      ~count:(max 3 (count / 20))
+      ~name:"opt rewrites pass the differential and never cost more"
+      case_seed check_opt_case
+  in
   exit
     (QCheck_base_runner.run_tests
        ~rand:(Random.State.make [| master_seed |])
-       [ test ])
+       [ test; opt_test ])

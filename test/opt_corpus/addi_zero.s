@@ -1,0 +1,12 @@
+; bor opt regression target: add-immediate of zero in the body.
+; Hand-verified rewrite: delete the addi a1, a1, 0 — adding zero
+; never changes a1 (values wrap identically either way).
+.text
+main:
+  li s7, 64
+loop:
+  addi a0, a0, 5
+  addi a1, a1, 0
+  addi s7, s7, -1
+  bne s7, zero, loop
+  halt

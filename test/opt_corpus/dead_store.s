@@ -1,0 +1,17 @@
+; bor opt regression target: dead store in the body.
+; Hand-verified rewrite: delete the first store — the second one
+; overwrites the same byte before anything can read it, in every
+; iteration and in the final state. t0 is loop-invariant, so its
+; store is dead regardless of the initial register values.
+.text
+main:
+  li s7, 48
+loop:
+  addi t1, t1, 2
+  sb t0, 0(gp)
+  sb t1, 0(gp)
+  addi s7, s7, -1
+  bne s7, zero, loop
+  halt
+.data
+buf: .space 8

@@ -1,0 +1,14 @@
+; bor opt regression target: idempotent mask applied twice.
+; Hand-verified rewrite: delete one of the two andi a0, a0, 15 —
+; masking is idempotent, so a single application leaves the same
+; value in a0.
+.text
+main:
+  li s7, 48
+loop:
+  addi a0, a0, 7
+  andi a0, a0, 15
+  andi a0, a0, 15
+  addi s7, s7, -1
+  bne s7, zero, loop
+  halt

@@ -1,0 +1,14 @@
+; bor opt regression target: two nops in a counted-loop body.
+; Hand-verified rewrite: delete both nops (same final state, fewer
+; pipeline cycles). A fixed-budget seeded search in test_opt.ml must
+; rediscover a strictly cheaper equivalent.
+.text
+main:
+  li s7, 64
+loop:
+  addi a0, a0, 1
+  nop
+  nop
+  addi s7, s7, -1
+  bne s7, zero, loop
+  halt

@@ -1,0 +1,13 @@
+; bor opt regression target: duplicated register move in the body.
+; Hand-verified rewrite: delete one of the two identical mv t0, a0
+; instructions (the second overwrites the first with the same value).
+.text
+main:
+  li s7, 48
+loop:
+  addi a0, a0, 3
+  mv t0, a0
+  mv t0, a0
+  addi s7, s7, -1
+  bne s7, zero, loop
+  halt

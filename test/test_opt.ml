@@ -1,0 +1,521 @@
+(* Tests for Bor_opt, the stochastic superoptimizer (docs/OPT.md):
+   Metropolis acceptance-math hand vectors (including the exact
+   PRNG-draw discipline), cost-function units (mismatch weighting and
+   the cycle tie-break between equivalent candidates), move-based
+   mutator well-formedness (terminating skeleton, write-pool
+   discipline, insert/delete length bounds), end-to-end determinism
+   (same seed -> identical best program, counters, trajectory and
+   telemetry JSON; domain count changes wall-clock only), and the
+   known-rewrite regression corpus (test/opt_corpus), every file of
+   which a fixed-budget seeded search must rediscover. *)
+
+module Prng = Bor_util.Prng
+module Instr = Bor_isa.Instr
+module Reg = Bor_isa.Reg
+module Program = Bor_isa.Program
+module Asm = Bor_isa.Asm
+module Machine = Bor_sim.Machine
+module Gen = Bor_gen.Gen
+module Corpus = Bor_gen.Corpus
+module Cost = Bor_opt.Cost
+module Search = Bor_opt.Search
+module Telemetry = Bor_telemetry.Telemetry
+module Json = Bor_telemetry.Json
+
+let check = Alcotest.check
+
+(* ------------------------------------------------- acceptance math *)
+
+(* Downhill and equal-cost moves are accepted without consuming any
+   randomness — pinned by comparing the PRNG stream before and after. *)
+let test_accept_downhill_consumes_nothing () =
+  let rng = Prng.create ~seed:42 in
+  let shadow = Prng.copy rng in
+  check Alcotest.bool "downhill accepted" true
+    (Cost.accept rng ~temperature:50. ~current:100 ~proposed:90);
+  check Alcotest.bool "equal accepted" true
+    (Cost.accept rng ~temperature:50. ~current:100 ~proposed:100);
+  check Alcotest.bool "zero-temperature downhill accepted" true
+    (Cost.accept rng ~temperature:0. ~current:100 ~proposed:1);
+  check Alcotest.int "no draws consumed" (Prng.next shadow) (Prng.next rng)
+
+let test_accept_zero_temperature_rejects_uphill () =
+  let rng = Prng.create ~seed:42 in
+  let shadow = Prng.copy rng in
+  for delta = 1 to 10 do
+    check Alcotest.bool "uphill rejected at T=0" false
+      (Cost.accept rng ~temperature:0. ~current:100 ~proposed:(100 + delta))
+  done;
+  check Alcotest.int "no draws consumed" (Prng.next shadow) (Prng.next rng)
+
+(* Extreme temperatures pin the Metropolis exponential itself:
+   exp(-1/1e9) ~ 1 accepts any draw, exp(-10000/1) ~ 0 rejects any. *)
+let test_accept_extreme_temperatures () =
+  let rng = Prng.create ~seed:7 in
+  check Alcotest.bool "tiny uphill at huge T accepted" true
+    (Cost.accept rng ~temperature:1e9 ~current:100 ~proposed:101);
+  check Alcotest.bool "huge uphill at tiny T rejected" false
+    (Cost.accept rng ~temperature:1. ~current:100 ~proposed:10100)
+
+(* Exact accept/reject sequence: a shadow PRNG replays the documented
+   decision procedure step for step; any divergence in either the
+   decisions or the number of floats drawn fails. *)
+let test_accept_hand_sequence () =
+  let rng = Prng.create ~seed:20260809 in
+  let shadow = Prng.create ~seed:20260809 in
+  let cases =
+    [
+      (100, 90, 50.);
+      (100, 110, 50.);
+      (110, 115, 50.);
+      (115, 115, 50.);
+      (115, 400, 50.);
+      (115, 120, 0.);
+      (120, 118, 0.);
+      (118, 130, 25.);
+      (130, 131, 1000.);
+      (131, 200, 10.);
+    ]
+  in
+  List.iteri
+    (fun i (current, proposed, temperature) ->
+      let expected =
+        if proposed <= current then true
+        else if temperature <= 0. then false
+        else
+          Prng.float shadow
+          < exp (-.float_of_int (proposed - current) /. temperature)
+      in
+      let got = Cost.accept rng ~temperature ~current ~proposed in
+      check Alcotest.bool (Printf.sprintf "decision %d" i) expected got)
+    cases;
+  check Alcotest.int "streams in lockstep" (Prng.next shadow) (Prng.next rng)
+
+(* ------------------------------------------------------- cost units *)
+
+let asm src = Asm.assemble_exn src
+
+let target_src =
+  "main:\n\
+  \  li s7, 64\n\
+   loop:\n\
+  \  addi a0, a0, 1\n\
+  \  nop\n\
+  \  nop\n\
+  \  addi s7, s7, -1\n\
+  \  bne s7, zero, loop\n\
+  \  halt\n"
+
+let one_nop_src =
+  "main:\n\
+  \  li s7, 64\n\
+   loop:\n\
+  \  addi a0, a0, 1\n\
+  \  nop\n\
+  \  addi s7, s7, -1\n\
+  \  bne s7, zero, loop\n\
+  \  halt\n"
+
+let no_nop_src =
+  "main:\n\
+  \  li s7, 64\n\
+   loop:\n\
+  \  addi a0, a0, 1\n\
+  \  addi s7, s7, -1\n\
+  \  bne s7, zero, loop\n\
+  \  halt\n"
+
+(* One register's final value wrong (a0 steps by 2, not 1). *)
+let wrong_a0_src =
+  "main:\n\
+  \  li s7, 64\n\
+   loop:\n\
+  \  addi a0, a0, 2\n\
+  \  nop\n\
+  \  nop\n\
+  \  addi s7, s7, -1\n\
+  \  bne s7, zero, loop\n\
+  \  halt\n"
+
+(* Two registers' final values wrong. *)
+let wrong_two_src =
+  "main:\n\
+  \  li s7, 64\n\
+   loop:\n\
+  \  addi a0, a0, 2\n\
+  \  addi a1, a1, 9\n\
+  \  nop\n\
+  \  addi s7, s7, -1\n\
+  \  bne s7, zero, loop\n\
+  \  halt\n"
+
+let evaluator () =
+  match Cost.create (asm target_src) with
+  | Ok e -> e
+  | Error e -> Alcotest.failf "evaluator: %s" e
+
+let test_cost_target_is_its_own_cycles () =
+  let ev = evaluator () in
+  let e = Cost.evaluate ev (asm target_src) in
+  check Alcotest.int "no mismatches" 0 e.Cost.ev_mismatches;
+  check Alcotest.int "cost = oracle cycles" (Cost.target_cycles ev)
+    e.Cost.ev_cost;
+  check Alcotest.bool "oracle paid" true e.Cost.ev_oracle
+
+(* Mismatch weighting: each wrong final register is one unit per test
+   vector, at weight 1000 — always dominating the cycles term. *)
+let test_cost_mismatch_weighting () =
+  let ev = evaluator () in
+  let k = Cost.vector_count ev in
+  let one = Cost.evaluate ev (asm wrong_a0_src) in
+  let two = Cost.evaluate ev (asm wrong_two_src) in
+  check Alcotest.int "one wrong register = one unit per vector" k
+    one.Cost.ev_mismatches;
+  check Alcotest.int "two wrong registers = two units per vector" (2 * k)
+    two.Cost.ev_mismatches;
+  check Alcotest.bool "mismatch term dominates"
+    true
+    (one.Cost.ev_cost >= (1000 * k) + one.Cost.ev_cycles
+    && one.Cost.ev_cost > Cost.target_cycles ev);
+  check Alcotest.bool "more mismatches cost more" true
+    (two.Cost.ev_cost > one.Cost.ev_cost);
+  check Alcotest.bool "no oracle run for filtered candidates" false
+    one.Cost.ev_oracle
+
+(* Cycle tie-break: equivalent candidates (zero mismatches) are ranked
+   purely by their oracle cycles. *)
+let test_cost_cycle_tiebreak () =
+  let ev = evaluator () in
+  let e2 = Cost.evaluate ev (asm target_src) in
+  let e1 = Cost.evaluate ev (asm one_nop_src) in
+  let e0 = Cost.evaluate ev (asm no_nop_src) in
+  check Alcotest.int "one-nop variant equivalent" 0 e1.Cost.ev_mismatches;
+  check Alcotest.int "no-nop variant equivalent" 0 e0.Cost.ev_mismatches;
+  check Alcotest.int "equivalent cost is pure cycles" e0.Cost.ev_cycles
+    e0.Cost.ev_cost;
+  check Alcotest.bool "fewer cycles win the tie" true
+    (e0.Cost.ev_cost < e2.Cost.ev_cost && e1.Cost.ev_cost <= e2.Cost.ev_cost)
+
+let test_cost_evaluate_is_pure () =
+  let ev = evaluator () in
+  let a = Cost.evaluate ev (asm one_nop_src) in
+  let b = Cost.evaluate ev (asm one_nop_src) in
+  check Alcotest.bool "same eval twice" true (a = b)
+
+(* Region-of-interest markers gate the pipeline's cycles stat, so a
+   cost oracle reading it naively can be gamed by shrinking the
+   measured region instead of the program — the search's first
+   "rewrite" on a minic target swapped the ROI begin/end markers for a
+   reported cost of 1 cycle. The oracle must charge whole-program
+   cycles regardless of marker placement. *)
+let marker_body mid =
+  Printf.sprintf
+    "main:\n\
+    \  %s\n\
+    \  li s7, 48\n\
+     loop:\n\
+    \  addi a0, a0, 1\n\
+    \  addi s7, s7, -1\n\
+    \  bne s7, zero, loop\n\
+    \  %s\n\
+    \  halt\n"
+    (fst mid) (snd mid)
+
+let test_cost_immune_to_roi_markers () =
+  let plain = asm (marker_body ("nop", "nop")) in
+  let roi = asm (marker_body ("marker 1", "marker 2")) in
+  let inverted = asm (marker_body ("marker 2", "marker 1")) in
+  let cycles prog =
+    match Cost.create prog with
+    | Ok ev -> Cost.target_cycles ev
+    | Error e -> Alcotest.failf "marker target: %s" e
+  in
+  let base = cycles plain in
+  check Alcotest.bool "whole-program cycles are loop-sized" true (base > 100);
+  check Alcotest.int "ROI markers charge the same" base (cycles roi);
+  check Alcotest.int "inverted markers charge the same" base (cycles inverted)
+
+(* --------------------------------------------------- mutator moves *)
+
+let halt_index text =
+  let h = ref (-1) in
+  Array.iteri (fun i x -> if !h < 0 && x = Instr.Halt then h := i) text;
+  !h
+
+(* The generated-skeleton invariants of gen.mli: trip-count load at
+   slot 0, decrement at h-2, backward backedge at h-1, halt at h, and
+   nothing else ever writes the loop counter. *)
+let check_skeleton name (p : Program.t) =
+  let text = p.Program.text in
+  let h = halt_index text in
+  if h < 4 then Alcotest.failf "%s: no skeleton (halt at %d)" name h;
+  (match text.(0) with
+  | Instr.Alui (Instr.Add, rd, rz, _) when rd = Gen.counter && rz = Reg.zero ->
+    ()
+  | i -> Alcotest.failf "%s: slot 0 is %s" name (Instr.to_string i));
+  check Alcotest.bool (name ^ ": decrement in place") true
+    (text.(h - 2) = Instr.Alui (Instr.Add, Gen.counter, Gen.counter, -1));
+  (match text.(h - 1) with
+  | Instr.Branch (Instr.Ne, a, b, off)
+    when a = Gen.counter && b = Reg.zero && off < 0 ->
+    ()
+  | i -> Alcotest.failf "%s: backedge is %s" name (Instr.to_string i));
+  Array.iteri
+    (fun i x ->
+      if i <> 0 && i <> h - 2 && Instr.dest x = Some Gen.counter then
+        Alcotest.failf "%s: slot %d writes the loop counter (%s)" name i
+          (Instr.to_string x))
+    text
+
+(* Every move kind, applied to generated-skeleton programs: the result
+   must keep the terminating skeleton, express all branch targets in
+   labels (Corpus.to_asm raises on out-of-range targets), and actually
+   halt on the functional simulator. *)
+let test_moves_preserve_well_formedness () =
+  let rng = Prng.create ~seed:90125 in
+  let applied = Array.map (fun _ -> 0) Gen.all_moves in
+  for case = 1 to 60 do
+    let p = Gen.gen_program (Prng.create ~seed:case) in
+    Array.iteri
+      (fun mi m ->
+        match Gen.apply_move rng m p with
+        | None -> ()
+        | Some p' ->
+          applied.(mi) <- applied.(mi) + 1;
+          let name =
+            Printf.sprintf "case %d %s" case (Gen.move_name m)
+          in
+          check_skeleton name p';
+          (try ignore (Corpus.to_asm p')
+           with Invalid_argument e ->
+             Alcotest.failf "%s: unprintable branch target: %s" name e);
+          let m' = Machine.create p' in
+          (match Machine.run ~max_steps:500_000 m' with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "%s: mutant does not halt: %s" name e))
+      Gen.all_moves
+  done;
+  Array.iteri
+    (fun mi n ->
+      if n = 0 then
+        Alcotest.failf "move %s never applied"
+          (Gen.move_name Gen.all_moves.(mi)))
+    applied
+
+(* Insert/delete keep lengths inside [original - deletes, original +
+   inserts] and below the hard text cap; a round trip of n inserts
+   followed by n deletes restores the original length. *)
+let test_insert_delete_length_bounds () =
+  let rng = Prng.create ~seed:777 in
+  for case = 1 to 20 do
+    let p0 = Gen.gen_program (Prng.create ~seed:(1000 + case)) in
+    let n0 = Array.length p0.Program.text in
+    let p = ref p0 and inserted = ref 0 in
+    for _ = 1 to 40 do
+      match Gen.apply_move rng Gen.Insert !p with
+      | Some p' ->
+        incr inserted;
+        p := p'
+      | None ->
+        check Alcotest.bool "insert only refuses at the cap" true
+          (Array.length !p.Program.text >= Gen.max_text_len)
+    done;
+    check Alcotest.int
+      (Printf.sprintf "case %d: inserts grow one at a time" case)
+      (n0 + !inserted)
+      (Array.length !p.Program.text);
+    check Alcotest.bool "never above the cap" true
+      (Array.length !p.Program.text <= Gen.max_text_len);
+    let deleted = ref 0 in
+    while !deleted < !inserted do
+      match Gen.apply_move rng Gen.Delete !p with
+      | Some p' ->
+        incr deleted;
+        p := p'
+      | None -> Alcotest.failf "case %d: delete refused early" case
+    done;
+    check Alcotest.int
+      (Printf.sprintf "case %d: round trip restores length" case)
+      n0
+      (Array.length !p.Program.text)
+  done
+
+(* Marker slots are measurement scaffolding: no move may replace,
+   swap away or delete one, so the marker subsequence of the text is
+   invariant under every move (inserts may shift where they sit). *)
+let test_moves_never_touch_markers () =
+  let p0 = asm (marker_body ("marker 1", "marker 2")) in
+  let markers (p : Program.t) =
+    Array.to_list p.Program.text
+    |> List.filter_map (function Instr.Marker m -> Some m | _ -> None)
+  in
+  let expected = markers p0 in
+  check Alcotest.bool "target has both markers" true (expected = [ 1; 2 ]);
+  let rng = Prng.create ~seed:424242 in
+  for _ = 1 to 400 do
+    Array.iter
+      (fun m ->
+        match Gen.apply_move rng m p0 with
+        | None -> ()
+        | Some p' ->
+          if markers p' <> expected then
+            Alcotest.failf "move %s disturbed the ROI markers"
+              (Gen.move_name m))
+      Gen.all_moves
+  done
+
+(* pick_move respects zeroed rates. *)
+let test_pick_move_rates () =
+  let rng = Prng.create ~seed:5 in
+  let only_delete =
+    { Gen.replace = 0; swap = 0; insert = 0; delete = 1; change_imm = 0 }
+  in
+  for _ = 1 to 50 do
+    check Alcotest.bool "only delete drawn" true
+      (Gen.pick_move rng only_delete = Gen.Delete)
+  done;
+  let all_zero =
+    { Gen.replace = 0; swap = 0; insert = 0; delete = 0; change_imm = 0 }
+  in
+  Alcotest.check_raises "all-zero rates rejected"
+    (Invalid_argument "Gen.pick_move: rates sum to zero") (fun () ->
+      ignore (Gen.pick_move rng all_zero))
+
+(* ------------------------------------------------------ determinism *)
+
+let test_params =
+  {
+    Search.default_params with
+    Search.p_seed = 11;
+    p_rounds = 3;
+    p_iters = 120;
+    p_chains = 2;
+    p_domains = 1;
+  }
+
+let run_search ?(params = test_params) prog =
+  match Search.run params prog with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "search: %s" e
+
+let fingerprint r =
+  let open Search in
+  ( Corpus.to_asm r.r_best,
+    r.r_best_cost,
+    r.r_target_cost,
+    r.r_counters,
+    r.r_trajectory,
+    r.r_verified )
+
+(* Same seed, same target -> identical best program, counters,
+   trajectory and telemetry JSON. *)
+let test_determinism_same_seed () =
+  let target = asm target_src in
+  Telemetry.set_enabled true;
+  let snap () =
+    let s = Json.to_string (Telemetry.to_json ()) in
+    Telemetry.clear ();
+    s
+  in
+  Telemetry.clear ();
+  let a = run_search target in
+  let ja = snap () in
+  let b = run_search target in
+  let jb = snap () in
+  Telemetry.set_enabled false;
+  check Alcotest.bool "identical results" true (fingerprint a = fingerprint b);
+  check Alcotest.string "identical telemetry JSON" ja jb;
+  check Alcotest.string "identical report JSON"
+    (Json.to_string (Search.report_json a))
+    (Json.to_string (Search.report_json b))
+
+(* Domain count is parallelism only: the multi-domain search returns a
+   byte-identical result to the single-domain one at the same seed. *)
+let test_determinism_across_domains () =
+  let target = asm target_src in
+  let a = run_search target in
+  let b =
+    run_search ~params:{ test_params with Search.p_domains = 3 } target
+  in
+  check Alcotest.bool "domains=3 = domains=1" true
+    (fingerprint a = fingerprint b)
+
+(* ------------------------------------------------ regression corpus *)
+
+(* Every committed known-rewrite target must be rediscovered by a
+   fixed-budget seeded search, and the reported rewrite must have
+   passed fresh-vector equivalence plus the six-way differential
+   (Search sets r_verified only then). *)
+let test_corpus_rediscovery () =
+  let files = Corpus.files ~dir:"opt_corpus" in
+  check Alcotest.bool "corpus present" true (List.length files >= 3);
+  List.iter
+    (fun file ->
+      match Corpus.load_file file with
+      | Error e -> Alcotest.failf "%s: %s" file e
+      | Ok target ->
+        let params =
+          { test_params with Search.p_rounds = 4; p_iters = 150 }
+        in
+        let r = run_search ~params target in
+        let open Search in
+        if not (r.r_improved && r.r_verified) then
+          Alcotest.failf
+            "%s: known rewrite not rediscovered (cost %d -> %d, improved %b, \
+             verified %b, note %s)"
+            file r.r_target_cost r.r_best_cost r.r_improved r.r_verified
+            r.r_note;
+        check Alcotest.bool
+          (Filename.basename file ^ ": strictly cheaper")
+          true
+          (r.r_best_cost < r.r_target_cost))
+    files
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "accept",
+        [
+          Alcotest.test_case "downhill consumes no randomness" `Quick
+            test_accept_downhill_consumes_nothing;
+          Alcotest.test_case "zero temperature rejects uphill" `Quick
+            test_accept_zero_temperature_rejects_uphill;
+          Alcotest.test_case "extreme temperatures" `Quick
+            test_accept_extreme_temperatures;
+          Alcotest.test_case "hand accept/reject sequence" `Quick
+            test_accept_hand_sequence;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "target costs its own cycles" `Quick
+            test_cost_target_is_its_own_cycles;
+          Alcotest.test_case "mismatch weighting" `Quick
+            test_cost_mismatch_weighting;
+          Alcotest.test_case "cycle tie-break" `Quick test_cost_cycle_tiebreak;
+          Alcotest.test_case "evaluate is pure" `Quick test_cost_evaluate_is_pure;
+          Alcotest.test_case "immune to ROI markers" `Quick
+            test_cost_immune_to_roi_markers;
+        ] );
+      ( "mutator",
+        [
+          Alcotest.test_case "moves preserve well-formedness" `Quick
+            test_moves_preserve_well_formedness;
+          Alcotest.test_case "insert/delete length bounds" `Quick
+            test_insert_delete_length_bounds;
+          Alcotest.test_case "moves never touch markers" `Quick
+            test_moves_never_touch_markers;
+          Alcotest.test_case "pick_move rates" `Quick test_pick_move_rates;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "same seed, same everything" `Quick
+            test_determinism_same_seed;
+          Alcotest.test_case "domain count changes wall-clock only" `Quick
+            test_determinism_across_domains;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "known rewrites rediscovered" `Quick
+            test_corpus_rediscovery;
+        ] );
+    ]
